@@ -1,0 +1,112 @@
+package llpmst
+
+// Coverage for the public wrappers whose underlying implementations are
+// tested in internal packages: each is exercised once end-to-end here so
+// the exported API surface itself is verified.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAPIGeneratorsSmallWorldAndBA(t *testing.T) {
+	sw := GenerateSmallWorld(400, 6, 0.2, 1)
+	if sw.NumVertices() != 400 || sw.NumEdges() == 0 {
+		t.Fatal("small world wrong")
+	}
+	ba := GeneratePreferentialAttachment(400, 3, 1)
+	if !ba.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	oracle := Kruskal(ba)
+	if f := LLPPrimAsync(ba, Options{Workers: 3}); !f.Equal(oracle) {
+		t.Fatal("LLPPrimAsync disagrees")
+	}
+}
+
+func TestAPIDistributedMSF(t *testing.T) {
+	g := GenerateRoadNetwork(12, 12, 0.3, 4)
+	ids, stats, err := DistributedMSF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Kruskal(g)
+	if len(ids) != len(want.EdgeIDs) {
+		t.Fatalf("%d edges, want %d", len(ids), len(want.EdgeIDs))
+	}
+	for i := range ids {
+		if ids[i] != want.EdgeIDs[i] {
+			t.Fatal("distributed edge set differs")
+		}
+	}
+	if stats.Phases == 0 || stats.Messages == 0 {
+		t.Fatalf("stats empty: %+v", stats)
+	}
+}
+
+func TestAPIMarketClearing(t *testing.T) {
+	prices, assign := MarketClearingPrices([][]int64{
+		{5, 1}, {5, 2},
+	})
+	if len(prices) != 2 || len(assign) != 2 {
+		t.Fatal("sizes wrong")
+	}
+	// Both want item 0; its price must rise above 0.
+	if prices[0] == 0 {
+		t.Fatalf("competitive item price stayed 0: %v", prices)
+	}
+	if assign[0] == assign[1] {
+		t.Fatal("both buyers assigned the same item")
+	}
+}
+
+func TestAPISolveLLPPriority(t *testing.T) {
+	g := GenerateRoadNetwork(10, 10, 0.3, 5)
+	// The exported priority entry point, with a custom wrapper predicate is
+	// exercised in internal tests; here use it through ShortestPathsDijkstra
+	// plus a direct call.
+	d1 := ShortestPathsDijkstra(2, g, 0)
+	d2 := ShortestPaths(LLPSequential, 1, g, 0)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("dijkstra driver differs at %d", v)
+		}
+	}
+}
+
+func TestAPIMatrixMarketAndMETIS(t *testing.T) {
+	g := GenerateErdosRenyi(60, 200, WeightInteger, 6)
+	oracleWeight := Kruskal(g).Weight
+
+	var mtx bytes.Buffer
+	if err := WriteMatrixMarket(&mtx, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(&mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := Kruskal(g2).Weight; w != oracleWeight {
+		t.Fatalf("mtx round trip changed MSF weight: %g vs %g", w, oracleWeight)
+	}
+
+	var metis bytes.Buffer
+	if err := WriteMETIS(&metis, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ReadMETIS(&metis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := Kruskal(g3).Weight; w != oracleWeight {
+		t.Fatalf("metis round trip changed MSF weight: %g vs %g", w, oracleWeight)
+	}
+
+	var bin bytes.Buffer
+	if err := WriteBinaryGraph(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() == 0 {
+		t.Fatal("empty binary output")
+	}
+}

@@ -1,0 +1,196 @@
+// Command mstbench regenerates the tables and figures of the paper's
+// evaluation (§VII) on synthetic stand-ins for its datasets.
+//
+// Usage:
+//
+//	mstbench -exp all                     # every experiment at default scale
+//	mstbench -exp fig3 -scale m -trials 5 # Fig. 3 on ~260k-vertex graphs
+//	mstbench -exp fig4 -low 4 -high 32
+//	mstbench -exp all -csv results.csv    # also dump machine-readable rows
+//
+// Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, all.
+// Scales: test (~1k vertices), s (~65k), m (~260k), l (~1M).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	"llpmst/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mstbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mstbench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|dist|all")
+		scale   = fs.String("scale", "s", "dataset scale: test|s|m|l")
+		trials  = fs.Int("trials", 3, "trials per cell (best time is reported)")
+		threads = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
+		low     = fs.Int("low", 4, "low worker count for fig4")
+		high    = fs.Int("high", 32, "high worker count for fig4")
+		workers = fs.Int("workers", 8, "worker count for sizesweep and ablation")
+		csvPath = fs.String("csv", "", "also write timing rows as CSV to this path")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
+		memProf = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				return
+			}
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
+	}
+
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	var threadList []int
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || p < 1 {
+				return fmt.Errorf("bad -threads entry %q", part)
+			}
+			threadList = append(threadList, p)
+		}
+	}
+
+	fmt.Fprintf(stdout, "mstbench: scale=%s trials=%d GOMAXPROCS=%d\n", sc, *trials, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(stdout, "note: absolute times are host-dependent; the paper's claims are about curve shapes.\n")
+
+	var all []bench.Result
+	ran := false
+	step := func(name string, f func() ([]bench.Result, error)) error {
+		if *exp != "all" && *exp != name {
+			return nil
+		}
+		ran = true
+		rs, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		all = append(all, rs...)
+		return nil
+	}
+	steps := []struct {
+		name string
+		f    func() ([]bench.Result, error)
+	}{
+		{"tableI", func() ([]bench.Result, error) { return bench.TableI(stdout, sc) }},
+		{"fig2", func() ([]bench.Result, error) { return bench.Fig2(stdout, sc, *trials) }},
+		{"fig3", func() ([]bench.Result, error) { return bench.Fig3(stdout, sc, *trials, threadList) }},
+		{"fig4", func() ([]bench.Result, error) { return bench.Fig4(stdout, sc, *trials, *low, *high) }},
+		{"sizesweep", func() ([]bench.Result, error) { return bench.SizeSweep(stdout, sc, *trials, *workers) }},
+		{"ablation", func() ([]bench.Result, error) { return bench.Ablation(stdout, sc, *trials, *workers) }},
+		{"dist", func() ([]bench.Result, error) {
+			rows, err := bench.Distributed(stdout, sc)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]bench.Result, 0, len(rows))
+			for _, r := range rows {
+				out = append(out, bench.Result{
+					Experiment: "dist", Dataset: r.Dataset, Algorithm: "ghs",
+					Edges: r.Edges,
+				})
+			}
+			return out, nil
+		}},
+		{"work", func() ([]bench.Result, error) {
+			rows, err := bench.Work(stdout, sc)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]bench.Result, 0, len(rows))
+			for _, r := range rows {
+				out = append(out, bench.Result{
+					Experiment: "work", Dataset: r.Dataset, Algorithm: r.Algorithm,
+				})
+			}
+			return out, nil
+		}},
+	}
+	for _, s := range steps {
+		if err := step(s.name, s.f); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, all); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote %d rows to %s\n", len(all), *csvPath)
+	}
+	return nil
+}
+
+func writeCSV(path string, rows []bench.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"experiment", "dataset", "algorithm", "workers", "millis", "speedup", "edges", "weight"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Experiment, r.Dataset, r.Algorithm,
+			strconv.Itoa(r.Workers),
+			strconv.FormatFloat(r.Millis, 'f', 3, 64),
+			strconv.FormatFloat(r.Speedup, 'f', 3, 64),
+			strconv.Itoa(r.Edges),
+			strconv.FormatFloat(r.Weight, 'g', -1, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

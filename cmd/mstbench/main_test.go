@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"tableI", "fig2", "work"} {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", exp, "-scale", "test", "-trials", "1"}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out.String(), "==") {
+			t.Fatalf("%s: no table rendered:\n%s", exp, out.String())
+		}
+	}
+}
+
+func TestRunFig3CustomThreads(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig3", "-scale", "test", "-trials", "1", "-threads", "1,2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 3") {
+		t.Fatal("missing Fig. 3 table")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-scale", "test", "-trials", "1", "-csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 7 { // header + 6 fig2 rows
+		t.Fatalf("%d CSV records, want 7", len(records))
+	}
+	if records[0][0] != "experiment" || records[1][0] != "fig2" {
+		t.Fatalf("CSV content wrong: %v", records[:2])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "bogus", "-scale", "test"}, &out); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+	if err := run([]string{"-scale", "bogus"}, &out); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+	if err := run([]string{"-exp", "fig3", "-scale", "test", "-threads", "x"}, &out); err == nil {
+		t.Fatal("bogus threads accepted")
+	}
+	if err := run([]string{"-exp", "fig2", "-scale", "test", "-trials", "1", "-csv", "/nonexistent-dir/x.csv"}, &out); err == nil {
+		t.Fatal("unwritable CSV path accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Command mstconvert converts graphs between the supported interchange
+// formats: DIMACS .gr, Matrix Market .mtx, METIS .graph/.metis, and the
+// compact binary .llpg. Formats are chosen by file extension, overridable
+// with -from/-to.
+//
+// Usage:
+//
+//	mstconvert -i usa-road.gr -o usa-road.llpg
+//	mstconvert -i web.mtx -o web.metis
+//	mstconvert -i g.llpg -o g.gr -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llpmst"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mstconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func formatOf(path, override string) (string, error) {
+	if override != "" {
+		return override, nil
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".gr", ".dimacs":
+		return "dimacs", nil
+	case ".mtx":
+		return "mtx", nil
+	case ".graph", ".metis":
+		return "metis", nil
+	case ".llpg", ".bin":
+		return "binary", nil
+	}
+	return "", fmt.Errorf("cannot infer format of %q; use -from/-to (dimacs|mtx|metis|binary)", path)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mstconvert", flag.ContinueOnError)
+	var (
+		in    = fs.String("i", "", "input path")
+		out   = fs.String("o", "", "output path")
+		from  = fs.String("from", "", "input format override: dimacs|mtx|metis|binary")
+		to    = fs.String("to", "", "output format override: dimacs|mtx|metis|binary")
+		stats = fs.Bool("stats", false, "print the graph's morphology summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-i and -o are required")
+	}
+	inFmt, err := formatOf(*in, *from)
+	if err != nil {
+		return err
+	}
+	outFmt, err := formatOf(*out, *to)
+	if err != nil {
+		return err
+	}
+
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	var g *llpmst.Graph
+	switch inFmt {
+	case "dimacs":
+		g, err = llpmst.ReadDIMACS(src)
+	case "mtx":
+		g, err = llpmst.ReadMatrixMarket(src)
+	case "metis":
+		g, err = llpmst.ReadMETIS(src)
+	case "binary":
+		g, err = llpmst.LoadGraph(*in)
+	default:
+		return fmt.Errorf("unknown input format %q", inFmt)
+	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintln(stdout, g.ComputeStats())
+	}
+
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	switch outFmt {
+	case "dimacs":
+		err = llpmst.WriteDIMACS(dst, g)
+	case "mtx":
+		err = llpmst.WriteMatrixMarket(dst, g)
+	case "metis":
+		err = llpmst.WriteMETIS(dst, g)
+	case "binary":
+		err = llpmst.WriteBinaryGraph(dst, g)
+	default:
+		dst.Close()
+		return fmt.Errorf("unknown output format %q", outFmt)
+	}
+	if err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s (%s) -> %s (%s): n=%d m=%d\n",
+		*in, inFmt, *out, outFmt, g.NumVertices(), g.NumEdges())
+	return nil
+}

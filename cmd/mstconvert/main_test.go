@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llpmst"
+)
+
+func seedGraph(t *testing.T, dir string) string {
+	t.Helper()
+	g := llpmst.GenerateErdosRenyi(80, 300, llpmst.WeightInteger, 3)
+	path := filepath.Join(dir, "seed.llpg")
+	if err := llpmst.SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertChainPreservesMSFWeight(t *testing.T) {
+	dir := t.TempDir()
+	seed := seedGraph(t, dir)
+	orig, err := llpmst.LoadGraph(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWeight := llpmst.Kruskal(orig).Weight
+
+	// llpg -> gr -> mtx -> metis -> llpg, asserting the MSF weight is
+	// invariant across the whole chain (weights here are integers so every
+	// format represents them exactly).
+	chain := []string{"a.gr", "b.mtx", "c.metis", "d.llpg"}
+	in := seed
+	for _, name := range chain {
+		out := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := run([]string{"-i", in, "-o", out}, &buf); err != nil {
+			t.Fatalf("%s -> %s: %v", in, out, err)
+		}
+		if !strings.Contains(buf.String(), "->") {
+			t.Fatalf("no confirmation: %s", buf.String())
+		}
+		in = out
+	}
+	final, err := llpmst.LoadGraph(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := llpmst.Kruskal(final).Weight; got != wantWeight {
+		t.Fatalf("MSF weight changed across conversions: %g -> %g", wantWeight, got)
+	}
+	if final.NumVertices() != orig.NumVertices() {
+		t.Fatal("vertex count changed")
+	}
+}
+
+func TestConvertFormatOverride(t *testing.T) {
+	dir := t.TempDir()
+	seed := seedGraph(t, dir)
+	out := filepath.Join(dir, "weird.dat")
+	var buf bytes.Buffer
+	if err := run([]string{"-i", seed, "-o", out, "-to", "dimacs", "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n=80") {
+		t.Fatalf("stats missing: %s", buf.String())
+	}
+	// Read it back with an input override.
+	back := filepath.Join(dir, "back.llpg")
+	if err := run([]string{"-i", out, "-from", "dimacs", "-o", back}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if err := run([]string{"-i", "x.unknown", "-o", "y.gr"}, &buf); err == nil {
+		t.Fatal("unknown input extension accepted")
+	}
+	if err := run([]string{"-i", "x.gr", "-o", "y.unknown"}, &buf); err == nil {
+		t.Fatal("unknown output extension accepted")
+	}
+	if err := run([]string{"-i", "/missing.gr", "-o", "y.gr"}, &buf); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	dir := t.TempDir()
+	seed := seedGraph(t, dir)
+	if err := run([]string{"-i", seed, "-o", "/nonexistent-dir/out.gr"}, &buf); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+	if err := run([]string{"-i", seed, "-o", filepath.Join(dir, "o.gr"), "-from", "bogus"}, &buf); err == nil {
+		t.Fatal("bogus format override accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Command mstgen generates benchmark graphs and writes them to disk in the
+// compact binary format (.llpg) or DIMACS text (.gr).
+//
+// Usage:
+//
+//	mstgen -type rmat -scale 16 -ef 16 -o rmat16.llpg
+//	mstgen -type road -width 512 -height 512 -extra 0.2 -o road.gr
+//	mstgen -type geo -n 65536 -o geo.llpg
+//	mstgen -type er -n 65536 -m 1048576 -o er.llpg
+//
+// Add -stats to print the generated graph's morphology summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"llpmst"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mstgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mstgen", flag.ContinueOnError)
+	var (
+		typ    = fs.String("type", "rmat", "generator: rmat|road|geo|er")
+		out    = fs.String("o", "", "output path (.llpg binary or .gr DIMACS); empty = stats only")
+		seed   = fs.Int64("seed", 42, "generator seed")
+		stats  = fs.Bool("stats", false, "print morphology summary")
+		scale  = fs.Int("scale", 14, "rmat: log2 of vertex count")
+		ef     = fs.Int("ef", 16, "rmat: edge factor")
+		intW   = fs.Bool("intweights", false, "rmat/er: integer weights instead of uniform floats")
+		width  = fs.Int("width", 256, "road: grid width")
+		height = fs.Int("height", 256, "road: grid height")
+		extra  = fs.Float64("extra", 0.2, "road: non-tree grid edge keep probability")
+		n      = fs.Int("n", 1<<14, "geo/er: vertex count")
+		m      = fs.Int("m", 1<<17, "er: edge count")
+		radius = fs.Float64("radius", 0, "geo: connection radius (0 = 2x connectivity radius)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wk := llpmst.WeightUniform
+	if *intW {
+		wk = llpmst.WeightInteger
+	}
+	var g *llpmst.Graph
+	switch *typ {
+	case "rmat":
+		g = llpmst.GenerateRMAT(*scale, *ef, wk, *seed)
+	case "road":
+		g = llpmst.GenerateRoadNetwork(*width, *height, *extra, *seed)
+	case "geo":
+		r := *radius
+		if r <= 0 {
+			r = 2 * llpmst.GeometricConnectivityRadius(*n)
+		}
+		g = llpmst.GenerateGeometric(*n, r, *seed)
+	case "er":
+		g = llpmst.GenerateErdosRenyi(*n, *m, wk, *seed)
+	default:
+		return fmt.Errorf("unknown -type %q", *typ)
+	}
+
+	if *stats || *out == "" {
+		fmt.Fprintln(stdout, g.ComputeStats())
+	}
+	if *out == "" {
+		return nil
+	}
+	switch {
+	case strings.HasSuffix(*out, ".gr"):
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := llpmst.WriteDIMACS(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	default:
+		if err := llpmst.SaveBinary(*out, g); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %s (n=%d m=%d)\n", *out, g.NumVertices(), g.NumEdges())
+	return nil
+}

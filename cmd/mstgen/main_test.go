@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llpmst"
+)
+
+func TestRunStatsOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-type", "road", "-width", "16", "-height", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=256") {
+		t.Fatalf("stats missing: %s", out.String())
+	}
+}
+
+func TestRunWritesBinaryAndDIMACS(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"g.llpg", "g.gr"} {
+		path := filepath.Join(dir, name)
+		var out bytes.Buffer
+		err := run([]string{"-type", "er", "-n", "64", "-m", "256", "-o", path}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "wrote "+path) {
+			t.Fatalf("missing confirmation: %s", out.String())
+		}
+		g, err := llpmst.LoadGraph(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVertices() != 64 {
+			t.Fatalf("%s: n=%d", name, g.NumVertices())
+		}
+	}
+}
+
+func TestRunAllGeneratorTypes(t *testing.T) {
+	for _, typ := range []string{"rmat", "road", "geo", "er"} {
+		var out bytes.Buffer
+		args := []string{"-type", typ, "-scale", "8", "-n", "256", "-m", "1024", "-width", "16", "-height", "16", "-stats"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s: no output", typ)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-type", "bogus"}, &out); err == nil {
+		t.Fatal("bogus type accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-type", "er", "-n", "8", "-m", "16", "-o", "/nonexistent-dir/x.llpg"}, &out); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestRunIntWeights(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "int.llpg")
+	var out bytes.Buffer
+	if err := run([]string{"-type", "er", "-n", "32", "-m", "128", "-intweights", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := llpmst.LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.W != float32(int64(e.W)) {
+			t.Fatalf("non-integer weight %v", e.W)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package llpmst_test
+
+// Godoc examples for the main public entry points. Each doubles as a test
+// (the Output comments are verified by `go test`).
+
+import (
+	"fmt"
+
+	"llpmst"
+)
+
+func paperGraph() *llpmst.Graph {
+	// Fig. 1 of the paper: vertices a..e = 0..4, MST = {2, 3, 4, 7}.
+	g, _ := llpmst.NewGraph(5, []llpmst.Edge{
+		{U: 0, V: 2, W: 4}, {U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3},
+		{U: 1, V: 3, W: 7}, {U: 2, V: 3, W: 9}, {U: 2, V: 4, W: 11},
+		{U: 3, V: 4, W: 2},
+	})
+	return g
+}
+
+func ExampleLLPPrim() {
+	f := llpmst.LLPPrim(paperGraph(), llpmst.Options{})
+	fmt.Println(f.Weight)
+	// Output: 16
+}
+
+func ExampleLLPBoruvka() {
+	f := llpmst.LLPBoruvka(paperGraph(), llpmst.Options{Workers: 2})
+	fmt.Println(f.Weight, f.Trees)
+	// Output: 16 1
+}
+
+func ExampleRun() {
+	g := paperGraph()
+	for _, alg := range []llpmst.Algorithm{llpmst.AlgPrim, llpmst.AlgKruskal, llpmst.AlgKKT} {
+		f, err := llpmst.Run(alg, g, llpmst.Options{Workers: 2})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s %g\n", alg, f.Weight)
+	}
+	// Output:
+	// prim 16
+	// kruskal 16
+	// kkt 16
+}
+
+func ExampleVerifyMinimum() {
+	g := paperGraph()
+	f := llpmst.Prim(g)
+	fmt.Println(llpmst.VerifyMinimum(g, f))
+	// Output: <nil>
+}
+
+func ExampleOptions_metrics() {
+	g := paperGraph()
+	var prim, llpPrim llpmst.WorkMetrics
+	llpmst.Run(llpmst.AlgPrim, g, llpmst.Options{Metrics: &prim})
+	llpmst.LLPPrim(g, llpmst.Options{Metrics: &llpPrim})
+	fmt.Println(llpPrim.HeapOps() < prim.HeapOps())
+	fmt.Println(llpPrim.EarlyFixes > 0)
+	// Output:
+	// true
+	// true
+}
+
+func ExampleNewIncrementalMSF() {
+	inc := llpmst.NewIncrementalMSF(3)
+	inc.Insert(0, 1, 5)
+	inc.Insert(1, 2, 3)
+	inc.Insert(2, 0, 1) // closes a cycle, evicts the weight-5 edge
+	fmt.Println(inc.Edges(), inc.Weight())
+	// Output: 2 4
+}
+
+func ExampleShortestPaths() {
+	g, _ := llpmst.NewGraph(3, []llpmst.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}, {U: 0, V: 2, W: 10},
+	})
+	fmt.Println(llpmst.ShortestPaths(llpmst.LLPAsync, 2, g, 0))
+	// Output: [0 2 5]
+}
+
+func ExampleDistributedMSF() {
+	ids, _, err := llpmst.DistributedMSF(paperGraph())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(ids))
+	// Output: 4
+}
+
+func ExampleMarketClearingPrices() {
+	// Two buyers, both preferring item 0.
+	prices, assign := llpmst.MarketClearingPrices([][]int64{{5, 1}, {5, 2}})
+	fmt.Println(len(prices), assign[0] != assign[1])
+	// Output: 2 true
+}
+
+func ExampleConnectedComponents() {
+	g, _ := llpmst.NewGraph(4, []llpmst.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}})
+	fmt.Println(llpmst.ConnectedComponents(llpmst.LLPSequential, 1, g))
+	// Output: [0 0 2 2]
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a small graph, compute its MST with the paper's default
+// algorithm selection, inspect the result, and certify minimality.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llpmst"
+)
+
+func main() {
+	// The example graph from Fig. 1 of the paper: vertices a..e = 0..4.
+	// Its unique MST is the edge set with weights {2, 3, 4, 7}, total 16.
+	edges := []llpmst.Edge{
+		{U: 0, V: 2, W: 4},  // (a,c)
+		{U: 0, V: 1, W: 5},  // (a,b)
+		{U: 1, V: 2, W: 3},  // (b,c)
+		{U: 1, V: 3, W: 7},  // (b,d)
+		{U: 2, V: 3, W: 9},  // (c,d)
+		{U: 2, V: 4, W: 11}, // (c,e)
+		{U: 3, V: 4, W: 2},  // (d,e)
+	}
+	g, err := llpmst.NewGraph(5, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// MinimumSpanningForest picks LLP-Prim for 1 worker, LLP-Boruvka for
+	// more, per the paper's conclusion.
+	forest := llpmst.MinimumSpanningForest(g, llpmst.Options{})
+	fmt.Println("result:", forest)
+	for _, id := range forest.EdgeIDs {
+		e := g.Edge(id)
+		fmt.Printf("  edge %d: (%d,%d) weight %g\n", id, e.U, e.V, e.W)
+	}
+
+	// Every implemented algorithm returns the same (unique) forest.
+	for _, alg := range llpmst.Algorithms() {
+		f, err := llpmst.Run(alg, g, llpmst.Options{Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s weight=%g\n", alg, f.Weight)
+	}
+
+	// Certify minimality with the cycle-property verifier.
+	if err := llpmst.VerifyMinimum(g, forest); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: this is the minimum spanning tree")
+}

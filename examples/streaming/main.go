@@ -1,0 +1,70 @@
+// Streaming example: maintain a minimum spanning forest while edges arrive
+// online — the network-provisioning scenario behind the MST problem (the
+// paper's intro: "from virtual social networks, to physical road networks").
+// Links are discovered one at a time; after each arrival the incremental
+// maintainer either ignores the link, adds it, or swaps it for the most
+// expensive link on the cycle it closes. The final forest is cross-checked
+// against a batch LLP-Boruvka run over the full link log.
+//
+// Run with: go run ./examples/streaming [-n 2000] [-links 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"llpmst"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "number of sites")
+	links := flag.Int("links", 20000, "number of arriving links")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(2024))
+	inc := llpmst.NewIncrementalMSF(*n)
+	edgeLog := make([]llpmst.Edge, 0, *links)
+
+	start := time.Now()
+	added, swapped := 0, 0
+	for i := 0; i < *links; i++ {
+		u, v := uint32(rng.Intn(*n)), uint32(rng.Intn(*n))
+		w := float32(rng.Intn(100000)) / 100 // link cost with frequent ties
+		before := inc.Edges()
+		weightBefore := inc.Weight()
+		changed, err := inc.Insert(u, v, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if u != v {
+			edgeLog = append(edgeLog, llpmst.Edge{U: u, V: v, W: w})
+		}
+		if changed {
+			if inc.Edges() > before {
+				added++
+			} else if inc.Weight() != weightBefore {
+				swapped++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("streamed %d links over %d sites in %v (%.1f links/ms)\n",
+		*links, *n, elapsed, float64(*links)/(float64(elapsed.Microseconds())/1000))
+	fmt.Printf("forest: %d edges, %d trees, cost %.2f (%d adds, %d swaps)\n",
+		inc.Edges(), inc.Trees(), inc.Weight(), added, swapped)
+
+	// Cross-check against a batch run over the whole log.
+	g, err := llpmst.NewGraph(*n, edgeLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := llpmst.LLPBoruvka(g, llpmst.Options{})
+	if batch.Weight != inc.Weight() || len(batch.EdgeIDs) != inc.Edges() {
+		log.Fatalf("incremental (%d edges, %.2f) disagrees with batch (%d edges, %.2f)",
+			inc.Edges(), inc.Weight(), len(batch.EdgeIDs), batch.Weight)
+	}
+	fmt.Println("batch LLP-Boruvka over the full log agrees: same cost, same edge count")
+}

@@ -1,0 +1,63 @@
+package llpmst
+
+import "llpmst/internal/gen"
+
+// WeightKind selects how generated edge weights are drawn.
+type WeightKind = gen.WeightKind
+
+// Weight distributions for the generators.
+const (
+	// WeightUniform draws float32 weights uniformly from [0, 1).
+	WeightUniform = gen.WeightUniform
+	// WeightInteger draws integer-valued weights from [1, 10000], matching
+	// DIMACS road files (and introducing ties, which the canonical edge-id
+	// tie-break resolves).
+	WeightInteger = gen.WeightInteger
+)
+
+// GenerateRMAT generates a Graph500-style Kronecker graph with 2^scale
+// vertices and edgeFactor*2^scale edges (the paper's graph500-s25-ef16
+// family). Deterministic in seed.
+func GenerateRMAT(scale, edgeFactor int, wk WeightKind, seed int64) *Graph {
+	return gen.RMAT(0, scale, edgeFactor, wk, seed)
+}
+
+// GenerateRoadNetwork generates a road-like graph on a width x height grid:
+// a random spanning tree plus each remaining grid edge with probability
+// extra (average degree about 2+2*extra; the USA road network's is ~2.4).
+// Always connected; deterministic in seed.
+func GenerateRoadNetwork(width, height int, extra float64, seed int64) *Graph {
+	return gen.RoadNetwork(0, width, height, extra, seed)
+}
+
+// GenerateGeometric generates a random geometric graph: n points in the
+// unit square joined when within the given radius, weighted by scaled
+// Euclidean distance. See GeometricConnectivityRadius for a radius that
+// makes the result connected with high probability.
+func GenerateGeometric(n int, radius float64, seed int64) *Graph {
+	return gen.Geometric(0, n, radius, seed)
+}
+
+// GeometricConnectivityRadius returns a radius making GenerateGeometric(n)
+// connected with high probability.
+func GeometricConnectivityRadius(n int) float64 { return gen.ConnectivityRadius(n) }
+
+// GenerateErdosRenyi generates a G(n, m) random graph with uniformly random
+// endpoints (self-loops dropped). Deterministic in seed.
+func GenerateErdosRenyi(n, m int, wk WeightKind, seed int64) *Graph {
+	return gen.ErdosRenyi(0, n, m, wk, seed)
+}
+
+// GenerateSmallWorld generates a Watts-Strogatz small-world graph: a ring
+// lattice with k neighbors per vertex, each edge rewired with probability
+// beta. Deterministic in seed.
+func GenerateSmallWorld(n, k int, beta float64, seed int64) *Graph {
+	return gen.SmallWorld(0, n, k, beta, seed)
+}
+
+// GeneratePreferentialAttachment generates a Barabási-Albert graph: each
+// arriving vertex attaches m edges degree-proportionally. Connected by
+// construction; deterministic in seed.
+func GeneratePreferentialAttachment(n, m int, seed int64) *Graph {
+	return gen.PreferentialAttachment(0, n, m, seed)
+}

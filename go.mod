@@ -1,0 +1,3 @@
+module llpmst
+
+go 1.22

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Terminal chart rendering so mstbench can draw the paper's figures as
+// figures, not just tables: one braille-free ASCII line chart per series
+// group, x = workers (log2-spaced like the paper's axes), y = time or
+// speedup.
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+const chartW, chartH = 64, 16
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// RenderChart draws the series into an ASCII grid with a y-axis scale and a
+// legend. X values are mapped linearly; callers pass log2(workers) for the
+// paper-style thread axes. Y starts at 0 unless values are negative.
+func RenderChart(w io.Writer, title, xlabel, ylabel string, series []Series) {
+	fmt.Fprintf(w, "\n-- %s --\n", title)
+	if len(series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(maxX, -1) {
+		fmt.Fprintln(w, "(no points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, chartH)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartW))
+	}
+	plot := func(x, y float64, mark byte) {
+		cx := int((x - minX) / (maxX - minX) * float64(chartW-1))
+		cy := int((y - minY) / (maxY - minY) * float64(chartH-1))
+		row := chartH - 1 - cy
+		if row < 0 || row >= chartH || cx < 0 || cx >= chartW {
+			return
+		}
+		grid[row][cx] = mark
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Linear interpolation between consecutive points for a line-ish look.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := 2 * chartW / max(1, len(s.X)-1)
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				plot(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, mark)
+			}
+		}
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], mark)
+		}
+	}
+	for i, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(chartH-1)
+		fmt.Fprintf(w, "%8.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", chartW))
+	fmt.Fprintf(w, "%8s  %-*s%*s\n", "", chartW/2, fmt.Sprintf("%g", minX), chartW/2, fmt.Sprintf("%g", maxX))
+	fmt.Fprintf(w, "          x: %s   y: %s\n", xlabel, ylabel)
+	for si, s := range series {
+		fmt.Fprintf(w, "          %c %s\n", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+}
+
+// ChartFig3 renders the Fig. 3 results as a speedup chart (x = log2 workers).
+func ChartFig3(w io.Writer, results []Result) {
+	bySeries := map[string]*Series{}
+	var order []string
+	for _, r := range results {
+		s, ok := bySeries[r.Algorithm]
+		if !ok {
+			s = &Series{Label: r.Algorithm}
+			bySeries[r.Algorithm] = s
+			order = append(order, r.Algorithm)
+		}
+		s.X = append(s.X, math.Log2(float64(r.Workers)))
+		s.Y = append(s.Y, r.Speedup)
+	}
+	var series []Series
+	for _, name := range order {
+		series = append(series, *bySeries[name])
+	}
+	RenderChart(w, "Fig. 3 (chart): self-speedup vs workers, road network",
+		"log2(workers)", "speedup", series)
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"llpmst/internal/dist"
+	"llpmst/internal/gen"
+	"llpmst/internal/graph"
+)
+
+// DistRow is one line of the distributed-protocol cost experiment.
+type DistRow struct {
+	Dataset  string
+	Vertices int
+	Edges    int
+	Stats    dist.SimStats
+}
+
+// Distributed measures the GHS-style protocol's costs across growing road
+// networks and a Kronecker graph: phases (should stay within log2 n),
+// rounds, and total messages (the classic GHS bound is O(m + n log n)).
+// Wall time is irrelevant here — the simulation is sequential — so this
+// experiment is meaningful on any host.
+func Distributed(w io.Writer, sc Scale) ([]DistRow, error) {
+	var graphs []struct {
+		name string
+		g    *graph.CSR
+	}
+	sides := []int{8, 16, 32}
+	if sc >= ScaleS {
+		sides = append(sides, 64)
+	}
+	for _, side := range sides {
+		graphs = append(graphs, struct {
+			name string
+			g    *graph.CSR
+		}{
+			fmt.Sprintf("road-%dx%d", side, side),
+			gen.RoadNetwork(0, side, side, 0.2, 42),
+		})
+	}
+	graphs = append(graphs, struct {
+		name string
+		g    *graph.CSR
+	}{"rmat-s8", gen.RMAT(0, 8, 8, gen.WeightUniform, 42)})
+
+	var rows []DistRow
+	var table [][]string
+	for _, item := range graphs {
+		ids, stats, err := dist.MSF(item.g)
+		if err != nil {
+			return nil, err
+		}
+		_, comps := item.g.Components()
+		if len(ids) != item.g.NumVertices()-comps {
+			return nil, fmt.Errorf("distributed MSF wrong size on %s", item.name)
+		}
+		rows = append(rows, DistRow{
+			Dataset: item.name, Vertices: item.g.NumVertices(),
+			Edges: item.g.NumEdges(), Stats: stats,
+		})
+		n := float64(item.g.NumVertices())
+		m := float64(item.g.NumEdges())
+		bound := m + n*math.Log2(n)
+		table = append(table, []string{
+			item.name,
+			fmt.Sprintf("%d", item.g.NumVertices()),
+			fmt.Sprintf("%d", item.g.NumEdges()),
+			fmt.Sprintf("%d", stats.Phases),
+			fmt.Sprintf("%.1f", math.Log2(n)),
+			fmt.Sprintf("%d", stats.Rounds),
+			fmt.Sprintf("%d", stats.Messages),
+			fmt.Sprintf("%.2f", float64(stats.Messages)/bound),
+		})
+	}
+	PrintTable(w, fmt.Sprintf("Distributed GHS-style protocol costs (scale=%s)", sc),
+		[]string{"graph", "n", "m", "phases", "log2(n)", "rounds", "messages", "msgs/(m+n·log n)"},
+		table)
+	return rows, nil
+}

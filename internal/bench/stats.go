@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample summarizes repeated timing trials. The headline number used in the
+// tables is the minimum (least-noise estimator for CPU-bound work), but the
+// spread is retained so reports can show stability.
+type Sample struct {
+	TrialsMs []float64
+}
+
+// Add records one trial.
+func (s *Sample) Add(d time.Duration) {
+	s.TrialsMs = append(s.TrialsMs, float64(d)/float64(time.Millisecond))
+}
+
+// Min returns the fastest trial in milliseconds (0 if empty).
+func (s *Sample) Min() float64 {
+	if len(s.TrialsMs) == 0 {
+		return 0
+	}
+	m := s.TrialsMs[0]
+	for _, v := range s.TrialsMs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Median returns the median trial in milliseconds (0 if empty).
+func (s *Sample) Median() float64 {
+	n := len(s.TrialsMs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.TrialsMs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean in milliseconds.
+func (s *Sample) Mean() float64 {
+	if len(s.TrialsMs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.TrialsMs {
+		sum += v
+	}
+	return sum / float64(len(s.TrialsMs))
+}
+
+// Stddev returns the sample standard deviation in milliseconds (0 for fewer
+// than two trials).
+func (s *Sample) Stddev() float64 {
+	n := len(s.TrialsMs)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.TrialsMs {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// RelSpread returns stddev/mean — a quick noise indicator (0 if mean is 0).
+func (s *Sample) RelSpread() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Stddev() / m
+}
+
+// String renders "min [median ± stddev]".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2fms [med %.2f ± %.2f]", s.Min(), s.Median(), s.Stddev())
+}

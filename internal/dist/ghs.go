@@ -1,0 +1,329 @@
+package dist
+
+import (
+	"fmt"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/par"
+)
+
+// MSF runs the synchronous GHS-style distributed minimum spanning forest
+// protocol on the network of g and returns the chosen edge ids plus
+// simulation statistics. The protocol is phase-structured distributed
+// Boruvka, faithful to the fragment story of §IV:
+//
+//	each phase: (1) neighbors exchange fragment ids;
+//	            (2) every node finds its cheapest crossing incident edge and
+//	                the fragment convergecasts the minimum up its tree;
+//	            (3) the root broadcasts the winning edge; its owner sends
+//	                CONNECT over it;
+//	            (4) mutual CONNECTs identify the core edge (the paper's
+//	                symmetry break: the higher endpoint roots the merged
+//	                fragment); the new fragment id floods the merge chain;
+//	            (5) an orientation wave from the new root rebuilds parent
+//	                pointers over the (now larger) fragment tree.
+//
+// Every step is message-driven: a node touches only its own state and its
+// inbox. The driver sequences phases and observes quiescence, playing the
+// omniscient-but-passive scheduler role standard in synchronous models.
+//
+// Like the shared-memory algorithms, ties break on packed (weight, edge id)
+// keys, so the protocol elects exactly the canonical MSF.
+func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
+	n := g.NumVertices()
+	nw := NewNetwork(g)
+
+	type nodeState struct {
+		frag      uint32
+		parentArc int64 // arc toward parent; -1 at roots
+		active    bool
+
+		// convergecast scratch
+		localBest uint64
+		acc       uint64
+		pending   int
+		reported  bool
+		winner    uint64
+		hasWinner bool
+
+		// merge scratch
+		connectArc int64 // arc CONNECT was sent on this phase (-1 none)
+		newFrag    uint32
+		hasNewFrag bool
+		oriented   bool
+	}
+	nodes := make([]nodeState, n)
+	branch := make([]bool, g.NumArcs())    // tree (fragment) edges, symmetric
+	nbrFrag := make([]uint32, g.NumArcs()) // neighbor fragment per arc
+	connRecv := make([]bool, g.NumArcs())  // CONNECT received on this arc this phase
+	chosen := make([]bool, g.NumEdges())
+	var result []uint32
+
+	for v := range nodes {
+		nodes[v] = nodeState{frag: uint32(v), parentArc: -1, active: true}
+	}
+
+	// runSubPhase drives handler rounds to quiescence: handler is invoked
+	// for every node each round (with that round's inbox) and must be
+	// idempotent across rounds via its own guards.
+	runSubPhase := func(handler func(v uint32)) {
+		for {
+			for v := uint32(0); int(v) < n; v++ {
+				handler(v)
+			}
+			if nw.Deliver() == 0 {
+				return
+			}
+		}
+	}
+
+	maxPhases := 2
+	for x := 1; x < n; x *= 2 {
+		maxPhases++ // fragments at least halve per phase: log2(n)+2 bound
+	}
+	phase := 0
+	for {
+		phase++
+		if phase > maxPhases+1 {
+			return nil, SimStats{}, fmt.Errorf("dist: protocol exceeded %d phases; protocol bug", maxPhases)
+		}
+		// ---- (1) fragment-id exchange (one round) ----
+		for v := uint32(0); int(v) < n; v++ {
+			if !nodes[v].active {
+				continue
+			}
+			lo, hi := g.ArcRange(v)
+			for a := lo; a < hi; a++ {
+				nw.Send(a, MsgFrag, uint64(nodes[v].frag), 0)
+			}
+		}
+		nw.Deliver()
+		for v := uint32(0); int(v) < n; v++ {
+			for _, m := range nw.Inbox(v) {
+				if m.Kind == MsgFrag {
+					nbrFrag[m.Arc] = uint32(m.A)
+				}
+			}
+		}
+		nw.Deliver() // clear
+
+		// ---- (2) local minima + convergecast ----
+		for v := uint32(0); int(v) < n; v++ {
+			st := &nodes[v]
+			st.localBest = par.InfKey
+			st.acc = par.InfKey
+			st.reported = false
+			st.hasWinner = false
+			st.winner = par.InfKey
+			st.connectArc = -1
+			st.hasNewFrag = false
+			st.oriented = false
+			if !st.active {
+				continue
+			}
+			lo, hi := g.ArcRange(v)
+			st.pending = 0
+			for a := lo; a < hi; a++ {
+				if nbrFrag[a] != st.frag {
+					if k := g.ArcKey(a); k < st.localBest {
+						st.localBest = k
+					}
+				}
+				if branch[a] && a != st.parentArc {
+					st.pending++
+				}
+			}
+			st.acc = st.localBest
+		}
+		runSubPhase(func(v uint32) {
+			st := &nodes[v]
+			if !st.active {
+				return
+			}
+			for _, m := range nw.Inbox(v) {
+				if m.Kind == MsgReport {
+					if m.A < st.acc {
+						st.acc = m.A
+					}
+					st.pending--
+				}
+			}
+			if st.pending == 0 && !st.reported {
+				st.reported = true
+				if st.parentArc >= 0 {
+					// parentArc is this node's own arc toward its parent, so
+					// sending on it delivers upward.
+					nw.Send(st.parentArc, MsgReport, st.acc, 0)
+				} else {
+					st.winner = st.acc // root learned the fragment MWOE
+					st.hasWinner = true
+				}
+			}
+		})
+
+		// ---- (3) winner broadcast + CONNECT ----
+		allDone := true
+		handleWinner := func(v uint32, key uint64) {
+			st := &nodes[v]
+			st.winner = key
+			st.hasWinner = true
+			lo, hi := g.ArcRange(v)
+			for a := lo; a < hi; a++ {
+				// Forward only over this phase's intra-fragment tree arcs:
+				// branch may already include connect edges added below,
+				// which lead into foreign fragments.
+				if branch[a] && a != st.parentArc && nbrFrag[a] == st.frag {
+					nw.Send(a, MsgWinner, key, 0)
+				}
+			}
+			if key == par.InfKey {
+				st.active = false // fragment complete
+				return
+			}
+			// If this node owns the winning edge, CONNECT over it.
+			for a := lo; a < hi; a++ {
+				if nbrFrag[a] != st.frag && g.ArcKey(a) == key {
+					st.connectArc = a
+					nw.Send(a, MsgConnect, uint64(st.frag), uint64(v))
+					if !chosen[g.ArcEdgeID(a)] {
+						chosen[g.ArcEdgeID(a)] = true
+						result = append(result, g.ArcEdgeID(a))
+					}
+					branch[a] = true // the reverse side is set on CONNECT receipt
+				}
+			}
+		}
+		started := make([]bool, n)
+		runSubPhase(func(v uint32) {
+			st := &nodes[v]
+			if st.parentArc < 0 && st.hasWinner && !started[v] && st.active {
+				started[v] = true
+				handleWinner(v, st.winner)
+				// No return: same-round CONNECTs from neighbor fragments
+				// must still be consumed below.
+			}
+			for _, m := range nw.Inbox(v) {
+				switch m.Kind {
+				case MsgWinner:
+					if !started[v] {
+						started[v] = true
+						handleWinner(v, m.A)
+					}
+				case MsgConnect:
+					connRecv[m.Arc] = true
+					branch[m.Arc] = true
+				}
+			}
+		})
+		for v := uint32(0); int(v) < n; v++ {
+			if nodes[v].active {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+
+		// ---- (4) core detection + new-fragment flood ----
+		// Core edge: CONNECT sent and received on the same arc. The higher
+		// node id of the core edge roots the merged fragment and names it.
+		floodStarted := make([]bool, n)
+		runSubPhase(func(v uint32) {
+			st := &nodes[v]
+			if !floodStarted[v] && st.connectArc >= 0 && connRecv[st.connectArc] {
+				other := g.Target(st.connectArc)
+				newID := v
+				if other > v {
+					newID = other
+				}
+				floodStarted[v] = true
+				st.hasNewFrag = true
+				st.newFrag = newID
+				// Flood over all fragment-tree arcs (including the fresh
+				// connect edges).
+				lo, hi := g.ArcRange(v)
+				for a := lo; a < hi; a++ {
+					if branch[a] {
+						nw.Send(a, MsgNewFrag, uint64(newID), 0)
+					}
+				}
+			}
+			for _, m := range nw.Inbox(v) {
+				if m.Kind != MsgNewFrag {
+					continue
+				}
+				if !st.hasNewFrag {
+					st.hasNewFrag = true
+					st.newFrag = uint32(m.A)
+					floodStarted[v] = true
+					lo, hi := g.ArcRange(v)
+					for a := lo; a < hi; a++ {
+						if branch[a] && a != m.Arc {
+							nw.Send(a, MsgNewFrag, m.A, 0)
+						}
+					}
+				}
+			}
+		})
+		for v := uint32(0); int(v) < n; v++ {
+			st := &nodes[v]
+			if st.hasNewFrag {
+				st.frag = st.newFrag
+			}
+		}
+
+		// ---- (5) orientation wave from the new roots ----
+		orientStarted := make([]bool, n)
+		for v := uint32(0); int(v) < n; v++ {
+			st := &nodes[v]
+			if !st.active {
+				continue
+			}
+			st.parentArc = -2 // unset
+			if st.hasNewFrag && st.newFrag == v {
+				st.parentArc = -1 // new root
+			}
+		}
+		runSubPhase(func(v uint32) {
+			st := &nodes[v]
+			if !st.active {
+				return
+			}
+			if st.parentArc == -1 && !orientStarted[v] {
+				orientStarted[v] = true
+				lo, hi := g.ArcRange(v)
+				for a := lo; a < hi; a++ {
+					if branch[a] {
+						nw.Send(a, MsgOrient, 0, 0)
+					}
+				}
+			}
+			for _, m := range nw.Inbox(v) {
+				if m.Kind != MsgOrient {
+					continue
+				}
+				if st.parentArc == -2 {
+					st.parentArc = m.Arc
+					lo, hi := g.ArcRange(v)
+					for a := lo; a < hi; a++ {
+						if branch[a] && a != m.Arc {
+							nw.Send(a, MsgOrient, 0, 0)
+						}
+					}
+				}
+			}
+		})
+		// Clear per-phase arc scratch.
+		for i := range connRecv {
+			connRecv[i] = false
+		}
+	}
+	return result, SimStats{Phases: phase, Rounds: nw.Rounds, Messages: nw.Sent}, nil
+}
+
+// SimStats reports the distributed protocol's costs.
+type SimStats struct {
+	Phases   int   // Boruvka phases
+	Rounds   int   // synchronous message rounds
+	Messages int64 // total messages delivered
+}

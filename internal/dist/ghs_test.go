@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"slices"
+	"testing"
+
+	"llpmst/internal/gen"
+	"llpmst/internal/graph"
+	"llpmst/internal/mst"
+)
+
+func requireCanonicalMSF(t *testing.T, g *graph.CSR) SimStats {
+	t.Helper()
+	ids, stats, err := MSF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices.Sort(ids)
+	want := mst.Kruskal(g)
+	if !slices.Equal(ids, want.EdgeIDs) {
+		t.Fatalf("distributed MSF has %d edges, oracle %d; sets differ", len(ids), len(want.EdgeIDs))
+	}
+	return stats
+}
+
+func TestGHSPaperGraph(t *testing.T) {
+	g := gen.PaperFigure1()
+	stats := requireCanonicalMSF(t, g)
+	if stats.Phases < 2 {
+		t.Fatalf("phases = %d, want >= 2 (the paper walks two Boruvka rounds)", stats.Phases)
+	}
+	if stats.Messages == 0 || stats.Rounds == 0 {
+		t.Fatal("no message traffic recorded")
+	}
+}
+
+func TestGHSGeneratorZoo(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"path", gen.Path(60, nil)},
+		{"cycle", gen.Cycle(41, 3)},
+		{"star", gen.Star(30)},
+		{"complete", gen.Complete(16, 5)},
+		{"road", gen.RoadNetwork(1, 12, 12, 0.3, 7)},
+		{"rmat", gen.RMAT(1, 7, 8, gen.WeightUniform, 9)},
+		{"rmat-ties", gen.RMAT(1, 6, 8, gen.WeightInteger, 10)},
+		{"disconnected", gen.Disconnected(4, 12, 11)},
+		{"caterpillar", gen.Caterpillar(10, 3, 13)},
+		{"binary-tree", gen.BinaryTree(63, 15)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			requireCanonicalMSF(t, tc.g)
+		})
+	}
+}
+
+func TestGHSDegenerate(t *testing.T) {
+	empty := graph.MustFromEdges(1, 0, nil)
+	if ids, _, err := MSF(empty); err != nil || len(ids) != 0 {
+		t.Fatalf("empty graph: %v %v", ids, err)
+	}
+	single := graph.MustFromEdges(1, 1, nil)
+	if ids, _, err := MSF(single); err != nil || len(ids) != 0 {
+		t.Fatalf("single vertex: %v %v", ids, err)
+	}
+	isolated := graph.MustFromEdges(1, 5, nil)
+	if ids, _, err := MSF(isolated); err != nil || len(ids) != 0 {
+		t.Fatalf("isolated vertices: %v %v", ids, err)
+	}
+	pair := graph.MustFromEdges(1, 2, []graph.Edge{{U: 0, V: 1, W: 7}})
+	ids, _, err := MSF(pair)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("single edge: %v %v", ids, err)
+	}
+}
+
+func TestGHSPhaseBoundLogarithmic(t *testing.T) {
+	// Fragments at least halve each phase: phases <= log2(n) + slack.
+	g := gen.RoadNetwork(1, 20, 20, 0.2, 21)
+	stats := requireCanonicalMSF(t, g)
+	maxPhases := 2
+	for x := 1; x < g.NumVertices(); x *= 2 {
+		maxPhases++
+	}
+	if stats.Phases > maxPhases {
+		t.Fatalf("phases = %d exceeds log bound %d", stats.Phases, maxPhases)
+	}
+	t.Logf("n=%d: %d phases, %d rounds, %d messages",
+		g.NumVertices(), stats.Phases, stats.Rounds, stats.Messages)
+}
+
+func TestGHSRandomGraphsProperty(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := gen.ErdosRenyi(1, 80, 240, gen.WeightInteger, seed)
+		requireCanonicalMSF(t, g)
+	}
+}
+
+func TestNetworkPrimitives(t *testing.T) {
+	g := gen.Path(3, nil) // 0-1-2
+	nw := NewNetwork(g)
+	// Reverse pairing: arc a (u->v) reversed is (v->u) on the same edge.
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		lo, hi := g.ArcRange(v)
+		for a := lo; a < hi; a++ {
+			r := nw.Reverse(a)
+			if g.Target(r) != v {
+				t.Fatalf("reverse of arc %d does not come back to %d", a, v)
+			}
+			if g.ArcEdgeID(r) != g.ArcEdgeID(a) {
+				t.Fatal("reverse arc on different edge")
+			}
+		}
+	}
+	// Message delivery: send from 0 to 1, check receipt next round.
+	lo, _ := g.ArcRange(0)
+	nw.Send(lo, MsgFrag, 42, 7)
+	if got := len(nw.Inbox(1)); got != 0 {
+		t.Fatalf("message visible before Deliver: %d", got)
+	}
+	if n := nw.Deliver(); n != 1 {
+		t.Fatalf("Deliver = %d, want 1", n)
+	}
+	in := nw.Inbox(1)
+	if len(in) != 1 || in[0].Kind != MsgFrag || in[0].A != 42 || in[0].B != 7 {
+		t.Fatalf("inbox wrong: %+v", in)
+	}
+	if g.Target(in[0].Arc) != 0 {
+		t.Fatal("arrival arc does not point back at sender")
+	}
+	if n := nw.Deliver(); n != 0 {
+		t.Fatalf("second Deliver = %d, want 0", n)
+	}
+	if len(nw.Inbox(1)) != 0 {
+		t.Fatal("inbox not cleared")
+	}
+}

@@ -1,0 +1,113 @@
+// Package dist implements a GHS-style distributed minimum spanning forest
+// over a simulated synchronous message-passing network. The fragment
+// machinery of the paper's §IV ("the notion of a fragment is crucial in
+// understanding all MST algorithms") is Gallager-Humblet-Spira's, and the
+// LLP framework itself grew out of distributed predicate detection (the
+// paper's reference [1]); this package supplies that distributed sibling:
+// nodes know only their incident edges and exchange messages with
+// neighbors, in lockstep rounds.
+//
+// The simulation discipline: per round, every node reads its own state and
+// the messages delivered to it, then emits messages over its incident
+// edges. No node ever reads another node's state directly. The driver
+// (an omniscient but passive scheduler, standard for synchronous models)
+// sequences the protocol's phases and detects global termination.
+package dist
+
+import (
+	"llpmst/internal/graph"
+)
+
+// Network wraps a graph as a synchronous message-passing system: arcs are
+// directed channels, each round delivers every message sent in the previous
+// round.
+type Network struct {
+	G *graph.CSR
+	// reverse[a] is the arc dual to a: same undirected edge, opposite
+	// direction. Sending "over" arc a delivers to Target(a), who sees the
+	// message arrive on reverse[a].
+	reverse []int64
+
+	inbox  [][]Message // per node, current round
+	outbox [][]Message // per node, next round
+	Rounds int         // rounds executed
+	Sent   int64       // total messages delivered
+}
+
+// Message is one payload in flight. Arc is the receiving node's arc the
+// message arrived on (so the receiver can attribute it to a neighbor edge
+// without knowing global ids).
+type Message struct {
+	Arc  int64
+	Kind MsgKind
+	A, B uint64
+}
+
+// MsgKind tags protocol messages.
+type MsgKind uint8
+
+// Protocol message kinds (see ghs.go).
+const (
+	MsgFrag MsgKind = iota + 1
+	MsgReport
+	MsgWinner
+	MsgConnect
+	MsgNewFrag
+	MsgOrient
+)
+
+// NewNetwork builds the message fabric over g.
+func NewNetwork(g *graph.CSR) *Network {
+	n := g.NumVertices()
+	nw := &Network{
+		G:       g,
+		reverse: make([]int64, g.NumArcs()),
+		inbox:   make([][]Message, n),
+		outbox:  make([][]Message, n),
+	}
+	// Pair up the two arcs of every edge.
+	first := make([]int64, g.NumEdges())
+	for i := range first {
+		first[i] = -1
+	}
+	for v := uint32(0); int(v) < n; v++ {
+		lo, hi := g.ArcRange(v)
+		for a := lo; a < hi; a++ {
+			eid := g.ArcEdgeID(a)
+			if first[eid] < 0 {
+				first[eid] = a
+			} else {
+				nw.reverse[a] = first[eid]
+				nw.reverse[first[eid]] = a
+			}
+		}
+	}
+	return nw
+}
+
+// Send queues a message over arc a (from Source-of-a to Target-of-a) for
+// delivery next round.
+func (nw *Network) Send(a int64, kind MsgKind, x, y uint64) {
+	to := nw.G.Target(a)
+	nw.outbox[to] = append(nw.outbox[to], Message{Arc: nw.reverse[a], Kind: kind, A: x, B: y})
+}
+
+// Deliver advances one round: everything sent becomes readable, outboxes
+// clear. Returns the number of messages delivered.
+func (nw *Network) Deliver() int {
+	nw.Rounds++
+	delivered := 0
+	for v := range nw.outbox {
+		nw.inbox[v] = nw.inbox[v][:0]
+		nw.inbox[v], nw.outbox[v] = nw.outbox[v], nw.inbox[v]
+		delivered += len(nw.inbox[v])
+	}
+	nw.Sent += int64(delivered)
+	return delivered
+}
+
+// Inbox returns node v's messages for the current round.
+func (nw *Network) Inbox(v uint32) []Message { return nw.inbox[v] }
+
+// Reverse returns the dual arc of a.
+func (nw *Network) Reverse(a int64) int64 { return nw.reverse[a] }

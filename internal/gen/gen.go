@@ -1,0 +1,226 @@
+// Package gen generates the benchmark graph families used in the paper's
+// evaluation (§VII, Table I) and in the test suite.
+//
+// The paper measures on two datasets we cannot ship: the 23.9M-vertex USA
+// road network (DIMACS USA-road-d.USA) and the Graph500 scale-25 Kronecker
+// graph. This package builds synthetic stand-ins from the same generator
+// families — an R-MAT/Kronecker generator with the Graph500 parameters, and
+// a road-network generator that reproduces the morphology the paper's
+// analysis depends on (low average degree, high diameter, local edges) — at
+// configurable scales. DESIGN.md §3 records the substitution argument.
+//
+// All generators are deterministic functions of their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"llpmst/internal/graph"
+)
+
+// WeightKind selects how edge weights are drawn.
+type WeightKind int
+
+const (
+	// WeightUniform draws float32 weights uniformly from [0, 1).
+	WeightUniform WeightKind = iota
+	// WeightInteger draws integer-valued float32 weights from [1, 10000],
+	// matching DIMACS road files where weights are travel times/distances.
+	// Integer weights introduce many ties, exercising the (weight, edge id)
+	// total order.
+	WeightInteger
+)
+
+func (k WeightKind) draw(rng *rand.Rand) float32 {
+	switch k {
+	case WeightInteger:
+		return float32(1 + rng.Intn(10000))
+	default:
+		return rng.Float32()
+	}
+}
+
+// RMAT generates a Graph500-style Kronecker graph with 2^scale vertices and
+// edgeFactor * 2^scale undirected edges, built with p workers. Quadrant
+// probabilities are the Graph500 reference values A=0.57, B=0.19, C=0.19
+// (D = 0.05). Self-loops are dropped by the builder; duplicate edges are
+// kept, as in the raw Graph500 edge lists.
+func RMAT(p int, scale, edgeFactor int, wk WeightKind, seed int64) *graph.CSR {
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	const a, b, c = 0.57, 0.19, 0.19
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		var u, v int
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// quadrant (0,0): no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges[i] = graph.Edge{U: uint32(u), V: uint32(v), W: wk.draw(rng)}
+	}
+	return graph.MustFromEdges(p, n, edges)
+}
+
+// RoadNetwork generates a road-like graph on a width x height grid: a random
+// spanning tree of the 4-neighbor grid plus each remaining grid edge with
+// probability extra. The result is always connected, has average degree
+// about 2 + 2*extra (the USA road network's is ~2.4), and long diameter —
+// the morphology §VII.C credits for LLP-Prim's limited parallelism on road
+// graphs. Weights are perturbed Manhattan distances (integer-valued), like
+// DIMACS travel times.
+func RoadNetwork(p int, width, height int, extra float64, seed int64) *graph.CSR {
+	n := width * height
+	rng := rand.New(rand.NewSource(seed))
+	id := func(x, y int) uint32 { return uint32(y*width + x) }
+	// All 4-neighbor grid edges.
+	type ge struct{ u, v uint32 }
+	all := make([]ge, 0, 2*n)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if x+1 < width {
+				all = append(all, ge{id(x, y), id(x+1, y)})
+			}
+			if y+1 < height {
+				all = append(all, ge{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	// Random spanning tree via union-find; every non-tree edge is kept with
+	// probability extra.
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	edges := make([]graph.Edge, 0, int(float64(len(all))*(extra+0.6)))
+	for _, e := range all {
+		ru, rv := find(e.u), find(e.v)
+		keep := false
+		if ru != rv {
+			parent[ru] = rv
+			keep = true
+		} else if rng.Float64() < extra {
+			keep = true
+		}
+		if keep {
+			// Perturbed unit distance, scaled to integers: 1000 +- 40%.
+			w := float32(600 + rng.Intn(800))
+			edges = append(edges, graph.Edge{U: e.u, V: e.v, W: w})
+		}
+	}
+	return graph.MustFromEdges(p, n, edges)
+}
+
+// ErdosRenyi generates a G(n, m) random multigraph with p workers: m edges
+// with independently uniform endpoints. Self-loops are dropped by the
+// builder, so the edge count may come out slightly under m.
+func ErdosRenyi(p int, n, m int, wk WeightKind, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			U: uint32(rng.Intn(n)),
+			V: uint32(rng.Intn(n)),
+			W: wk.draw(rng),
+		}
+	}
+	return graph.MustFromEdges(p, n, edges)
+}
+
+// Geometric generates a random geometric graph: n points uniform in the unit
+// square, an edge between every pair within distance radius, weighted by the
+// (scaled) Euclidean distance perturbed so weights are distinct-ish. Uses a
+// cell grid so construction is O(n + m) in expectation. Dense local
+// clustering makes this the "more edges per vertex" morphology where §VII.C
+// expects LLP-Prim to profit most.
+func Geometric(p int, n int, radius float64, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cell := func(x float64) int {
+		c := int(x * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	buckets := make([][]uint32, cells*cells)
+	for i := 0; i < n; i++ {
+		b := cell(ys[i])*cells + cell(xs[i])
+		buckets[b] = append(buckets[b], uint32(i))
+	}
+	r2 := radius * radius
+	var edges []graph.Edge
+	for cy := 0; cy < cells; cy++ {
+		for cx := 0; cx < cells; cx++ {
+			home := buckets[cy*cells+cx]
+			// Pairs within the home cell.
+			for i := 0; i < len(home); i++ {
+				for j := i + 1; j < len(home); j++ {
+					edges = appendGeoEdge(edges, xs, ys, home[i], home[j], r2)
+				}
+			}
+			// Pairs against forward neighbor cells (E, S, SE, SW) so each
+			// cell pair is visited once.
+			for _, d := range [][2]int{{1, 0}, {0, 1}, {1, 1}, {-1, 1}} {
+				nx, ny := cx+d[0], cy+d[1]
+				if nx < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				other := buckets[ny*cells+nx]
+				for _, u := range home {
+					for _, v := range other {
+						edges = appendGeoEdge(edges, xs, ys, u, v, r2)
+					}
+				}
+			}
+		}
+	}
+	return graph.MustFromEdges(p, n, edges)
+}
+
+func appendGeoEdge(edges []graph.Edge, xs, ys []float64, u, v uint32, r2 float64) []graph.Edge {
+	dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+	d2 := dx*dx + dy*dy
+	if d2 > r2 || (u == v) {
+		return edges
+	}
+	w := float32(math.Sqrt(d2) * 1000)
+	return append(edges, graph.Edge{U: u, V: v, W: w})
+}
+
+// ConnectivityRadius returns a radius that makes Geometric(n) connected with
+// high probability: sqrt(2 * ln(n) / (pi * n)).
+func ConnectivityRadius(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Sqrt(2 * math.Log(float64(n)) / (math.Pi * float64(n)))
+}

@@ -1,0 +1,207 @@
+package gen
+
+import (
+	"testing"
+
+	"llpmst/internal/graph"
+)
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(2, 10, 16, WeightUniform, 42)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d, want 1024", g.NumVertices())
+	}
+	// Self-loops are dropped, so m <= ef*n, but RMAT rarely loses more than
+	// a few percent to loops.
+	if g.NumEdges() < 14000 || g.NumEdges() > 16384 {
+		t.Fatalf("m = %d, want ~16384", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Kronecker graphs are skewed: max degree far above average.
+	s := g.ComputeStats()
+	if float64(s.MaxDegree) < 4*s.AvgDegree {
+		t.Fatalf("max degree %d not skewed vs avg %.1f; not scale-free-ish", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(1, 8, 8, WeightUniform, 7)
+	b := RMAT(4, 8, 8, WeightUniform, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("RMAT not deterministic across worker counts")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	c := RMAT(1, 8, 8, WeightUniform, 8)
+	same := c.NumEdges() == a.NumEdges()
+	if same {
+		ec := c.Edges()
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRoadNetworkConnectedAndSparse(t *testing.T) {
+	g := RoadNetwork(2, 64, 64, 0.2, 1)
+	if g.NumVertices() != 4096 {
+		t.Fatalf("n = %d, want 4096", g.NumVertices())
+	}
+	if !g.Connected() {
+		t.Fatal("road network must be connected (spanning tree included)")
+	}
+	s := g.ComputeStats()
+	if s.AvgDegree < 2.0 || s.AvgDegree > 3.2 {
+		t.Fatalf("avg degree %.2f outside road-like range [2.0, 3.2]", s.AvgDegree)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoadNetworkZeroExtraIsTree(t *testing.T) {
+	g := RoadNetwork(1, 16, 16, 0, 3)
+	if g.NumEdges() != g.NumVertices()-1 {
+		t.Fatalf("m = %d, want n-1 = %d", g.NumEdges(), g.NumVertices()-1)
+	}
+	if !g.Connected() {
+		t.Fatal("tree must be connected")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(2, 1000, 8000, WeightInteger, 5)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 7900 || g.NumEdges() > 8000 {
+		t.Fatalf("m = %d, want ~8000", g.NumEdges())
+	}
+	// Integer weights land in [1, 10000].
+	for _, e := range g.Edges()[:100] {
+		if e.W < 1 || e.W > 10000 || e.W != float32(int(e.W)) {
+			t.Fatalf("non-integer weight %v", e.W)
+		}
+	}
+}
+
+func TestGeometricConnectedAtConnectivityRadius(t *testing.T) {
+	n := 2000
+	g := Geometric(2, n, 2*ConnectivityRadius(n), 9)
+	if g.NumVertices() != n {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !g.Connected() {
+		t.Fatal("geometric graph at 2x connectivity radius should be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	if s.AvgDegree < 4 {
+		t.Fatalf("avg degree %.1f suspiciously low for r=2*rc", s.AvgDegree)
+	}
+}
+
+func TestConnectivityRadiusEdgeCases(t *testing.T) {
+	if ConnectivityRadius(0) != 1 || ConnectivityRadius(1) != 1 {
+		t.Fatal("degenerate n should return radius 1")
+	}
+	if r := ConnectivityRadius(1000000); r <= 0 || r >= 0.1 {
+		t.Fatalf("radius %v implausible for n=1e6", r)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5, nil)
+	if g.NumEdges() != 4 || !g.Connected() {
+		t.Fatal("bad path")
+	}
+	g2 := Path(3, []float32{7, 9})
+	if g2.Edge(0).W != 7 || g2.Edge(1).W != 9 {
+		t.Fatal("custom weights ignored")
+	}
+}
+
+func TestCycleStarCompleteTree(t *testing.T) {
+	c := Cycle(10, 1)
+	if c.NumEdges() != 10 || !c.Connected() {
+		t.Fatal("bad cycle")
+	}
+	s := Star(10)
+	if s.NumEdges() != 9 || s.Degree(0) != 9 {
+		t.Fatal("bad star")
+	}
+	k := Complete(8, 2)
+	if k.NumEdges() != 28 {
+		t.Fatalf("K8 has %d edges, want 28", k.NumEdges())
+	}
+	bt := BinaryTree(31, 3)
+	if bt.NumEdges() != 30 || !bt.Connected() {
+		t.Fatal("bad binary tree")
+	}
+}
+
+func TestPaperFigure1(t *testing.T) {
+	g := PaperFigure1()
+	if g.NumVertices() != 5 || g.NumEdges() != 7 {
+		t.Fatal("wrong paper graph")
+	}
+	if g.TotalWeight() != 41 {
+		t.Fatalf("total weight %v, want 41", g.TotalWeight())
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := Disconnected(4, 10, 1)
+	if _, c := g.Components(); c != 4 {
+		t.Fatalf("components = %d, want 4", c)
+	}
+	if g.Connected() {
+		t.Fatal("should be disconnected")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(10, 3, 1)
+	if g.NumVertices() != 40 || !g.Connected() {
+		t.Fatalf("caterpillar n=%d connected=%v", g.NumVertices(), g.Connected())
+	}
+	// 30 leaves with degree 1.
+	ones := 0
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) == 1 {
+			ones++
+		}
+	}
+	if ones != 30 {
+		t.Fatalf("%d degree-1 vertices, want 30", ones)
+	}
+}
+
+func BenchmarkRMATScale14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := RMAT(0, 14, 16, WeightUniform, 42)
+		_ = g
+	}
+}
+
+func BenchmarkRoadNetwork256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RoadNetwork(0, 256, 256, 0.2, 42)
+	}
+}
+
+var _ = graph.Edge{} // keep the import explicit for documentation

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math/rand"
+
+	"llpmst/internal/graph"
+)
+
+// Additional random-graph models rounding out the morphology zoo: the
+// Watts-Strogatz small-world model (high clustering, low diameter — the
+// "social network" morphology the paper's introduction motivates) and the
+// Barabási-Albert preferential-attachment model (power-law degrees by
+// growth, a structured alternative to R-MAT's skew).
+
+// SmallWorld generates a Watts-Strogatz graph: a ring where every vertex
+// connects to its k nearest neighbors (k even), with each edge's far
+// endpoint rewired uniformly at random with probability beta. Weights are
+// uniform in [0, 1). Deterministic in seed.
+func SmallWorld(p int, n, k int, beta float64, seed int64) *graph.CSR {
+	if k%2 != 0 {
+		k++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n*k/2)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k/2; d++ {
+			u := uint32(v)
+			w := uint32((v + d) % n)
+			if rng.Float64() < beta {
+				// Rewire: keep u, draw a fresh far endpoint.
+				w = uint32(rng.Intn(n))
+			}
+			edges = append(edges, graph.Edge{U: u, V: w, W: rng.Float32()})
+		}
+	}
+	return graph.MustFromEdges(p, n, edges)
+}
+
+// PreferentialAttachment generates a Barabási-Albert graph: vertices arrive
+// one at a time and attach m edges to existing vertices with probability
+// proportional to current degree (realized by sampling uniformly from the
+// edge-endpoint list). Weights are uniform in [0, 1). The result is
+// connected by construction. Deterministic in seed.
+func PreferentialAttachment(p int, n, m int, seed int64) *graph.CSR {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n*m)
+	// endpoints holds every edge endpoint seen so far; sampling uniformly
+	// from it is degree-proportional sampling.
+	endpoints := make([]uint32, 0, 2*n*m)
+	// Seed clique on the first m+1 vertices.
+	seedSize := m + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			edges = append(edges, graph.Edge{U: uint32(i), V: uint32(j), W: rng.Float32()})
+			endpoints = append(endpoints, uint32(i), uint32(j))
+		}
+	}
+	for v := seedSize; v < n; v++ {
+		attached := map[uint32]bool{}
+		for len(attached) < m {
+			var target uint32
+			if len(endpoints) == 0 {
+				target = uint32(rng.Intn(v))
+			} else {
+				target = endpoints[rng.Intn(len(endpoints))]
+			}
+			if attached[target] {
+				// Resample; duplicates would become parallel edges that add
+				// nothing to attachment count.
+				if len(attached) >= v { // degenerate small v: accept fewer
+					break
+				}
+				continue
+			}
+			attached[target] = true
+			edges = append(edges, graph.Edge{U: uint32(v), V: target, W: rng.Float32()})
+			endpoints = append(endpoints, uint32(v), target)
+		}
+	}
+	return graph.MustFromEdges(p, n, edges)
+}

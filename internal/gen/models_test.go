@@ -1,0 +1,77 @@
+package gen
+
+import "testing"
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorld(1, 2000, 6, 0.1, 5)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Ring lattice base: ~n*k/2 edges (self-loops from rewiring may drop a
+	// few).
+	if g.NumEdges() < 5900 || g.NumEdges() > 6000 {
+		t.Fatalf("m = %d, want ~6000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// beta=0: pure ring lattice, exactly k-regular, connected.
+	ring := SmallWorld(1, 500, 4, 0, 1)
+	if !ring.Connected() {
+		t.Fatal("ring lattice disconnected")
+	}
+	for v := uint32(0); v < 500; v++ {
+		if ring.Degree(v) != 4 {
+			t.Fatalf("ring degree %d at %d, want 4", ring.Degree(v), v)
+		}
+	}
+	// Odd k is rounded up.
+	odd := SmallWorld(1, 100, 3, 0, 2)
+	if odd.Degree(0) != 4 {
+		t.Fatalf("odd k handled wrong: degree %d", odd.Degree(0))
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a := SmallWorld(1, 300, 6, 0.3, 9)
+	b := SmallWorld(2, 300, 6, 0.3, 9)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Edges() {
+		if a.Edge(uint32(i)) != b.Edge(uint32(i)) {
+			t.Fatal("edges differ across worker counts")
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(1, 3000, 3, 7)
+	if g.NumVertices() != 3000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph must be connected by construction")
+	}
+	s := g.ComputeStats()
+	// Power-law-ish: hub degree far above average.
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Fatalf("max degree %d vs avg %.1f: no hubs", s.MaxDegree, s.AvgDegree)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferentialAttachmentSmall(t *testing.T) {
+	// n smaller than the seed clique.
+	g := PreferentialAttachment(1, 3, 5, 1)
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("tiny BA: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// m < 1 clamps to 1.
+	g2 := PreferentialAttachment(1, 50, 0, 2)
+	if !g2.Connected() {
+		t.Fatal("m=0 clamp broken")
+	}
+}

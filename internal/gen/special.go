@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"math/rand"
+
+	"llpmst/internal/graph"
+)
+
+// Special graph families with known minimum spanning trees, used as test
+// oracles and edge-case workloads.
+
+// Path returns the path graph 0-1-2-...-n-1 with the given weights (length
+// n-1); if weights is nil, weight i+1 is used for edge (i, i+1). Its MST is
+// the whole graph.
+func Path(n int, weights []float32) *graph.CSR {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		w := float32(i + 1)
+		if weights != nil {
+			w = weights[i]
+		}
+		edges = append(edges, graph.Edge{U: uint32(i), V: uint32(i + 1), W: w})
+	}
+	return graph.MustFromEdges(1, n, edges)
+}
+
+// Cycle returns the n-cycle with distinct weights 1..n; its MST is the cycle
+// minus the heaviest edge, with weight n(n-1)/2... minus nothing: total
+// weight 1+2+...+(n-1).
+func Cycle(n int, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{
+			U: uint32(i), V: uint32((i + 1) % n), W: float32(perm[i] + 1),
+		}
+	}
+	return graph.MustFromEdges(1, n, edges)
+}
+
+// Star returns the star with center 0 and spokes weighted 1..n-1. Its MST is
+// the whole graph.
+func Star(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(i), W: float32(i)})
+	}
+	return graph.MustFromEdges(1, n, edges)
+}
+
+// Complete returns the complete graph K_n with distinct pseudo-random
+// weights. Intended for small n only (m = n(n-1)/2).
+func Complete(n int, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := n * (n - 1) / 2
+	perm := rng.Perm(m)
+	edges := make([]graph.Edge, 0, m)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: uint32(i), V: uint32(j), W: float32(perm[k] + 1)})
+			k++
+		}
+	}
+	return graph.MustFromEdges(1, n, edges)
+}
+
+// PaperFigure1 returns the 5-vertex example graph from Fig. 1 of the paper
+// (vertices a..e = 0..4). Its unique MST is {2, 3, 4, 7} with total weight
+// 16.
+func PaperFigure1() *graph.CSR {
+	return graph.MustFromEdges(1, 5, []graph.Edge{
+		{U: 0, V: 2, W: 4}, {U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3},
+		{U: 1, V: 3, W: 7}, {U: 2, V: 3, W: 9}, {U: 2, V: 4, W: 11},
+		{U: 3, V: 4, W: 2},
+	})
+}
+
+// Disconnected returns a graph of k identical random components, each a
+// cycle of size sz with a chord; used to exercise minimum spanning *forest*
+// code paths.
+func Disconnected(k, sz int, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	n := k * sz
+	for c := 0; c < k; c++ {
+		base := uint32(c * sz)
+		for i := 0; i < sz; i++ {
+			edges = append(edges, graph.Edge{
+				U: base + uint32(i), V: base + uint32((i+1)%sz),
+				W: float32(1 + rng.Intn(1000)),
+			})
+		}
+		if sz > 3 {
+			edges = append(edges, graph.Edge{
+				U: base, V: base + uint32(sz/2), W: float32(1 + rng.Intn(1000)),
+			})
+		}
+	}
+	return graph.MustFromEdges(1, n, edges)
+}
+
+// Caterpillar returns a path of length spine with leg leaves hanging off
+// each spine vertex; a shape with many degree-1 vertices that stresses the
+// MWE early-fixing path of LLP-Prim (every leaf's unique edge is an MWE).
+func Caterpillar(spine, legs int, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := spine * (1 + legs)
+	var edges []graph.Edge
+	for i := 0; i+1 < spine; i++ {
+		edges = append(edges, graph.Edge{U: uint32(i), V: uint32(i + 1), W: float32(1000 + rng.Intn(1000))})
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			edges = append(edges, graph.Edge{U: uint32(i), V: uint32(next), W: float32(1 + rng.Intn(999))})
+			next++
+		}
+	}
+	return graph.MustFromEdges(1, n, edges)
+}
+
+// BinaryTree returns a complete binary tree on n vertices (vertex i's parent
+// is (i-1)/2) with pseudo-random distinct weights. Its MST is itself.
+func BinaryTree(n int, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{
+			U: uint32((i - 1) / 2), V: uint32(i), W: float32(perm[i-1] + 1),
+		})
+	}
+	return graph.MustFromEdges(1, n, edges)
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the text parsers: whatever the input, the parsers must
+// not panic, and any graph they do accept must pass structural validation.
+// Run with `go test -fuzz=FuzzReadDIMACS ./internal/graph` (etc.) for a real
+// fuzzing session; under plain `go test` the seed corpus doubles as a
+// robustness regression suite.
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p sp 3 4\na 1 2 10\na 2 1 10\na 2 3 20\na 3 2 20\n")
+	f.Add("c comment\np sp 1 0\n")
+	f.Add("p sp 2 1\na 1 2 1.5\n")
+	f.Add("p sp 0 0\n")
+	f.Add("a 1 2 3\n")
+	f.Add("p sp 2 1\na 1 2 99999999999999999999\n")
+	f.Add("p sp -1 0\n")
+	f.Add("p sp 4294967295 1\na 1 2 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := ReadDIMACS(1, strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		// Accepted graphs must round-trip through the binary format.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(1, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("binary round trip changed sizes")
+		}
+	})
+}
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n2 1 5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% c\n\n2 2 2\n1 2 1\n2 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n0 0 0\n")
+	f.Add("%%MatrixMarket")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := ReadMatrixMarket(1, strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("4 2\n2\n1 3\n2\n\n")
+	f.Add("2 1 001\n2 5\n1 5\n")
+	f.Add("1 0\n\n")
+	f.Add("% comment\n2 1\n2\n1\n")
+	f.Add("2 1\n2\n1\n\n\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := ReadMETIS(1, strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the 5-vertex example from Fig. 1 of the paper:
+// vertices a..e = 0..4, MST edges {2,3,4,7}.
+func paperGraph(t testing.TB) *CSR {
+	t.Helper()
+	edges := []Edge{
+		{0, 2, 4}, {0, 1, 5}, {1, 2, 3}, {1, 3, 7},
+		{2, 3, 9}, {2, 4, 11}, {3, 4, 2},
+	}
+	g, err := FromEdges(1, 5, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := paperGraph(t)
+	if g.NumVertices() != 5 || g.NumEdges() != 7 || g.NumArcs() != 14 {
+		t.Fatalf("sizes: n=%d m=%d arcs=%d", g.NumVertices(), g.NumEdges(), g.NumArcs())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Degree(2) != 4 {
+		t.Fatalf("Degree(c) = %d, want 4", g.Degree(2))
+	}
+	if !g.Connected() {
+		t.Fatal("paper graph should be connected")
+	}
+}
+
+func TestFromEdgesDropsSelfLoops(t *testing.T) {
+	g, err := FromEdges(1, 3, []Edge{{0, 0, 1}, {0, 1, 2}, {2, 2, 3}, {1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 after dropping self-loops", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesKeepsParallelEdges(t *testing.T) {
+	g, err := FromEdges(1, 2, []Edge{{0, 1, 5}, {0, 1, 5}, {1, 0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (multi-edges kept)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesRejectsBadInput(t *testing.T) {
+	if _, err := FromEdges(1, 2, []Edge{{0, 5, 1}}); err == nil {
+		t.Fatal("accepted out-of-range endpoint")
+	}
+	if _, err := FromEdges(1, 2, []Edge{{0, 1, -1}}); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+	nan := float32(0)
+	nan /= nan
+	if _, err := FromEdges(1, 2, []Edge{{0, 1, nan}}); err == nil {
+		t.Fatal("accepted NaN weight")
+	}
+}
+
+func TestEmptyAndTrivialGraphs(t *testing.T) {
+	g, err := FromEdges(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || !g.Connected() {
+		t.Fatal("empty graph misbehaves")
+	}
+	g, err = FromEdges(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("single vertex should be connected")
+	}
+	g, err = FromEdges(1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Fatal("4 isolated vertices are not connected")
+	}
+	if _, c := g.Components(); c != 4 {
+		t.Fatalf("components = %d, want 4", c)
+	}
+}
+
+func TestNeighborsAndArcAccessors(t *testing.T) {
+	g := paperGraph(t)
+	sum := float32(0)
+	cnt := 0
+	g.Neighbors(0, func(a int64, to uint32, w float32, eid uint32) {
+		sum += w
+		cnt++
+		if g.Target(a) != to || g.ArcWeight(a) != w || g.ArcEdgeID(a) != eid {
+			t.Fatal("accessor disagreement")
+		}
+		e := g.Edge(eid)
+		if e.W != w {
+			t.Fatal("edge weight disagreement")
+		}
+	})
+	if cnt != 2 || sum != 9 {
+		t.Fatalf("vertex a: %d arcs weight-sum %v, want 2 arcs sum 9", cnt, sum)
+	}
+}
+
+func TestArcKeyOrdering(t *testing.T) {
+	g := paperGraph(t)
+	// The globally minimum arc key must belong to the weight-2 edge (d,e).
+	var minKey uint64 = ^uint64(0)
+	var minArc int64 = -1
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		lo, hi := g.ArcRange(v)
+		for a := lo; a < hi; a++ {
+			if k := g.ArcKey(a); k < minKey {
+				minKey, minArc = k, a
+			}
+		}
+	}
+	if g.ArcWeight(minArc) != 2 {
+		t.Fatalf("min arc weight %v, want 2", g.ArcWeight(minArc))
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	var edges []Edge
+	for i := 0; i < 60000; i++ {
+		edges = append(edges, Edge{
+			U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n)), W: rng.Float32() * 100,
+		})
+	}
+	e1 := make([]Edge, len(edges))
+	copy(e1, edges)
+	e2 := make([]Edge, len(edges))
+	copy(e2, edges)
+	gs, err := FromEdges(1, n, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := FromEdges(8, n, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.NumEdges() != gp.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", gs.NumEdges(), gp.NumEdges())
+	}
+	if err := gp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); int(v) < n; v++ {
+		if gs.Degree(v) != gp.Degree(v) {
+			t.Fatalf("degree of %d differs: %d vs %d", v, gs.Degree(v), gp.Degree(v))
+		}
+	}
+}
+
+func TestSortedAdjacency(t *testing.T) {
+	edges := []Edge{{0, 3, 9}, {0, 1, 5}, {0, 2, 7}, {0, 1, 1}}
+	g, err := FromEdges(1, 4, edges, WithSortedAdjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := g.ArcRange(0)
+	prev := uint32(0)
+	prevW := float32(-1)
+	for a := lo; a < hi; a++ {
+		tgt := g.Target(a)
+		if tgt < prev || (tgt == prev && g.ArcWeight(a) < prevW) {
+			t.Fatal("adjacency not sorted")
+		}
+		prev, prevW = tgt, g.ArcWeight(a)
+	}
+}
+
+func TestValidatePropertyOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		m := rng.Intn(200)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, Edge{
+				U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n)), W: rng.Float32(),
+			})
+		}
+		g, err := FromEdges(1, n, edges)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := paperGraph(t)
+	s := g.ComputeStats()
+	if s.Vertices != 5 || s.Edges != 7 {
+		t.Fatalf("stats sizes wrong: %+v", s)
+	}
+	if s.MinWeight != 2 || s.MaxWeight != 11 {
+		t.Fatalf("weight range [%v,%v], want [2,11]", s.MinWeight, s.MaxWeight)
+	}
+	if s.Components != 1 || s.Isolated != 0 {
+		t.Fatalf("components/isolated wrong: %+v", s)
+	}
+	if s.AvgDegree != 14.0/5 {
+		t.Fatalf("avg degree %v, want 2.8", s.AvgDegree)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	empty, _ := FromEdges(1, 0, nil)
+	es := empty.ComputeStats()
+	if es.Vertices != 0 || es.MinDegree != 0 {
+		t.Fatalf("empty stats: %+v", es)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := paperGraph(t)
+	h := g.DegreeHistogram(10)
+	// Degrees: a=2 b=3 c=4 d=3 e=2.
+	if h[2] != 2 || h[3] != 2 || h[4] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	// Clamping.
+	h2 := g.DegreeHistogram(2)
+	if h2[2] != 5 {
+		t.Fatalf("clamped histogram %v", h2)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := paperGraph(t)
+	if got := g.TotalWeight(); got != 41 {
+		t.Fatalf("TotalWeight = %v, want 41", got)
+	}
+}

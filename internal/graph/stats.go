@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats summarizes a graph's morphology: the properties §VII of the paper
+// uses to explain algorithm behaviour (average degree — "edges per vertex" —
+// drives LLP-Prim's parallelism; component count distinguishes MST from MSF
+// inputs).
+type Stats struct {
+	Vertices   int
+	Edges      int
+	MinDegree  int
+	MaxDegree  int
+	AvgDegree  float64
+	MinWeight  float32
+	MaxWeight  float32
+	Components int
+	Isolated   int // vertices with no incident edges
+}
+
+// ComputeStats scans g and returns its Stats. The component count uses a
+// sequential BFS, so this is meant for setup/reporting, not hot loops.
+func (g *CSR) ComputeStats() Stats {
+	s := Stats{
+		Vertices:  g.n,
+		Edges:     len(g.edges),
+		MinDegree: math.MaxInt,
+		MinWeight: float32(math.Inf(1)),
+		MaxWeight: float32(math.Inf(-1)),
+	}
+	if g.n == 0 {
+		s.MinDegree = 0
+		s.MinWeight, s.MaxWeight = 0, 0
+		return s
+	}
+	for v := uint32(0); int(v) < g.n; v++ {
+		d := g.Degree(v)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = float64(2*len(g.edges)) / float64(g.n)
+	if len(g.edges) == 0 {
+		s.MinWeight, s.MaxWeight = 0, 0
+	} else {
+		for _, e := range g.edges {
+			if e.W < s.MinWeight {
+				s.MinWeight = e.W
+			}
+			if e.W > s.MaxWeight {
+				s.MaxWeight = e.W
+			}
+		}
+	}
+	_, s.Components = g.Components()
+	return s
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d deg[min=%d avg=%.2f max=%d] w[%g,%g] comps=%d isolated=%d",
+		s.Vertices, s.Edges, s.MinDegree, s.AvgDegree, s.MaxDegree,
+		s.MinWeight, s.MaxWeight, s.Components, s.Isolated)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d, up
+// to maxDeg (larger degrees are clamped into the last bucket).
+func (g *CSR) DegreeHistogram(maxDeg int) []int {
+	counts := make([]int, maxDeg+1)
+	for v := uint32(0); int(v) < g.n; v++ {
+		d := g.Degree(v)
+		if d > maxDeg {
+			d = maxDeg
+		}
+		counts[d]++
+	}
+	return counts
+}

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := MustFromEdges(1, 6, []Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 4, W: 4}, {U: 4, V: 5, W: 5}, {U: 0, V: 5, W: 6},
+	})
+	sub, old, err := g.InducedSubgraph(1, []uint32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub: n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if old[0] != 1 || old[1] != 2 || old[2] != 3 {
+		t.Fatalf("mapping %v", old)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.InducedSubgraph(1, []uint32{0, 0}); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+	if _, _, err := g.InducedSubgraph(1, []uint32{99}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Components: {0,1,2} and {3,4}.
+	g := MustFromEdges(1, 5, []Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 3, V: 4, W: 3},
+	})
+	lc, old, err := g.LargestComponent(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.NumVertices() != 3 || lc.NumEdges() != 2 || !lc.Connected() {
+		t.Fatalf("largest component n=%d m=%d", lc.NumVertices(), lc.NumEdges())
+	}
+	if len(old) != 3 || old[0] != 0 {
+		t.Fatalf("mapping %v", old)
+	}
+}
+
+func TestRelabelBFSPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	var edges []Edge
+	for i := 0; i < 900; i++ {
+		u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		edges = append(edges, Edge{U: u, V: v, W: float32(rng.Intn(100))})
+	}
+	g := MustFromEdges(1, n, edges)
+	rl, order, err := g.RelabelBFS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.NumVertices() != n || rl.NumEdges() != g.NumEdges() {
+		t.Fatal("relabel changed sizes")
+	}
+	// order must be a permutation.
+	seen := make([]bool, n)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("vertex %d appears twice in order", v)
+		}
+		seen[v] = true
+	}
+	// Degrees must transfer: new vertex i corresponds to old order[i].
+	pos := make([]uint32, n)
+	for newV, oldV := range order {
+		pos[oldV] = uint32(newV)
+	}
+	for oldV := uint32(0); int(oldV) < n; oldV++ {
+		if g.Degree(oldV) != rl.Degree(pos[oldV]) {
+			t.Fatalf("degree of old vertex %d changed", oldV)
+		}
+	}
+	// Same component structure.
+	_, c1 := g.Components()
+	_, c2 := rl.Components()
+	if c1 != c2 {
+		t.Fatalf("component count changed: %d vs %d", c1, c2)
+	}
+}
+
+func TestPerturbWeights(t *testing.T) {
+	g := MustFromEdges(1, 4, []Edge{
+		{U: 0, V: 1, W: 10}, {U: 1, V: 2, W: 10}, {U: 2, V: 3, W: 10},
+	})
+	p1, err := g.PerturbWeights(1, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := g.PerturbWeights(1, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Edges() {
+		if p1.Edge(uint32(i)).W != p2.Edge(uint32(i)).W {
+			t.Fatal("perturbation not deterministic")
+		}
+		w := p1.Edge(uint32(i)).W
+		if w < 9 || w > 11 {
+			t.Fatalf("weight %v outside [9, 11]", w)
+		}
+	}
+	p0, err := g.PerturbWeights(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p0.Edges() {
+		if p0.Edge(uint32(i)).W != 10 {
+			t.Fatal("eps=0 changed weights")
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := randomGraph(t, 21, 80, 300)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Fatal("mtx round trip changed the graph")
+	}
+}
+
+func TestMatrixMarketGeneralAndPattern(t *testing.T) {
+	general := `%%MatrixMarket matrix coordinate real general
+3 3 4
+1 2 5.0
+2 1 5.0
+2 3 7.5
+3 3 1.0
+`
+	g, err := ReadMatrixMarket(1, strings.NewReader(general))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,2)+(2,1) collapse; (3,3) self-loop dropped.
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d, want 3, 2", g.NumVertices(), g.NumEdges())
+	}
+	pattern := `%%MatrixMarket matrix coordinate pattern symmetric
+4 4 2
+2 1
+4 3
+`
+	gp, err := ReadMatrixMarket(1, strings.NewReader(pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.NumEdges() != 2 || gp.Edge(0).W != 1 {
+		t.Fatalf("pattern graph wrong: m=%d w=%v", gp.NumEdges(), gp.Edge(0).W)
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 2 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n0 2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadMatrixMarket(1, strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestMETISRoundTripTopology(t *testing.T) {
+	// Integer weights round-trip exactly through METIS.
+	g := MustFromEdges(1, 5, []Edge{
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 7}, {U: 2, V: 3, W: 2},
+		{U: 3, V: 4, W: 9}, {U: 0, V: 4, W: 4},
+	})
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMETIS(1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Fatal("METIS round trip changed the graph")
+	}
+}
+
+func TestMETISIsolatedVerticesAndUnweighted(t *testing.T) {
+	in := "4 2\n2\n1 3\n2\n\n"
+	g, err := ReadMETIS(1, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d, want 4, 2", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(3) != 0 {
+		t.Fatal("vertex 4 should be isolated")
+	}
+	if g.Edge(0).W != 1 {
+		t.Fatal("unweighted file should get unit weights")
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	cases := []string{
+		"4 2 011\n1\n0\n0\n0\n", // vertex weights unsupported
+		"2 1\n2\n1\nextra\n",    // too many vertex lines
+		"2 1 001\n2\n",          // dangling weight
+		"2 1\n3\n\n",            // neighbor out of range
+		"3 1\n2\n1\n",           // missing vertex line
+		"x 1\n\n",               // bad header
+	}
+	for _, in := range cases {
+		if _, err := ReadMETIS(1, strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package llp
+
+import (
+	"math"
+	"testing"
+
+	"llpmst/internal/gen"
+)
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	for _, deltaFactor := range []float32{0.5, 1, 10, 1e9} {
+		g := gen.RoadNetwork(1, 20, 20, 0.3, 41)
+		want := dijkstraRef(g, 0)
+		got := DeltaStepping(4, g, 0, 100*deltaFactor)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("delta=%v: dist[%d] = %v, want %v", deltaFactor, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingDisconnectedAndDegenerate(t *testing.T) {
+	d := gen.Disconnected(3, 8, 2)
+	got := DeltaStepping(2, d, 0, 50)
+	for v := 8; v < 24; v++ {
+		if !math.IsInf(got[v], 1) {
+			t.Fatalf("dist[%d] = %v, want +Inf", v, got[v])
+		}
+	}
+	// Bad delta clamps instead of dividing by zero.
+	single := gen.Star(1)
+	if out := DeltaStepping(1, single, 0, 0); out[0] != 0 {
+		t.Fatal("delta clamp broken")
+	}
+}
+
+func TestDeltaSteppingDenseGraph(t *testing.T) {
+	g := gen.ErdosRenyi(1, 500, 4000, gen.WeightUniform, 43)
+	want := dijkstraRef(g, 7)
+	got := DeltaStepping(4, g, 7, 0.05)
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}

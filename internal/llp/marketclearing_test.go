@@ -1,0 +1,230 @@
+package llp
+
+import (
+	"math/rand"
+	"testing"
+
+	"llpmst/internal/matching"
+)
+
+// clears reports whether, at the given prices, every buyer with non-empty
+// demand can be matched to a demanded item (market clearing condition).
+func clears(value [][]int64, prices []int64) bool {
+	n := len(value)
+	b := matching.Bipartite{NL: n, NR: n, Adj: make([][]uint32, n)}
+	demanding := 0
+	for buyer := 0; buyer < n; buyer++ {
+		best := int64(-1)
+		for item := 0; item < n; item++ {
+			if u := value[buyer][item] - prices[item]; u > best {
+				best = u
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		demanding++
+		for item := 0; item < n; item++ {
+			if value[buyer][item]-prices[item] == best {
+				b.Adj[buyer] = append(b.Adj[buyer], uint32(item))
+			}
+		}
+	}
+	matchL, _ := matching.MaxMatching(b)
+	matched := 0
+	for buyer := 0; buyer < n; buyer++ {
+		if matchL[buyer] >= 0 {
+			matched++
+		}
+	}
+	return matched == demanding
+}
+
+func TestMarketClearingTextbookInstance(t *testing.T) {
+	// Competitive 3x3 instance: everyone's favorite is item 0 at zero
+	// prices, so the auction must raise prices before the market clears.
+	value := [][]int64{
+		{6, 2, 1},
+		{6, 3, 2},
+		{6, 3, 3},
+	}
+	prices, assign, st := SolveMarketClearing(value)
+	if !clears(value, prices) {
+		t.Fatalf("prices %v do not clear", prices)
+	}
+	if st.Advances == 0 {
+		t.Fatal("no advances on a competitive instance")
+	}
+	// All three buyers must be assigned distinct items.
+	seen := map[int32]bool{}
+	for b, it := range assign {
+		if it < 0 {
+			t.Fatalf("buyer %d unassigned", b)
+		}
+		if seen[it] {
+			t.Fatalf("item %d assigned twice", it)
+		}
+		seen[it] = true
+	}
+}
+
+func TestMarketClearingMinimalityBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(2) // 2..3 buyers/items
+		maxV := int64(4)
+		value := make([][]int64, n)
+		for b := range value {
+			value[b] = make([]int64, n)
+			for i := range value[b] {
+				value[b][i] = int64(rng.Intn(int(maxV + 1)))
+			}
+		}
+		prices, _, _ := SolveMarketClearing(value)
+		if !clears(value, prices) {
+			t.Fatalf("trial %d: prices %v do not clear %v", trial, prices, value)
+		}
+		// Brute force the componentwise-minimum clearing vector.
+		bound := maxV + 1
+		min := make([]int64, n)
+		for i := range min {
+			min[i] = bound
+		}
+		var enum func(i int, p []int64)
+		found := false
+		enum = func(i int, p []int64) {
+			if i == n {
+				if clears(value, p) {
+					found = true
+					for k := range p {
+						if p[k] < min[k] {
+							min[k] = p[k]
+						}
+					}
+				}
+				return
+			}
+			for v := int64(0); v <= bound; v++ {
+				p[i] = v
+				enum(i+1, p)
+			}
+		}
+		enum(0, make([]int64, n))
+		if !found {
+			t.Fatalf("trial %d: no clearing vector exists?!", trial)
+		}
+		// The Walrasian price lattice guarantees the componentwise min of
+		// clearing vectors is itself clearing and is THE minimum; ours must
+		// match it.
+		for i := range prices {
+			if prices[i] != min[i] {
+				t.Fatalf("trial %d: prices %v, brute-force minimum %v (values %v)",
+					trial, prices, min, value)
+			}
+		}
+	}
+}
+
+func TestMarketClearingZeroCompetition(t *testing.T) {
+	// Distinct favorite items: clearing at zero prices, no advances.
+	value := [][]int64{
+		{9, 0, 0},
+		{0, 9, 0},
+		{0, 0, 9},
+	}
+	prices, assign, st := SolveMarketClearing(value)
+	for i, p := range prices {
+		if p != 0 {
+			t.Fatalf("price[%d] = %d, want 0", i, p)
+		}
+	}
+	if st.Advances != 0 {
+		t.Fatalf("advances = %d, want 0", st.Advances)
+	}
+	for b, it := range assign {
+		if int(it) != b {
+			t.Fatalf("assignment %v not identity", assign)
+		}
+	}
+}
+
+func TestMaxMatchingAndHallViolator(t *testing.T) {
+	// Left 0,1 both only like right 0: max matching 1, violator {0,1}->{0}.
+	b := matching.Bipartite{NL: 2, NR: 2, Adj: [][]uint32{{0}, {0}}}
+	matchL, matchR := matching.MaxMatching(b)
+	matched := 0
+	for _, m := range matchL {
+		if m >= 0 {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("matching size %d, want 1", matched)
+	}
+	left, right := matching.HallViolator(b, matchL, matchR)
+	if len(left) != 2 || len(right) != 1 || right[0] != 0 {
+		t.Fatalf("violator left=%v right=%v", left, right)
+	}
+	// Perfect matching: no violator.
+	b2 := matching.Bipartite{NL: 2, NR: 2, Adj: [][]uint32{{0, 1}, {1}}}
+	mL2, mR2 := matching.MaxMatching(b2)
+	if l, r := matching.HallViolator(b2, mL2, mR2); l != nil || r != nil {
+		t.Fatalf("violator on perfectly matchable graph: %v %v", l, r)
+	}
+}
+
+func TestMaxMatchingRandomAgainstFlowOracle(t *testing.T) {
+	// Oracle: simple augmenting-path matching (Kuhn's) — different algorithm,
+	// same size.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		nl, nr := 1+rng.Intn(12), 1+rng.Intn(12)
+		b := matching.Bipartite{NL: nl, NR: nr, Adj: make([][]uint32, nl)}
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Intn(3) == 0 {
+					b.Adj[l] = append(b.Adj[l], uint32(r))
+				}
+			}
+		}
+		matchL, _ := matching.MaxMatching(b)
+		got := 0
+		for _, m := range matchL {
+			if m >= 0 {
+				got++
+			}
+		}
+		want := kuhnSize(b)
+		if got != want {
+			t.Fatalf("trial %d: hopcroft-karp %d, kuhn %d", trial, got, want)
+		}
+	}
+}
+
+func kuhnSize(b matching.Bipartite) int {
+	matchR := make([]int, b.NR)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var try func(l int, seen []bool) bool
+	try = func(l int, seen []bool) bool {
+		for _, r := range b.Adj[l] {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if matchR[r] < 0 || try(matchR[r], seen) {
+				matchR[r] = l
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for l := 0; l < b.NL; l++ {
+		if try(l, make([]bool, b.NR)) {
+			size++
+		}
+	}
+	return size
+}

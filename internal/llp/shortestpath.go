@@ -1,0 +1,106 @@
+package llp
+
+import (
+	"math"
+	"sync/atomic"
+
+	"llpmst/internal/graph"
+)
+
+// LLP single-source shortest paths — the LLP-Bellman-Ford instance from
+// Garg's SPAA'20 predicate-detection paper, included to demonstrate that the
+// same engine that runs the paper's MST algorithms covers other
+// combinatorial optimization problems (the paper's stated future work).
+//
+// The lattice is the vector of tentative distances descending from +inf;
+// vertex j is forbidden while some neighbor offers a shorter path, and
+// advances to the best offer. The fixpoint is the shortest-path distance
+// vector. Distances are stored as atomic uint64 bit patterns of float64 so
+// the Async driver's racing reads are defined; for non-negative weights the
+// bit patterns order like the values.
+
+// ShortestPaths is the LLP predicate for single-source shortest paths on an
+// undirected non-negatively weighted graph.
+type ShortestPaths struct {
+	g      *graph.CSR
+	source uint32
+	dist   []uint64 // float64 bits, atomic
+}
+
+// NewShortestPaths creates the predicate with all distances +inf except the
+// source at 0.
+func NewShortestPaths(g *graph.CSR, source uint32) *ShortestPaths {
+	sp := &ShortestPaths{
+		g:      g,
+		source: source,
+		dist:   make([]uint64, g.NumVertices()),
+	}
+	inf := math.Float64bits(math.Inf(1))
+	for i := range sp.dist {
+		sp.dist[i] = inf
+	}
+	sp.dist[source] = math.Float64bits(0)
+	return sp
+}
+
+// N implements Predicate.
+func (sp *ShortestPaths) N() int { return sp.g.NumVertices() }
+
+func (sp *ShortestPaths) load(v uint32) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&sp.dist[v]))
+}
+
+// Forbidden implements Predicate: j is forbidden while a neighbor offers a
+// strictly shorter path.
+func (sp *ShortestPaths) Forbidden(j int) bool {
+	dj := sp.load(uint32(j))
+	lo, hi := sp.g.ArcRange(uint32(j))
+	for a := lo; a < hi; a++ {
+		if sp.load(sp.g.Target(a))+float64(sp.g.ArcWeight(a)) < dj {
+			return true
+		}
+	}
+	return false
+}
+
+// Advance implements Predicate: take the best current offer. A racing
+// improvement at a neighbor just means j will be forbidden again later;
+// monotonicity (distances only decrease) gives convergence.
+func (sp *ShortestPaths) Advance(j int) {
+	best := sp.load(uint32(j))
+	lo, hi := sp.g.ArcRange(uint32(j))
+	for a := lo; a < hi; a++ {
+		if d := sp.load(sp.g.Target(a)) + float64(sp.g.ArcWeight(a)); d < best {
+			best = d
+		}
+	}
+	// Monotone decrease under CAS so concurrent advances never raise the
+	// value.
+	for {
+		old := atomic.LoadUint64(&sp.dist[j])
+		if math.Float64frombits(old) <= best {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&sp.dist[j], old, math.Float64bits(best)) {
+			return
+		}
+	}
+}
+
+// Distances returns the distance vector (valid after a driver reached the
+// fixpoint). Unreachable vertices hold +inf.
+func (sp *ShortestPaths) Distances() []float64 {
+	out := make([]float64, len(sp.dist))
+	for i := range out {
+		out[i] = sp.load(uint32(i))
+	}
+	return out
+}
+
+// SolveShortestPaths runs the instance to its fixpoint and returns the
+// distance vector.
+func SolveShortestPaths(mode Mode, workers int, g *graph.CSR, source uint32) ([]float64, Stats) {
+	sp := NewShortestPaths(g, source)
+	st := Run(mode, workers, sp)
+	return sp.Distances(), st
+}

@@ -1,0 +1,134 @@
+package llp
+
+import "sync/atomic"
+
+// Stable marriage as an LLP instance — one of the problems the paper's §III
+// lists as derivable from the LLP algorithm ("variants of Gale-Shapley
+// algorithm for stable marriage"). The lattice is the vector of proposal
+// indices: G[m] is the position in man m's preference list he currently
+// proposes to. A man is forbidden while his current woman prefers some
+// other man who is also proposing to her; he advances by moving one step
+// down his list. The fixpoint is the man-optimal stable matching, and the
+// advances of different men commute — the lattice-linearity that lets all
+// three drivers (including the barrier-free one) find the same matching.
+
+// StableMarriage is the LLP predicate for the stable marriage problem with
+// n men and n women.
+type StableMarriage struct {
+	n int
+	// prefM[m] is man m's preference list: woman ids, best first.
+	prefM [][]uint32
+	// rankW[w][m] is woman w's rank of man m (lower = preferred).
+	rankW [][]uint32
+	// g[m] is the current index into prefM[m] (atomic).
+	g []uint32
+}
+
+// NewStableMarriage creates the predicate. prefM[m] must be a permutation
+// of 0..n-1 for every man m, and prefW[w] likewise for every woman.
+func NewStableMarriage(prefM, prefW [][]uint32) *StableMarriage {
+	n := len(prefM)
+	sm := &StableMarriage{
+		n:     n,
+		prefM: prefM,
+		rankW: make([][]uint32, n),
+		g:     make([]uint32, n),
+	}
+	for w := 0; w < n; w++ {
+		sm.rankW[w] = make([]uint32, n)
+		for rank, m := range prefW[w] {
+			sm.rankW[w][m] = uint32(rank)
+		}
+	}
+	return sm
+}
+
+// N implements Predicate.
+func (sm *StableMarriage) N() int { return sm.n }
+
+// currentWoman returns the woman man m currently proposes to.
+func (sm *StableMarriage) currentWoman(m int) uint32 {
+	return sm.prefM[m][atomic.LoadUint32(&sm.g[m])]
+}
+
+// Forbidden implements Predicate: man j is forbidden while his current
+// woman prefers another man who is also currently proposing to her.
+func (sm *StableMarriage) Forbidden(j int) bool {
+	w := sm.currentWoman(j)
+	myRank := sm.rankW[w][j]
+	for i := 0; i < sm.n; i++ {
+		if i != j && sm.currentWoman(i) == w && sm.rankW[w][i] < myRank {
+			return true
+		}
+	}
+	return false
+}
+
+// Advance implements Predicate: move to the next preference. A man can be
+// rejected at most n-1 times, so the index stays in range for solvable
+// instances (complete preference lists always are).
+func (sm *StableMarriage) Advance(j int) {
+	atomic.AddUint32(&sm.g[j], 1)
+}
+
+// Matching returns, after a driver reached the fixpoint, the woman matched
+// to each man.
+func (sm *StableMarriage) Matching() []uint32 {
+	out := make([]uint32, sm.n)
+	for m := 0; m < sm.n; m++ {
+		out[m] = sm.currentWoman(m)
+	}
+	return out
+}
+
+// SolveStableMarriage runs the instance to its fixpoint and returns the
+// man-optimal stable matching: match[m] = woman assigned to man m.
+func SolveStableMarriage(mode Mode, workers int, prefM, prefW [][]uint32) ([]uint32, Stats) {
+	sm := NewStableMarriage(prefM, prefW)
+	st := Run(mode, workers, sm)
+	return sm.Matching(), st
+}
+
+// IsStableMatching checks that match (match[m] = woman of man m) is a
+// perfect matching with no blocking pair: no man m and woman w who both
+// prefer each other over their assigned partners. Used as the test oracle.
+func IsStableMatching(prefM, prefW [][]uint32, match []uint32) bool {
+	n := len(prefM)
+	husband := make([]int, n)
+	for i := range husband {
+		husband[i] = -1
+	}
+	for m, w := range match {
+		if int(w) >= n || husband[w] >= 0 {
+			return false // not a matching
+		}
+		husband[w] = m
+	}
+	rankM := make([][]uint32, n)
+	for m := 0; m < n; m++ {
+		rankM[m] = make([]uint32, n)
+		for rank, w := range prefM[m] {
+			rankM[m][w] = uint32(rank)
+		}
+	}
+	rankW := make([][]uint32, n)
+	for w := 0; w < n; w++ {
+		rankW[w] = make([]uint32, n)
+		for rank, m := range prefW[w] {
+			rankW[w][m] = uint32(rank)
+		}
+	}
+	for m := 0; m < n; m++ {
+		for w := 0; w < n; w++ {
+			if uint32(w) == match[m] {
+				continue
+			}
+			// Blocking pair: m prefers w over his match, and w prefers m
+			// over her husband.
+			if rankM[m][w] < rankM[m][match[m]] && rankW[w][m] < rankW[w][husband[w]] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package llp
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func randomPrefs(rng *rand.Rand, n int) [][]uint32 {
+	prefs := make([][]uint32, n)
+	for i := range prefs {
+		prefs[i] = make([]uint32, n)
+		for j := range prefs[i] {
+			prefs[i][j] = uint32(j)
+		}
+		rng.Shuffle(n, func(a, b int) {
+			prefs[i][a], prefs[i][b] = prefs[i][b], prefs[i][a]
+		})
+	}
+	return prefs
+}
+
+// galeShapleyRef is the textbook deferred-acceptance oracle, returning the
+// man-optimal matching.
+func galeShapleyRef(prefM, prefW [][]uint32) []uint32 {
+	n := len(prefM)
+	rankW := make([][]uint32, n)
+	for w := 0; w < n; w++ {
+		rankW[w] = make([]uint32, n)
+		for rank, m := range prefW[w] {
+			rankW[w][m] = uint32(rank)
+		}
+	}
+	next := make([]int, n)
+	husband := make([]int, n)
+	for i := range husband {
+		husband[i] = -1
+	}
+	free := make([]int, 0, n)
+	for m := n - 1; m >= 0; m-- {
+		free = append(free, m)
+	}
+	for len(free) > 0 {
+		m := free[len(free)-1]
+		free = free[:len(free)-1]
+		w := prefM[m][next[m]]
+		next[m]++
+		switch {
+		case husband[w] < 0:
+			husband[w] = m
+		case rankW[w][m] < rankW[w][husband[w]]:
+			free = append(free, husband[w])
+			husband[w] = m
+		default:
+			free = append(free, m)
+		}
+	}
+	match := make([]uint32, n)
+	for w, m := range husband {
+		match[m] = uint32(w)
+	}
+	return match
+}
+
+func TestStableMarriageMatchesGaleShapley(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		prefM := randomPrefs(rng, n)
+		prefW := randomPrefs(rng, n)
+		want := galeShapleyRef(prefM, prefW)
+		for _, m := range allModes {
+			got, _ := SolveStableMarriage(m.mode, 4, prefM, prefW)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d mode %s: matching %v, want %v", trial, m.name, got, want)
+			}
+			if !IsStableMatching(prefM, prefW, got) {
+				t.Fatalf("trial %d mode %s: matching not stable", trial, m.name)
+			}
+		}
+	}
+}
+
+func TestStableMarriageIdentityPreferences(t *testing.T) {
+	// Everyone prefers partner with their own index: matching is identity,
+	// no one is ever forbidden after initialization.
+	n := 10
+	prefM := randomPrefs(rand.New(rand.NewSource(2)), n)
+	for i := range prefM {
+		slices.Sort(prefM[i])
+		// rotate so man i's first choice is woman i
+		for prefM[i][0] != uint32(i) {
+			first := prefM[i][0]
+			prefM[i] = append(prefM[i][1:], first)
+		}
+	}
+	prefW := make([][]uint32, n)
+	for w := range prefW {
+		prefW[w] = make([]uint32, n)
+		for m := range prefW[w] {
+			prefW[w][m] = uint32((m + w) % n)
+		}
+	}
+	match, st := SolveStableMarriage(ModeSequential, 1, prefM, prefW)
+	for m, w := range match {
+		if int(w) != m {
+			t.Fatalf("match[%d] = %d, want identity", m, w)
+		}
+	}
+	if st.Advances != 0 {
+		t.Fatalf("identity instance needed %d advances, want 0", st.Advances)
+	}
+}
+
+func TestStableMarriageLatinSquareWorstCase(t *testing.T) {
+	// A contentious instance: every man has the identical preference list,
+	// so all n men initially propose to woman 0 and rejections cascade —
+	// Θ(n²) advances.
+	n := 30
+	prefM := make([][]uint32, n)
+	prefW := make([][]uint32, n)
+	for i := 0; i < n; i++ {
+		prefM[i] = make([]uint32, n)
+		prefW[i] = make([]uint32, n)
+		for k := 0; k < n; k++ {
+			prefM[i][k] = uint32(k)
+			prefW[i][k] = uint32((i + 1 + k) % n)
+		}
+	}
+	want := galeShapleyRef(prefM, prefW)
+	got, st := SolveStableMarriage(ModeAsync, 4, prefM, prefW)
+	if !slices.Equal(got, want) {
+		t.Fatalf("matching %v, want %v", got, want)
+	}
+	if st.Advances == 0 {
+		t.Fatal("worst case should require advances")
+	}
+	if !IsStableMatching(prefM, prefW, got) {
+		t.Fatal("unstable")
+	}
+}
+
+func TestIsStableMatchingDetectsProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	prefM := randomPrefs(rng, n)
+	prefW := randomPrefs(rng, n)
+	good := galeShapleyRef(prefM, prefW)
+	if !IsStableMatching(prefM, prefW, good) {
+		t.Fatal("oracle matching rejected")
+	}
+	// Not a matching: two men share a woman.
+	bad := slices.Clone(good)
+	bad[0] = bad[1]
+	if IsStableMatching(prefM, prefW, bad) {
+		t.Fatal("non-matching accepted")
+	}
+	// Out of range.
+	bad2 := slices.Clone(good)
+	bad2[0] = uint32(n)
+	if IsStableMatching(prefM, prefW, bad2) {
+		t.Fatal("out-of-range accepted")
+	}
+	// A random permutation is almost surely unstable for random prefs;
+	// search for one that differs from the stable matching.
+	foundUnstable := false
+	for trial := 0; trial < 50 && !foundUnstable; trial++ {
+		perm := rng.Perm(n)
+		cand := make([]uint32, n)
+		for m, w := range perm {
+			cand[m] = uint32(w)
+		}
+		if !slices.Equal(cand, good) && !IsStableMatching(prefM, prefW, cand) {
+			foundUnstable = true
+		}
+	}
+	if !foundUnstable {
+		t.Fatal("never found an unstable permutation; oracle suspicious")
+	}
+}

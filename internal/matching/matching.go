@@ -1,0 +1,119 @@
+// Package matching provides bipartite maximum matching (Hopcroft-Karp) and
+// Hall-violator extraction — the combinatorial substrate of the LLP market-
+// clearing-price instance (the Demange-Gale-Sotomayor auction the paper's
+// reference [15] derives from the LLP algorithm).
+package matching
+
+// Bipartite is a bipartite graph between nL left and nR right vertices,
+// given as adjacency lists from the left side.
+type Bipartite struct {
+	NL, NR int
+	Adj    [][]uint32 // Adj[l] = right neighbors of left vertex l
+}
+
+// MaxMatching computes a maximum matching with Hopcroft-Karp. Returns
+// matchL (for each left vertex, its right partner or -1) and matchR.
+func MaxMatching(b Bipartite) (matchL, matchR []int32) {
+	matchL = make([]int32, b.NL)
+	matchR = make([]int32, b.NR)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	const inf = int32(1) << 30
+	dist := make([]int32, b.NL)
+	queue := make([]int32, 0, b.NL)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < b.NL; l++ {
+			if matchL[l] < 0 {
+				dist[l] = 0
+				queue = append(queue, int32(l))
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			l := queue[head]
+			for _, r := range b.Adj[l] {
+				next := matchR[r]
+				if next < 0 {
+					found = true
+				} else if dist[next] == inf {
+					dist[next] = dist[l] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(l int32) bool
+	dfs = func(l int32) bool {
+		for _, r := range b.Adj[l] {
+			next := matchR[r]
+			if next < 0 || (dist[next] == dist[l]+1 && dfs(next)) {
+				matchL[l] = int32(r)
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+	for bfs() {
+		for l := int32(0); int(l) < b.NL; l++ {
+			if matchL[l] < 0 {
+				dfs(l)
+			}
+		}
+	}
+	return matchL, matchR
+}
+
+// HallViolator returns, for a bipartite graph with no perfect matching of
+// the left side, a constricted left set S (|N(S)| < |S|) and its right
+// neighborhood N(S): the left vertices reachable from some unmatched left
+// vertex by alternating paths, and their neighbors. Returns nil, nil if
+// every left vertex is matched (no violator).
+func HallViolator(b Bipartite, matchL, matchR []int32) (left []uint32, right []uint32) {
+	visitedL := make([]bool, b.NL)
+	visitedR := make([]bool, b.NR)
+	queue := make([]int32, 0)
+	for l := 0; l < b.NL; l++ {
+		if matchL[l] < 0 {
+			visitedL[l] = true
+			queue = append(queue, int32(l))
+		}
+	}
+	if len(queue) == 0 {
+		return nil, nil
+	}
+	for head := 0; head < len(queue); head++ {
+		l := queue[head]
+		for _, r := range b.Adj[l] {
+			if visitedR[r] {
+				continue
+			}
+			visitedR[r] = true
+			if next := matchR[r]; next >= 0 && !visitedL[next] {
+				visitedL[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	for l := 0; l < b.NL; l++ {
+		if visitedL[l] {
+			left = append(left, uint32(l))
+		}
+	}
+	for r := 0; r < b.NR; r++ {
+		if visitedR[r] {
+			right = append(right, uint32(r))
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,127 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMatchingBasics(t *testing.T) {
+	// Perfect matching on a 3x3 cycle-ish graph.
+	b := Bipartite{NL: 3, NR: 3, Adj: [][]uint32{{0, 1}, {1, 2}, {2, 0}}}
+	matchL, matchR := MaxMatching(b)
+	for l, r := range matchL {
+		if r < 0 {
+			t.Fatalf("left %d unmatched", l)
+		}
+		if matchR[r] != int32(l) {
+			t.Fatal("matchL/matchR inconsistent")
+		}
+	}
+	// Empty graph.
+	e := Bipartite{NL: 2, NR: 2, Adj: [][]uint32{{}, {}}}
+	mL, _ := MaxMatching(e)
+	if mL[0] != -1 || mL[1] != -1 {
+		t.Fatal("matched in an empty graph")
+	}
+	// Degenerate sizes.
+	z := Bipartite{NL: 0, NR: 0, Adj: nil}
+	MaxMatching(z)
+}
+
+func TestMaxMatchingIsActuallyMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(20), 1+rng.Intn(20)
+		b := Bipartite{NL: nl, NR: nr, Adj: make([][]uint32, nl)}
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Intn(4) == 0 {
+					b.Adj[l] = append(b.Adj[l], uint32(r))
+				}
+			}
+		}
+		matchL, matchR := MaxMatching(b)
+		usedR := map[int32]bool{}
+		for l, r := range matchL {
+			if r < 0 {
+				continue
+			}
+			if usedR[r] {
+				return false // right vertex matched twice
+			}
+			usedR[r] = true
+			// Edge must exist.
+			ok := false
+			for _, rr := range b.Adj[l] {
+				if int32(rr) == r {
+					ok = true
+				}
+			}
+			if !ok || matchR[r] != int32(l) {
+				return false
+			}
+		}
+		// Maximality (weak check): no trivially augmentable pair.
+		for l := 0; l < nl; l++ {
+			if matchL[l] >= 0 {
+				continue
+			}
+			for _, r := range b.Adj[l] {
+				if matchR[r] < 0 {
+					return false // free edge ignored: not maximum
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHallViolatorIsConstricted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		b := Bipartite{NL: n, NR: n, Adj: make([][]uint32, n)}
+		for l := 0; l < n; l++ {
+			for r := 0; r < n; r++ {
+				if rng.Intn(4) == 0 {
+					b.Adj[l] = append(b.Adj[l], uint32(r))
+				}
+			}
+		}
+		matchL, matchR := MaxMatching(b)
+		unmatched := 0
+		for l := 0; l < n; l++ {
+			if matchL[l] < 0 {
+				unmatched++
+			}
+		}
+		left, right := HallViolator(b, matchL, matchR)
+		if unmatched == 0 {
+			return left == nil && right == nil
+		}
+		// Constriction: |N(S)| < |S|, and right == N(S) exactly for the
+		// demanding members of S.
+		if len(right) >= len(left) {
+			return false
+		}
+		inRight := map[uint32]bool{}
+		for _, r := range right {
+			inRight[r] = true
+		}
+		for _, l := range left {
+			for _, r := range b.Adj[l] {
+				if !inRight[r] {
+					return false // neighborhood not closed
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/par"
+)
+
+// bruteForceMSF enumerates every subset of edges of size n - #components and
+// returns the cheapest one (by total packed key, so the tie-break matches
+// the library's canonical order) that is a spanning forest. Exponential —
+// usable only for tiny graphs — but entirely independent of the union-find,
+// heap and key machinery the real algorithms share, so it breaks the
+// circularity of cross-checking the algorithms only against each other.
+func bruteForceMSF(t *testing.T, g *graph.CSR) []uint32 {
+	t.Helper()
+	n := g.NumVertices()
+	m := g.NumEdges()
+	if m > 22 {
+		t.Fatalf("brute force limited to 22 edges, got %d", m)
+	}
+	_, comps := g.Components()
+	want := n - comps
+	var bestKeys []uint64
+	var best []uint32
+	// Iterate over all edge subsets via bitmask.
+	for mask := 0; mask < 1<<m; mask++ {
+		if popcount(mask) != want {
+			continue
+		}
+		// Check forest: union endpoints with a tiny DSU.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		find := func(x int) int {
+			for parent[x] != x {
+				x = parent[x]
+			}
+			return x
+		}
+		acyclic := true
+		keys := make([]uint64, 0, want)
+		for id := 0; id < m && acyclic; id++ {
+			if mask&(1<<id) == 0 {
+				continue
+			}
+			e := g.Edge(uint32(id))
+			ru, rv := find(int(e.U)), find(int(e.V))
+			if ru == rv {
+				acyclic = false
+				break
+			}
+			parent[ru] = rv
+			keys = append(keys, g.EdgeKey(uint32(id)))
+		}
+		if !acyclic {
+			continue
+		}
+		// Acyclic with exactly n - comps edges => spanning forest. The
+		// canonical MSF is the basis whose ascending key sequence is
+		// lexicographically smallest (the matroid greedy optimum), which
+		// both minimizes total weight and fixes the tie-break. Keys were
+		// appended in ascending id order but weights vary, so sort.
+		sortKeys(keys)
+		if bestKeys == nil || lexLess(keys, bestKeys) {
+			bestKeys = keys
+			best = maskToIDs(mask, m)
+		}
+	}
+	return best
+}
+
+func sortKeys(k []uint64) {
+	for i := 1; i < len(k); i++ {
+		for j := i; j > 0 && k[j] < k[j-1]; j-- {
+			k[j], k[j-1] = k[j-1], k[j]
+		}
+	}
+}
+
+func lexLess(a, b []uint64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func maskToIDs(mask, m int) []uint32 {
+	var ids []uint32
+	for id := 0; id < m; id++ {
+		if mask&(1<<id) != 0 {
+			ids = append(ids, uint32(id))
+		}
+	}
+	return ids
+}
+
+func TestAllAlgorithmsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		m := rng.Intn(13)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			// Small weight range to force plenty of exact ties.
+			edges = append(edges, graph.Edge{U: u, V: v, W: float32(1 + rng.Intn(5))})
+		}
+		g := graph.MustFromEdges(1, n, edges)
+		want := bruteForceMSF(t, g)
+		var wantWeight float64
+		for _, id := range want {
+			wantWeight += float64(g.Edge(id).W)
+		}
+		for _, alg := range Algorithms() {
+			f, err := Run(alg, g, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(f.EdgeIDs) != len(want) {
+				t.Fatalf("trial %d %s: %d edges, brute force %d", trial, alg, len(f.EdgeIDs), len(want))
+			}
+			if f.Weight != wantWeight {
+				t.Fatalf("trial %d %s: weight %g, brute force %g", trial, alg, f.Weight, wantWeight)
+			}
+		}
+		// The canonical tie-break (min edge ids among equal-weight forests)
+		// must match the brute-force lexicographic minimum exactly.
+		oracle := Kruskal(g)
+		for i, id := range oracle.EdgeIDs {
+			if want[i] != id {
+				t.Fatalf("trial %d: canonical edge set %v, brute force %v", trial, oracle.EdgeIDs, want)
+			}
+		}
+	}
+}
+
+// TestBruteForceOracleSelfCheck pins the brute-force helper on a known
+// instance (the paper's Fig. 1 graph).
+func TestBruteForceOracleSelfCheck(t *testing.T) {
+	g := graph.MustFromEdges(1, 5, []graph.Edge{
+		{U: 0, V: 2, W: 4}, {U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3},
+		{U: 1, V: 3, W: 7}, {U: 2, V: 3, W: 9}, {U: 2, V: 4, W: 11},
+		{U: 3, V: 4, W: 2},
+	})
+	ids := bruteForceMSF(t, g)
+	var w float64
+	for _, id := range ids {
+		w += float64(g.Edge(id).W)
+	}
+	if w != 16 || len(ids) != 4 {
+		t.Fatalf("brute force found weight %g with %d edges, want 16 with 4", w, len(ids))
+	}
+}
+
+var _ = par.InfKey // keep par import for the key helpers above

@@ -1,0 +1,192 @@
+package mst
+
+import (
+	"fmt"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/par"
+)
+
+// Incremental maintains a minimum spanning forest under online edge
+// insertions — the dynamic counterpart of the batch algorithms, built on the
+// same cycle property the verifier and KKT use: a new edge (u,v) enters the
+// forest iff u and v are in different trees, or the heaviest edge on their
+// current tree path is heavier than the new edge (which it then replaces).
+//
+// The forest is stored as parent pointers with path reversal ("evert") on
+// linking, so each insertion costs O(length of the affected tree path) —
+// worst case O(n), typically far less. Weights share the packed
+// (weight, insertion id) total order with the rest of the package, so the
+// maintained forest is exactly the canonical MSF of the inserted edge set
+// (tests cross-check against Kruskal after every insertion).
+type Incremental struct {
+	n         int
+	parent    []int32  // parent vertex, -1 at roots
+	parentKey []uint64 // packed key of the edge to parent
+	inForest  map[uint64]bool
+	edgeCount int
+	nextID    uint32
+	weightSum float64
+	edgeByKey map[uint64][2]uint32 // key -> endpoints
+	scratchU  []int32              // reusable path buffers
+	scratchV  []int32
+}
+
+// NewIncremental creates an empty forest over n vertices.
+func NewIncremental(n int) *Incremental {
+	inc := &Incremental{
+		n:         n,
+		parent:    make([]int32, n),
+		parentKey: make([]uint64, n),
+		inForest:  make(map[uint64]bool),
+		edgeByKey: make(map[uint64][2]uint32),
+	}
+	for i := range inc.parent {
+		inc.parent[i] = -1
+	}
+	return inc
+}
+
+// N returns the number of vertices.
+func (inc *Incremental) N() int { return inc.n }
+
+// Edges returns the number of forest edges.
+func (inc *Incremental) Edges() int { return inc.edgeCount }
+
+// Weight returns the total weight of the current forest.
+func (inc *Incremental) Weight() float64 { return inc.weightSum }
+
+// Insert offers the edge (u, v, w) to the forest and reports whether the
+// forest changed (the edge was added, possibly evicting a heavier one).
+// Ties with previously inserted equal weights break toward the earlier
+// insertion, matching the canonical (weight, id) order. Self-loops are
+// rejected with ok=false.
+func (inc *Incremental) Insert(u, v uint32, w float32) (ok bool, err error) {
+	if int(u) >= inc.n || int(v) >= inc.n {
+		return false, fmt.Errorf("mst: incremental insert (%d,%d) out of range (n=%d)", u, v, inc.n)
+	}
+	if w < 0 || w != w {
+		return false, fmt.Errorf("mst: incremental insert with invalid weight %v", w)
+	}
+	if u == v {
+		return false, nil
+	}
+	key := par.PackKey(w, inc.nextID)
+	inc.nextID++
+
+	pu := inc.pathToRoot(u, &inc.scratchU)
+	pv := inc.pathToRoot(v, &inc.scratchV)
+	rootU, rootV := pu[len(pu)-1], pv[len(pv)-1]
+	if rootU != rootV {
+		// Different trees: link. Re-root u's tree at u, then hang it off v.
+		inc.evert(u)
+		inc.parent[u] = int32(v)
+		inc.parentKey[u] = key
+		inc.addEdge(key, u, v, w)
+		return true, nil
+	}
+	// Same tree: find the heaviest edge on the path u..v. Trim the shared
+	// root-side suffix to isolate the u..lca..v path.
+	i, j := len(pu)-1, len(pv)-1
+	for i > 0 && j > 0 && pu[i-1] == pv[j-1] {
+		i--
+		j--
+	}
+	var maxKey uint64
+	var maxChild int32 = -1
+	for k := 0; k < i; k++ { // edges pu[k] -> parent
+		if pk := inc.parentKey[pu[k]]; pk > maxKey {
+			maxKey, maxChild = pk, pu[k]
+		}
+	}
+	for k := 0; k < j; k++ {
+		if pk := inc.parentKey[pv[k]]; pk > maxKey {
+			maxKey, maxChild = pk, pv[k]
+		}
+	}
+	if maxChild < 0 || maxKey < key {
+		return false, nil // new edge is the heaviest on its cycle
+	}
+	// Swap: cut the heaviest path edge, then link u-v.
+	inc.removeEdge(maxKey)
+	inc.parent[maxChild] = -1
+	inc.parentKey[maxChild] = 0
+	inc.evert(u)
+	inc.parent[u] = int32(v)
+	inc.parentKey[u] = key
+	inc.addEdge(key, u, v, w)
+	return true, nil
+}
+
+// ForestEdges returns the current forest as edges sorted by the canonical
+// (weight, insertion id) order.
+func (inc *Incremental) ForestEdges() []graph.Edge {
+	keys := make([]uint64, 0, inc.edgeCount)
+	for k := range inc.inForest {
+		keys = append(keys, k)
+	}
+	par.SortUint64(1, keys)
+	out := make([]graph.Edge, 0, inc.edgeCount)
+	for _, k := range keys {
+		ends := inc.edgeByKey[k]
+		out = append(out, graph.Edge{U: ends[0], V: ends[1], W: par.KeyWeight(k)})
+	}
+	return out
+}
+
+// Trees returns the number of trees (including isolated vertices).
+func (inc *Incremental) Trees() int { return inc.n - inc.edgeCount }
+
+// Connected reports whether u and v are currently in the same tree.
+func (inc *Incremental) Connected(u, v uint32) bool {
+	pu := inc.pathToRoot(u, &inc.scratchU)
+	pv := inc.pathToRoot(v, &inc.scratchV)
+	return pu[len(pu)-1] == pv[len(pv)-1]
+}
+
+func (inc *Incremental) addEdge(key uint64, u, v uint32, w float32) {
+	inc.inForest[key] = true
+	inc.edgeByKey[key] = [2]uint32{u, v}
+	inc.edgeCount++
+	inc.weightSum += float64(w)
+}
+
+func (inc *Incremental) removeEdge(key uint64) {
+	delete(inc.inForest, key)
+	delete(inc.edgeByKey, key)
+	inc.edgeCount--
+	inc.weightSum -= float64(par.KeyWeight(key))
+}
+
+// pathToRoot returns the vertices from v (inclusive) to its root
+// (inclusive), reusing the provided buffer.
+func (inc *Incremental) pathToRoot(v uint32, buf *[]int32) []int32 {
+	path := (*buf)[:0]
+	cur := int32(v)
+	for {
+		path = append(path, cur)
+		p := inc.parent[cur]
+		if p < 0 {
+			break
+		}
+		cur = p
+	}
+	*buf = path
+	return path
+}
+
+// evert re-roots v's tree at v by reversing the parent pointers (and edge
+// keys) along the v-to-root path.
+func (inc *Incremental) evert(v uint32) {
+	cur := int32(v)
+	var prev int32 = -1
+	var prevKey uint64
+	for cur >= 0 {
+		next := inc.parent[cur]
+		nextKey := inc.parentKey[cur]
+		inc.parent[cur] = prev
+		inc.parentKey[cur] = prevKey
+		prev, prevKey = cur, nextKey
+		cur = next
+	}
+}

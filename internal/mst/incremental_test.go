@@ -1,0 +1,138 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"llpmst/internal/graph"
+)
+
+func TestIncrementalMatchesKruskalAfterEveryInsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 60
+	inc := NewIncremental(n)
+	var inserted []graph.Edge
+	for step := 0; step < 600; step++ {
+		u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		w := float32(rng.Intn(30)) // deliberate ties
+		changed, err := inc.Insert(u, v, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != v {
+			inserted = append(inserted, graph.Edge{U: u, V: v, W: w})
+		} else if changed {
+			t.Fatal("self-loop changed the forest")
+		}
+		// Oracle: batch Kruskal on everything inserted so far. Edge ids in
+		// the batch graph equal insertion order, matching Incremental's
+		// tie-break.
+		cp := make([]graph.Edge, len(inserted))
+		copy(cp, inserted)
+		g := graph.MustFromEdges(1, n, cp)
+		want := Kruskal(g)
+		if inc.Edges() != len(want.EdgeIDs) {
+			t.Fatalf("step %d: %d forest edges, oracle %d", step, inc.Edges(), len(want.EdgeIDs))
+		}
+		if inc.Weight() != want.Weight {
+			t.Fatalf("step %d: weight %g, oracle %g", step, inc.Weight(), want.Weight)
+		}
+		if inc.Trees() != want.Trees {
+			t.Fatalf("step %d: trees %d, oracle %d", step, inc.Trees(), want.Trees)
+		}
+	}
+	// Full edge-set equality at the end (weights + endpoints as multiset).
+	g := graph.MustFromEdges(1, n, inserted)
+	want := Kruskal(g)
+	got := inc.ForestEdges()
+	if len(got) != len(want.EdgeIDs) {
+		t.Fatalf("%d edges, want %d", len(got), len(want.EdgeIDs))
+	}
+	type canon struct {
+		u, v uint32
+		w    float32
+	}
+	counts := map[canon]int{}
+	for _, e := range got {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		counts[canon{u, v, e.W}]++
+	}
+	for _, id := range want.EdgeIDs {
+		e := g.Edge(id)
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		counts[canon{u, v, e.W}]--
+	}
+	for c, k := range counts {
+		if k != 0 {
+			t.Fatalf("edge multiset differs at %+v (%+d)", c, k)
+		}
+	}
+}
+
+func TestIncrementalBasics(t *testing.T) {
+	inc := NewIncremental(4)
+	if inc.N() != 4 || inc.Edges() != 0 || inc.Trees() != 4 {
+		t.Fatal("fresh state wrong")
+	}
+	if inc.Connected(0, 1) {
+		t.Fatal("fresh vertices connected")
+	}
+	ok, err := inc.Insert(0, 1, 5)
+	if err != nil || !ok {
+		t.Fatalf("insert: %v %v", ok, err)
+	}
+	if !inc.Connected(0, 1) || inc.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	// Cycle edge heavier than everything: rejected.
+	inc.Insert(1, 2, 3)
+	inc.Insert(2, 0, 9)
+	if inc.Edges() != 2 || inc.Weight() != 8 {
+		t.Fatalf("edges=%d weight=%v", inc.Edges(), inc.Weight())
+	}
+	// Cycle edge lighter than the max on the path: swap happens.
+	ok, _ = inc.Insert(2, 0, 1)
+	if !ok || inc.Weight() != 4 {
+		t.Fatalf("swap failed: weight=%v", inc.Weight())
+	}
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	inc := NewIncremental(2)
+	if _, err := inc.Insert(0, 5, 1); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if _, err := inc.Insert(0, 1, -2); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	nan := float32(0)
+	nan /= nan
+	if _, err := inc.Insert(0, 1, nan); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	ok, err := inc.Insert(1, 1, 1)
+	if err != nil || ok {
+		t.Fatal("self-loop should be a silent no-op")
+	}
+}
+
+func TestIncrementalEqualWeightsPreferEarlierInsertion(t *testing.T) {
+	inc := NewIncremental(3)
+	inc.Insert(0, 1, 7) // id 0
+	inc.Insert(1, 2, 7) // id 1
+	// Same weight closing the cycle: later id loses the tie.
+	ok, _ := inc.Insert(2, 0, 7)
+	if ok {
+		t.Fatal("equal-weight later edge should not displace earlier ones")
+	}
+	edges := inc.ForestEdges()
+	if len(edges) != 2 || edges[0].U != 0 || edges[0].V != 1 {
+		t.Fatalf("forest %v", edges)
+	}
+}

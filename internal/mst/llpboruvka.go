@@ -1,0 +1,144 @@
+package mst
+
+import (
+	"llpmst/internal/graph"
+	"llpmst/internal/llp"
+	"llpmst/internal/par"
+)
+
+// cedge is a contracted edge: endpoints in the current round's vertex space
+// plus the canonical packed key (whose low bits are the original edge id).
+type cedge struct {
+	u, v uint32
+	key  uint64
+}
+
+// LLPBoruvka implements Algorithm 6. Each round of the (here iteratively
+// unrolled) recursion runs on a contracted graph whose vertices are the
+// previous round's components:
+//
+//  1. every vertex picks its minimum-weight incident edge (mwe) in parallel
+//     (atomic write-min, then a race-free winner pass — keys are unique);
+//  2. parents are chosen with the paper's symmetry break: G[v] = w for
+//     mwe(v) = (v, w), except when the choice is mutual and v < w, in which
+//     case v roots itself. G is then a forest of rooted trees in which edge
+//     weights strictly decrease towards the root (Lemma 3/4);
+//  3. the rooted trees are flattened to rooted stars by the LLP pointer-
+//     jumping instance (forbidden(j) ≡ G[j] ≠ G[G[j]], advance(j): G[j] :=
+//     G[G[j]]) run on the driver selected by opts.JumpMode — by default the
+//     barrier-free Async driver, the "little to no synchronization within a
+//     round" the paper emphasizes;
+//  4. components are contracted: star roots become the next round's
+//     vertices, intra-component edges are discarded, and surviving edges are
+//     relabelled into a ping-pong buffer (no per-round allocation).
+//
+// Unlike ParallelBoruvka there is no shared union-find: component identity
+// is carried entirely by the G array and resolved by pointer jumping.
+func LLPBoruvka(g *graph.CSR, opts Options) *Forest {
+	p := opts.workers()
+	n := g.NumVertices()
+	m := g.NumEdges()
+
+	edges := make([]cedge, m)
+	par.ForEach(p, m, 4096, func(i int) {
+		e := g.Edge(uint32(i))
+		edges[i] = cedge{u: e.U, v: e.V, key: par.PackKey(e.W, uint32(i))}
+	})
+	spare := make([]cedge, m) // ping-pong buffer for contraction
+
+	// Vertex-indexed scratch, allocated once at full size and re-sliced as
+	// the contracted graph shrinks.
+	best := make([]uint64, n)
+	bestIdx := make([]int32, n)
+	G := make([]uint32, n)
+	newID := make([]uint32, n)
+
+	nv := n
+	ids := make([]uint32, 0, n)
+	var rounds, jumpRounds, jumpAdvances int64
+	for len(edges) > 0 {
+		rounds++
+		// Phase 1: mwe per current vertex.
+		bst := best[:nv]
+		par.FillKeys(p, bst, par.InfKey)
+		par.ForEach(p, len(edges), 2048, func(i int) {
+			e := &edges[i]
+			par.WriteMin(&bst[e.u], e.key)
+			par.WriteMin(&bst[e.v], e.key)
+		})
+		// Winner pass: bestIdx[v] = index (into edges) of v's mwe. Keys are
+		// unique, so each cell has exactly one writer — no atomics needed.
+		bidx := bestIdx[:nv]
+		par.ForEach(p, nv, 8192, func(v int) { bidx[v] = -1 })
+		par.ForEach(p, len(edges), 2048, func(i int) {
+			e := &edges[i]
+			if bst[e.u] == e.key {
+				bidx[e.u] = int32(i)
+			}
+			if bst[e.v] == e.key {
+				bidx[e.v] = int32(i)
+			}
+		})
+		// Phase 2: choose parents with the symmetry break, and collect each
+		// chosen edge exactly once (mutual pairs: the smaller endpoint
+		// reports; non-mutual: the choosing endpoint reports).
+		gv := G[:nv]
+		chosen := par.ForCollect(p, nv, 2048, func(lo, hi int, out []uint32) []uint32 {
+			for v := lo; v < hi; v++ {
+				bi := bidx[v]
+				if bi < 0 {
+					gv[v] = uint32(v) // isolated in the contracted graph
+					continue
+				}
+				e := &edges[bi]
+				w := e.u
+				if w == uint32(v) {
+					w = e.v
+				}
+				mutual := bidx[w] == bi
+				if mutual && uint32(v) < w {
+					gv[v] = uint32(v) // paper's tie-break: v roots itself
+				} else {
+					gv[v] = w
+				}
+				if !mutual || uint32(v) < w {
+					out = append(out, par.KeyID(e.key))
+				}
+			}
+			return out
+		})
+		ids = append(ids, chosen...)
+		// Phase 3: rooted trees -> rooted stars via LLP pointer jumping.
+		jst := llp.Stars(opts.JumpMode, p, gv)
+		jumpRounds += int64(jst.Rounds)
+		jumpAdvances += jst.Advances
+		// Phase 4: contract. Star roots become next round's vertices;
+		// surviving cross edges are relabelled into the spare buffer.
+		roots := par.PackIndex(p, nv, func(v int) bool { return gv[v] == uint32(v) })
+		nid := newID[:nv]
+		par.ForEach(p, len(roots), 8192, func(i int) { nid[roots[i]] = uint32(i) })
+		offsets := par.CountingScan(p, len(edges), func(i int) int64 {
+			if gv[edges[i].u] != gv[edges[i].v] {
+				return 1
+			}
+			return 0
+		})
+		dst := spare[:offsets[len(edges)]]
+		par.ForEach(p, len(edges), 4096, func(i int) {
+			e := &edges[i]
+			gu, gw := gv[e.u], gv[e.v]
+			if gu != gw {
+				dst[offsets[i]] = cedge{u: nid[gu], v: nid[gw], key: e.key}
+			}
+		})
+		spare = edges[:cap(edges)]
+		edges = dst
+		nv = len(roots)
+	}
+	if opts.Metrics != nil {
+		*opts.Metrics = WorkMetrics{
+			Rounds: rounds, JumpRounds: jumpRounds, JumpAdvances: jumpAdvances,
+		}
+	}
+	return newForest(g, ids)
+}

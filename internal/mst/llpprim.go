@@ -1,0 +1,282 @@
+package mst
+
+import (
+	"sync/atomic"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/par"
+	"llpmst/internal/pq"
+)
+
+// LLP-Prim (Algorithm 5, "early fixing"). The state vector G of the LLP
+// formulation (Algorithm 4) — each vertex's currently proposed parent edge —
+// is realized here as the packed dist[] key: the low 32 bits of a vertex's
+// tentative key are exactly its proposed parent edge id, so advancing G[j]
+// and relaxing dist[j] are the same operation.
+//
+// A vertex becomes fixed in one of the two ways §V.A enumerates:
+//
+//  1. as the nearest neighbor of the fixed fragment (a heap pop — classic
+//     Prim), or
+//  2. through a minimum weight edge (MWE): while exploring the arcs of a
+//     fixed vertex j, a non-fixed neighbor k is fixed immediately if the arc
+//     is j's or k's minimum-weight edge. Such edges are always in the MSF
+//     (they are first-round Boruvka edges), so no heap traffic is needed and
+//     the fixing can cascade: k joins the bag R and is explored in turn.
+//
+// Relaxations discovered while draining R are staged in the set Q and pushed
+// into the heap only when R empties — Algorithm 5's device for avoiding
+// insertOrAdjust churn while the bag is hot. Both optimizations have
+// ablation switches in Options.
+//
+// The fixed set always forms a subtree of the (unique) MSF of its component:
+// early fixing adds minimum-incident edges, heap pops add minimum cut edges,
+// and each newly fixed vertex contributes exactly one edge. That invariant
+// is why LLP-Prim(1T) performs strictly less heap work than Prim on the same
+// input, the effect Fig. 2 measures.
+
+// LLPPrim runs the sequential (1-thread) LLP-Prim of Algorithm 5.
+// Disconnected inputs are handled by restarting from each unvisited vertex,
+// producing the minimum spanning forest.
+func LLPPrim(g *graph.CSR, opts Options) *Forest {
+	n := g.NumVertices()
+	mwe := minWeightEdges(1, g)
+	earlyFix := !opts.NoEarlyFix
+	staging := !opts.NoStaging
+
+	fixed := make([]bool, n)
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = par.InfKey
+	}
+	h := pq.NewLazyHeap(64)
+	var r []uint32 // the bag R of fixed, unexplored vertices
+	var q []uint32 // the staging set Q
+	inQ := make([]bool, n)
+	ids := make([]uint32, 0, n)
+	var pushes, pops, stale, early, heapFixes, relaxations int64
+
+	for s := 0; s < n; s++ {
+		if fixed[s] {
+			continue
+		}
+		fixed[s] = true
+		r = append(r[:0], uint32(s))
+		for {
+			// Drain R: explore fixed vertices, cascading MWE fixings.
+			for len(r) > 0 {
+				j := r[len(r)-1]
+				r = r[:len(r)-1]
+				mweJ := mwe[j]
+				lo, hi := g.ArcRange(j)
+				for a := lo; a < hi; a++ {
+					k := g.Target(a)
+					if fixed[k] {
+						continue
+					}
+					key := g.ArcKey(a)
+					// Early fix via j's own mwe: a register compare.
+					if earlyFix && key == mweJ {
+						fixed[k] = true
+						ids = append(ids, g.ArcEdgeID(a))
+						r = append(r, k)
+						early++
+						continue
+					}
+					if key < dist[k] {
+						// Early fix via k's mwe. The check can live inside
+						// the improvement branch: key == mwe[k] implies
+						// key < dist[k], because every other k-incident key
+						// exceeds mwe[k] and this arc — the only one that
+						// could have written dist[k] = mwe[k] — is explored
+						// exactly once, now.
+						if earlyFix && key == mwe[k] {
+							fixed[k] = true
+							ids = append(ids, g.ArcEdgeID(a))
+							r = append(r, k)
+							early++
+							continue
+						}
+						dist[k] = key
+						relaxations++
+						if staging {
+							if !inQ[k] {
+								inQ[k] = true
+								q = append(q, k)
+							}
+						} else {
+							h.Push(k, key)
+							pushes++
+						}
+					}
+				}
+			}
+			// R drained: flush Q into the heap.
+			if staging {
+				for _, k := range q {
+					inQ[k] = false
+					if !fixed[k] {
+						h.Push(k, dist[k])
+						pushes++
+					}
+				}
+				q = q[:0]
+			}
+			// Fix the nearest neighbor of the fragment, if any.
+			fixedOne := false
+			for !h.Empty() {
+				k, key := h.PopMin()
+				pops++
+				if fixed[k] || key != dist[k] {
+					stale++
+					continue // stale entry
+				}
+				fixed[k] = true
+				ids = append(ids, par.KeyID(key))
+				r = append(r, k)
+				heapFixes++
+				fixedOne = true
+				break
+			}
+			if !fixedOne {
+				break // component complete
+			}
+		}
+	}
+	if opts.Metrics != nil {
+		*opts.Metrics = WorkMetrics{
+			HeapPushes: pushes, HeapPops: pops, StalePops: stale,
+			EarlyFixes: early, HeapFixes: heapFixes, Relaxations: relaxations,
+		}
+	}
+	return newForest(g, ids)
+}
+
+// LLPPrimParallel runs Algorithm 5 with the bag R processed by
+// opts.Workers goroutines: the vertices of R form a frontier whose arcs are
+// explored in parallel ("If R consists of multiple vertices then all of them
+// can be explored in parallel", §V.A). Fixing races are resolved with a CAS
+// per vertex, tentative keys with atomic write-min; the heap is touched only
+// in the sequential region between frontier waves, where Q is flushed.
+func LLPPrimParallel(g *graph.CSR, opts Options) *Forest {
+	n := g.NumVertices()
+	p := opts.workers()
+	mwe := minWeightEdges(p, g)
+	earlyFix := !opts.NoEarlyFix
+	staging := !opts.NoStaging
+
+	fixed := make([]uint32, n) // atomic 0/1
+	dist := make([]uint64, n)  // atomic packed keys
+	par.FillKeys(p, dist, par.InfKey)
+	inQ := make([]uint32, n) // atomic 0/1
+	h := pq.NewLazyHeap(64)
+	ids := make([]uint32, 0, n)
+	var qbuf []uint32
+
+	// rec carries one frontier-expansion outcome: eid == qMark flags a Q
+	// candidate, anything else a newly fixed vertex and its tree edge.
+	const qMark = ^uint32(0)
+	type rec struct{ v, eid uint32 }
+
+	frontier := make([]uint32, 0, 1024)
+	var pushes, pops, stale, early, heapFixes int64
+	for s := 0; s < n; s++ {
+		if atomic.LoadUint32(&fixed[s]) == 1 {
+			continue
+		}
+		fixed[s] = 1
+		frontier = append(frontier[:0], uint32(s))
+		for {
+			for len(frontier) > 0 {
+				f := frontier
+				out := par.ForCollect(p, len(f), 32, func(lo, hi int, out []rec) []rec {
+					for i := lo; i < hi; i++ {
+						j := f[i]
+						mweJ := mwe[j]
+						alo, ahi := g.ArcRange(j)
+						for a := alo; a < ahi; a++ {
+							k := g.Target(a)
+							if atomic.LoadUint32(&fixed[k]) == 1 {
+								continue
+							}
+							key := g.ArcKey(a)
+							if earlyFix && key == mweJ {
+								if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
+									out = append(out, rec{k, g.ArcEdgeID(a)})
+								}
+								continue
+							}
+							// Early fix via k's own mwe (the paper's other
+							// half of "this edge could be the minimum
+							// weight edge for z or for k").
+							if earlyFix && key == mwe[k] {
+								if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
+									out = append(out, rec{k, g.ArcEdgeID(a)})
+								}
+								continue
+							}
+							if par.WriteMin(&dist[k], key) {
+								if !staging {
+									// Ablation: no dedup — every improvement
+									// becomes a heap push, re-creating the
+									// churn Q avoids.
+									out = append(out, rec{k, qMark})
+								} else if atomic.CompareAndSwapUint32(&inQ[k], 0, 1) {
+									out = append(out, rec{k, qMark})
+								}
+							}
+						}
+					}
+					return out
+				})
+				frontier = frontier[:0]
+				for _, r := range out {
+					if r.eid == qMark {
+						qbuf = append(qbuf, r.v)
+					} else {
+						ids = append(ids, r.eid)
+						frontier = append(frontier, r.v)
+						early++
+					}
+				}
+			}
+			// Sequential region (post-barrier): flush Q, then fix the
+			// nearest neighbor of the fragment.
+			for _, k := range qbuf {
+				if staging {
+					inQ[k] = 0
+				}
+				if fixed[k] == 0 {
+					h.Push(k, dist[k])
+					pushes++
+				}
+			}
+			qbuf = qbuf[:0]
+			fixedOne := false
+			for !h.Empty() {
+				k, key := h.PopMin()
+				pops++
+				if fixed[k] == 1 || key != dist[k] {
+					stale++
+					continue
+				}
+				fixed[k] = 1
+				ids = append(ids, par.KeyID(key))
+				frontier = append(frontier, k)
+				heapFixes++
+				fixedOne = true
+				break
+			}
+			if !fixedOne {
+				break
+			}
+		}
+	}
+	if opts.Metrics != nil {
+		*opts.Metrics = WorkMetrics{
+			HeapPushes: pushes, HeapPops: pops, StalePops: stale,
+			EarlyFixes: early, HeapFixes: heapFixes,
+		}
+	}
+	return newForest(g, ids)
+}

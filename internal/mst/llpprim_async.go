@@ -1,0 +1,122 @@
+package mst
+
+import (
+	"sync/atomic"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/par"
+	"llpmst/internal/pq"
+	"llpmst/internal/sched"
+)
+
+// LLPPrimAsync is Algorithm 5 with the bag R scheduled by the Galois-style
+// asynchronous work-stealing executor (internal/sched) instead of
+// barrier-synchronized frontier waves: workers pull fixed vertices from R,
+// explore their arcs, CAS-fix MWE neighbors and push them straight back
+// into the bag — no synchronization between explorations, exactly the
+// paper's "the inner loop keeps processing the set R till it becomes
+// empty... If R consists of multiple vertices then all of them can be
+// explored in parallel". The heap phase between bag quiescences is
+// sequential, as in the other variants.
+//
+// Compared to LLPPrimParallel (frontier waves), the async bag avoids one
+// barrier per wave at the cost of per-item queue traffic; the ablation
+// benchmark compares the two schedules.
+func LLPPrimAsync(g *graph.CSR, opts Options) *Forest {
+	n := g.NumVertices()
+	p := opts.workers()
+	mwe := minWeightEdges(p, g)
+	earlyFix := !opts.NoEarlyFix
+
+	fixed := make([]uint32, n) // atomic 0/1
+	dist := make([]uint64, n)  // atomic packed keys
+	par.FillKeys(p, dist, par.InfKey)
+	inQ := make([]uint32, n) // atomic 0/1
+
+	// Concurrent accumulators: chosen tree edges and the staging set Q,
+	// claimed by atomic cursor into preallocated arrays.
+	ids := make([]uint32, n) // at most n-1 tree edges
+	var idCursor atomic.Int64
+	qbuf := make([]uint32, n)
+	var qCursor atomic.Int64
+
+	h := pq.NewLazyHeap(64)
+	var pushes, pops, stale, early, heapFixes int64
+
+	explore := func(j uint32, push func(uint32)) {
+		mweJ := mwe[j]
+		lo, hi := g.ArcRange(j)
+		for a := lo; a < hi; a++ {
+			k := g.Target(a)
+			if atomic.LoadUint32(&fixed[k]) == 1 {
+				continue
+			}
+			key := g.ArcKey(a)
+			if earlyFix && (key == mweJ || key == mwe[k]) {
+				if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
+					ids[idCursor.Add(1)-1] = g.ArcEdgeID(a)
+					push(k)
+				}
+				continue
+			}
+			if par.WriteMin(&dist[k], key) {
+				// Q staging is integral here: the inQ dedup bounds the
+				// concurrent buffer at one slot per vertex, so the
+				// NoStaging ablation applies only to the other variants.
+				if atomic.CompareAndSwapUint32(&inQ[k], 0, 1) {
+					qbuf[qCursor.Add(1)-1] = k
+				}
+			}
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		if atomic.LoadUint32(&fixed[s]) == 1 {
+			continue
+		}
+		fixed[s] = 1
+		seed := []uint32{uint32(s)}
+		for {
+			sched.ForEachAsync(p, seed, explore)
+			// Quiescent: flush Q into the heap, then fix the fragment's
+			// nearest neighbor.
+			q := qbuf[:qCursor.Load()]
+			for _, k := range q {
+				inQ[k] = 0
+				if fixed[k] == 0 {
+					h.Push(k, dist[k])
+					pushes++
+				}
+			}
+			qCursor.Store(0)
+			fixedOne := false
+			for !h.Empty() {
+				k, key := h.PopMin()
+				pops++
+				if fixed[k] == 1 || key != dist[k] {
+					stale++
+					continue
+				}
+				fixed[k] = 1
+				ids[idCursor.Add(1)-1] = par.KeyID(key)
+				seed = append(seed[:0], k)
+				heapFixes++
+				fixedOne = true
+				break
+			}
+			if !fixedOne {
+				break
+			}
+		}
+	}
+	chosen := make([]uint32, idCursor.Load())
+	copy(chosen, ids[:idCursor.Load()])
+	if opts.Metrics != nil {
+		early = idCursor.Load() - heapFixes
+		*opts.Metrics = WorkMetrics{
+			HeapPushes: pushes, HeapPops: pops, StalePops: stale,
+			EarlyFixes: early, HeapFixes: heapFixes,
+		}
+	}
+	return newForest(g, chosen)
+}

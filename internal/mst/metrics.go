@@ -1,0 +1,66 @@
+package mst
+
+import "fmt"
+
+// WorkMetrics counts machine-independent operations, the quantities behind
+// the paper's performance arguments: §V.A claims LLP-Prim "reduces the
+// number of heap operations required by Prim by allowing edges to be
+// selected without entering the heap", and §VI that LLP-Boruvka needs
+// "little to no synchronization" per round. Pass a *WorkMetrics in
+// Options.Metrics (or use Run) to collect them; counting costs a few
+// register increments and does not perturb the measured algorithms.
+//
+// Fields are filled only where they make sense for the algorithm that ran;
+// the rest stay zero.
+type WorkMetrics struct {
+	// HeapPushes counts insertions (including insertOrAdjust that inserted
+	// or decreased).
+	HeapPushes int64
+	// HeapPops counts removals, including stale ones.
+	HeapPops int64
+	// StalePops counts pops discarded because the vertex was already fixed
+	// or the entry's key was outdated (lazy heaps only).
+	StalePops int64
+	// EarlyFixes counts vertices fixed through a minimum-weight edge
+	// (LLP-Prim's "second way", §V.A) — fixings that bypassed the heap.
+	EarlyFixes int64
+	// HeapFixes counts vertices fixed by a heap pop (classic Prim's only
+	// way).
+	HeapFixes int64
+	// Relaxations counts tentative-distance improvements.
+	Relaxations int64
+	// Rounds counts outer rounds (Boruvka-family: contraction rounds).
+	Rounds int64
+	// JumpRounds counts LLP pointer-jumping sweeps (LLP-Boruvka).
+	JumpRounds int64
+	// JumpAdvances counts pointer-jump advance operations (LLP-Boruvka).
+	JumpAdvances int64
+	// Unions counts union-find Union calls that merged (ParallelBoruvka,
+	// Kruskal family).
+	Unions int64
+}
+
+// Add accumulates other into m.
+func (m *WorkMetrics) Add(other WorkMetrics) {
+	m.HeapPushes += other.HeapPushes
+	m.HeapPops += other.HeapPops
+	m.StalePops += other.StalePops
+	m.EarlyFixes += other.EarlyFixes
+	m.HeapFixes += other.HeapFixes
+	m.Relaxations += other.Relaxations
+	m.Rounds += other.Rounds
+	m.JumpRounds += other.JumpRounds
+	m.JumpAdvances += other.JumpAdvances
+	m.Unions += other.Unions
+}
+
+// HeapOps returns total heap traffic (pushes + pops).
+func (m *WorkMetrics) HeapOps() int64 { return m.HeapPushes + m.HeapPops }
+
+// String renders the non-zero counters.
+func (m *WorkMetrics) String() string {
+	return fmt.Sprintf(
+		"work{push=%d pop=%d stale=%d earlyFix=%d heapFix=%d relax=%d rounds=%d jumpRounds=%d jumpAdv=%d unions=%d}",
+		m.HeapPushes, m.HeapPops, m.StalePops, m.EarlyFixes, m.HeapFixes,
+		m.Relaxations, m.Rounds, m.JumpRounds, m.JumpAdvances, m.Unions)
+}

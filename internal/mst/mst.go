@@ -1,0 +1,224 @@
+// Package mst implements the paper's contribution and its baselines: the
+// minimum spanning forest algorithms LLP-Prim (Algorithm 5) and LLP-Boruvka
+// (Algorithm 6), the classical Prim (Algorithm 2, indexed-heap and lazy-heap
+// variants), sequential Boruvka (Algorithm 3), a GBBS-style parallel Boruvka
+// baseline, Kruskal and Filter-Kruskal, and two verifiers.
+//
+// Every algorithm produces the same unique minimum spanning forest, because
+// all comparisons use the packed (weight, edge id) total order — the paper's
+// "make weights unique by incorporating identities" device. The test suite
+// exploits this: all algorithms are cross-checked edge-for-edge.
+package mst
+
+import (
+	"fmt"
+	"slices"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/llp"
+	"llpmst/internal/par"
+)
+
+// Forest is a minimum spanning forest: the canonical edge ids of the chosen
+// edges (sorted ascending), their total weight, and the number of trees
+// (connected components of the input, counting isolated vertices).
+type Forest struct {
+	// N is the number of vertices of the input graph.
+	N int
+	// EdgeIDs are the chosen edges' canonical ids, sorted ascending.
+	EdgeIDs []uint32
+	// Weight is the total weight of the chosen edges (float64 accumulation).
+	Weight float64
+	// Trees is the number of trees in the forest, i.e. the number of
+	// connected components of the input graph.
+	Trees int
+}
+
+// newForest canonicalizes a raw edge id list into a Forest.
+func newForest(g *graph.CSR, ids []uint32) *Forest {
+	slices.Sort(ids)
+	var w float64
+	for _, id := range ids {
+		w += float64(g.Edge(id).W)
+	}
+	return &Forest{
+		N:       g.NumVertices(),
+		EdgeIDs: ids,
+		Weight:  w,
+		Trees:   g.NumVertices() - len(ids),
+	}
+}
+
+// Equal reports whether two forests choose exactly the same edge set.
+func (f *Forest) Equal(other *Forest) bool {
+	return f.N == other.N && slices.Equal(f.EdgeIDs, other.EdgeIDs)
+}
+
+// String summarizes the forest.
+func (f *Forest) String() string {
+	return fmt.Sprintf("forest{n=%d edges=%d trees=%d weight=%g}", f.N, len(f.EdgeIDs), f.Trees, f.Weight)
+}
+
+// Spanning reports whether the forest spans a connected input as a single
+// tree.
+func (f *Forest) Spanning() bool { return f.Trees == 1 }
+
+// ParentArray returns the forest as rooted parent pointers: parent[v] is
+// v's parent vertex on the path to its tree's root, and -1 at roots. The
+// tree containing root is rooted there; every other tree is rooted at its
+// smallest vertex id. This is the "parent structure of the minimum spanning
+// tree" Algorithm 2 maintains, reconstructed from the edge set by BFS.
+func (f *Forest) ParentArray(g *graph.CSR, root uint32) []int32 {
+	n := g.NumVertices()
+	adjOff := make([]int32, n+1)
+	for _, id := range f.EdgeIDs {
+		e := g.Edge(id)
+		adjOff[e.U+1]++
+		adjOff[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		adjOff[i+1] += adjOff[i]
+	}
+	adj := make([]uint32, adjOff[n])
+	cursor := make([]int32, n)
+	copy(cursor, adjOff[:n])
+	for _, id := range f.EdgeIDs {
+		e := g.Edge(id)
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	const unseen = int32(-2)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = unseen
+	}
+	queue := make([]uint32, 0, 1024)
+	bfs := func(s uint32) {
+		parent[s] = -1
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, t := range adj[adjOff[v]:adjOff[v+1]] {
+				if parent[t] == unseen {
+					parent[t] = int32(v)
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	if int(root) < n {
+		bfs(root)
+	}
+	for s := uint32(0); int(s) < n; s++ {
+		if parent[s] == unseen {
+			bfs(s)
+		}
+	}
+	return parent
+}
+
+// Options configures the parallel algorithms and the ablation switches for
+// the design choices DESIGN.md calls out. The zero value is the default
+// configuration with Workers = GOMAXPROCS.
+type Options struct {
+	// Workers is the number of goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// NoEarlyFix disables LLP-Prim's MWE early fixing (ablation): vertices
+	// are then only fixed by heap pops, degenerating LLP-Prim into a lazy
+	// Prim. Measures the contribution of §V.A's "second way of becoming
+	// fixed".
+	NoEarlyFix bool
+
+	// NoStaging disables LLP-Prim's Q staging set (ablation): relaxations
+	// push into the heap immediately instead of waiting for the R set to
+	// drain, re-creating the heap churn the paper's Q set avoids.
+	NoStaging bool
+
+	// JumpMode selects the LLP driver for LLP-Boruvka's pointer jumping.
+	// Default is llp.ModeAsync, the paper's "little or no synchronization"
+	// mode; llp.ModeRound gives the barrier-synchronized variant and
+	// llp.ModeSequential a serial one (for the ablation bench).
+	JumpMode llp.Mode
+
+	// Metrics, when non-nil, receives machine-independent operation counts
+	// for the run (heap traffic, early fixes, rounds, ...). See WorkMetrics.
+	Metrics *WorkMetrics
+
+	// Seed feeds the randomized algorithms (KKT's sampling coins). Runs are
+	// reproducible for a fixed seed; the produced forest is the same unique
+	// MSF for every seed — randomness only affects the work.
+	Seed int64
+}
+
+func (o Options) workers() int { return par.Workers(o.Workers) }
+
+// Algorithm identifies one of the implemented MSF algorithms, for harness
+// registries.
+type Algorithm string
+
+// The implemented algorithms.
+const (
+	AlgPrim            Algorithm = "prim"           // Algorithm 2, indexed heap
+	AlgPrimLazy        Algorithm = "prim-lazy"      // §IV simplified analysis variant
+	AlgLLPPrim         Algorithm = "llp-prim"       // Algorithm 5, sequential (1T)
+	AlgLLPPrimParallel Algorithm = "llp-prim-par"   // Algorithm 5, parallel frontier waves
+	AlgLLPPrimAsync    Algorithm = "llp-prim-async" // Algorithm 5, async work-stealing bag
+	AlgBoruvka         Algorithm = "boruvka"        // Algorithm 3, sequential BFS-based
+	AlgParallelBoruvka Algorithm = "boruvka-par"    // GBBS-style parallel baseline
+	AlgLLPBoruvka      Algorithm = "llp-boruvka"    // Algorithm 6
+	AlgKruskal         Algorithm = "kruskal"        // sort + union-find
+	AlgFilterKruskal   Algorithm = "filter-kruskal" // parallel filter variant
+	AlgKKT             Algorithm = "kkt"            // Karger-Klein-Tarjan randomized linear-time
+)
+
+// Algorithms lists every implemented algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgPrim, AlgPrimLazy, AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync,
+		AlgBoruvka, AlgParallelBoruvka, AlgLLPBoruvka,
+		AlgKruskal, AlgFilterKruskal, AlgKKT,
+	}
+}
+
+// Run dispatches to the named algorithm, honoring opts.Metrics for the
+// algorithms whose public helper takes no Options.
+func Run(alg Algorithm, g *graph.CSR, opts Options) (*Forest, error) {
+	switch alg {
+	case AlgPrim:
+		return primIndexed(g, opts.Metrics), nil
+	case AlgPrimLazy:
+		return primLazy(g, opts.Metrics), nil
+	case AlgLLPPrim:
+		return LLPPrim(g, opts), nil
+	case AlgLLPPrimParallel:
+		return LLPPrimParallel(g, opts), nil
+	case AlgLLPPrimAsync:
+		return LLPPrimAsync(g, opts), nil
+	case AlgBoruvka:
+		return boruvka(g, opts.Metrics), nil
+	case AlgParallelBoruvka:
+		return ParallelBoruvka(g, opts), nil
+	case AlgLLPBoruvka:
+		return LLPBoruvka(g, opts), nil
+	case AlgKruskal:
+		return kruskal(g, opts.Metrics), nil
+	case AlgFilterKruskal:
+		return FilterKruskal(g, opts), nil
+	case AlgKKT:
+		return KKT(g, opts), nil
+	default:
+		return nil, fmt.Errorf("mst: unknown algorithm %q", alg)
+	}
+}
+
+// minWeightEdges returns mwe[v]: the packed key of the minimum-weight edge
+// incident to each vertex (InfKey for isolated vertices). §V.A: "this
+// algorithm requires every vertex to know its minimum weight edge... the
+// set MWE can be computed when the graph is input" — so it is computed once
+// per graph and cached (see graph.CSR.MinArcKeys).
+func minWeightEdges(p int, g *graph.CSR) []uint64 {
+	return g.MinArcKeys(p)
+}

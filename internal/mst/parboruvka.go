@@ -1,0 +1,95 @@
+package mst
+
+import (
+	"sync/atomic"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/par"
+	"llpmst/internal/unionfind"
+)
+
+// ParallelBoruvka is the GBBS-style parallel Boruvka baseline the paper
+// compares LLP-Boruvka against (§VII, "a fast parallel implementation of
+// Boruvka"): rounds of
+//
+//  1. atomic write-min of every live cross edge into its two endpoint
+//     components' best-edge cells,
+//  2. adding each component's winning edge (CAS-deduplicated — an edge can
+//     win for both sides) and uniting the endpoints in a lock-free
+//     union-find,
+//  3. relabelling vertices to their component root and compacting the live
+//     edge array, discarding intra-component edges.
+//
+// Synchronization profile: a barrier between each phase and a union-find
+// shared by all workers — exactly the costs LLP-Boruvka's rooted-star
+// formulation avoids (no union-find; symmetry breaking plus pointer jumping
+// instead).
+func ParallelBoruvka(g *graph.CSR, opts Options) *Forest {
+	p := opts.workers()
+	n := g.NumVertices()
+	m := g.NumEdges()
+	edges := g.Edges()
+
+	uf := unionfind.NewConcurrent(n)
+	comp := make([]uint32, n)
+	par.ForEach(p, n, 8192, func(v int) { comp[v] = uint32(v) })
+	best := make([]uint64, n)
+	inT := make([]uint32, m) // atomic 0/1
+	alive := make([]uint32, m)
+	par.ForEach(p, m, 8192, func(i int) { alive[i] = uint32(i) })
+	ids := make([]uint32, 0, n)
+	var rounds int64
+
+	for len(alive) > 0 {
+		rounds++
+		par.FillKeys(p, best, par.InfKey)
+		// Phase 1: write-min every live cross edge into both components.
+		par.ForEach(p, len(alive), 2048, func(i int) {
+			id := alive[i]
+			e := &edges[id]
+			cu, cv := comp[e.U], comp[e.V]
+			if cu == cv {
+				return
+			}
+			key := par.PackKey(e.W, id)
+			par.WriteMin(&best[cu], key)
+			par.WriteMin(&best[cv], key)
+		})
+		// Phase 2: per component root, add the winner and unite. comp[]
+		// still holds the pre-union labels, so roots are stable here.
+		won := par.ForCollect(p, n, 2048, func(lo, hi int, out []uint32) []uint32 {
+			for v := lo; v < hi; v++ {
+				if comp[v] != uint32(v) || best[v] == par.InfKey {
+					continue
+				}
+				id := par.KeyID(best[v])
+				e := &edges[id]
+				uf.Union(e.U, e.V)
+				if atomic.CompareAndSwapUint32(&inT[id], 0, 1) {
+					out = append(out, id)
+				}
+			}
+			return out
+		})
+		if len(won) == 0 {
+			break
+		}
+		ids = append(ids, won...)
+		// Phase 3: relabel and compact.
+		par.ForEach(p, n, 4096, func(v int) { comp[v] = uf.Find(uint32(v)) })
+		alive = par.ForCollect(p, len(alive), 4096, func(lo, hi int, out []uint32) []uint32 {
+			for i := lo; i < hi; i++ {
+				id := alive[i]
+				e := &edges[id]
+				if comp[e.U] != comp[e.V] {
+					out = append(out, id)
+				}
+			}
+			return out
+		})
+	}
+	if opts.Metrics != nil {
+		*opts.Metrics = WorkMetrics{Rounds: rounds, Unions: int64(len(ids))}
+	}
+	return newForest(g, ids)
+}

@@ -1,0 +1,75 @@
+package mst
+
+import (
+	"testing"
+
+	"llpmst/internal/gen"
+)
+
+func TestParentArrayRootedAtRequestedVertex(t *testing.T) {
+	g := gen.PaperFigure1()
+	f := Prim(g)
+	parent := f.ParentArray(g, 0)
+	if parent[0] != -1 {
+		t.Fatalf("root parent = %d, want -1", parent[0])
+	}
+	// Every non-root must reach the root, and each step must be a forest
+	// edge.
+	inForest := map[[2]uint32]bool{}
+	for _, id := range f.EdgeIDs {
+		e := g.Edge(id)
+		inForest[[2]uint32{e.U, e.V}] = true
+		inForest[[2]uint32{e.V, e.U}] = true
+	}
+	for v := uint32(1); int(v) < g.NumVertices(); v++ {
+		steps := 0
+		cur := v
+		for parent[cur] != -1 {
+			p := uint32(parent[cur])
+			if !inForest[[2]uint32{cur, p}] {
+				t.Fatalf("parent step (%d -> %d) is not a forest edge", cur, p)
+			}
+			cur = p
+			if steps++; steps > g.NumVertices() {
+				t.Fatal("parent pointers contain a cycle")
+			}
+		}
+		if cur != 0 {
+			t.Fatalf("vertex %d reaches root %d, want 0", v, cur)
+		}
+	}
+}
+
+func TestParentArrayForests(t *testing.T) {
+	g := gen.Disconnected(3, 10, 5)
+	f := Kruskal(g)
+	parent := f.ParentArray(g, 0)
+	roots := 0
+	for _, p := range parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 3 {
+		t.Fatalf("%d roots, want 3 (one per tree)", roots)
+	}
+	// Secondary trees root at their smallest vertex: components are
+	// [0,10), [10,20), [20,30).
+	if parent[10] != -1 || parent[20] != -1 {
+		t.Fatalf("secondary roots wrong: parent[10]=%d parent[20]=%d", parent[10], parent[20])
+	}
+	// Out-of-range root falls back to smallest-id roots everywhere.
+	p2 := f.ParentArray(g, 9999)
+	if p2[0] != -1 {
+		t.Fatal("fallback rooting broken")
+	}
+}
+
+func TestParentArrayEmpty(t *testing.T) {
+	g := gen.Star(1)
+	f := Kruskal(g)
+	parent := f.ParentArray(g, 0)
+	if len(parent) != 1 || parent[0] != -1 {
+		t.Fatalf("singleton parent array %v", parent)
+	}
+}

@@ -1,0 +1,35 @@
+package par
+
+// ForCollect runs body over chunks of [0, n) with p workers; each chunk
+// appends results to a fresh local buffer that body returns, and ForCollect
+// concatenates all buffers into one slice. Chunk order within the result is
+// unspecified (parallel frontier expansion does not need it).
+func ForCollect[T any](p, n, grain int, body func(lo, hi int, out []T) []T) []T {
+	if n <= 0 {
+		return nil
+	}
+	p = Workers(p)
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if p == 1 || n <= grain {
+		return body(0, n, nil)
+	}
+	nchunks := (n + grain - 1) / grain
+	results := make(chan []T, nchunks)
+	For(p, n, grain, func(lo, hi int) {
+		results <- body(lo, hi, nil)
+	})
+	close(results)
+	var total int
+	bufs := make([][]T, 0, nchunks)
+	for b := range results {
+		bufs = append(bufs, b)
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

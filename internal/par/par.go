@@ -1,0 +1,106 @@
+// Package par provides the shared-memory parallel runtime used by every
+// algorithm in this repository. It is the Go substitute for the Galois and
+// GBBS C++ runtimes the paper builds on: dynamically load-balanced parallel
+// loops, parallel prefix sums, parallel sorting, parallel reductions, an
+// unordered work bag, and atomic-minimum updates on packed (weight, id) keys.
+//
+// All entry points take an explicit worker count p. p <= 0 means
+// runtime.GOMAXPROCS(0). Every function degrades to a plain sequential loop
+// when p == 1 or when the input is below the grain size, so single-threaded
+// callers pay no synchronization cost.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the smallest amount of work a worker grabs at once in
+// dynamically scheduled loops. Chosen so that the atomic fetch-add that
+// hands out chunks is amortized over a few microseconds of work.
+const DefaultGrain = 1024
+
+// Workers normalizes a requested worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// For runs body over the index range [0, n) using p workers. The range is
+// handed out in chunks of size grain (DefaultGrain if grain <= 0) through a
+// shared atomic counter, which gives dynamic load balancing for irregular
+// work such as graph traversals. body must be safe to call concurrently on
+// disjoint ranges.
+func For(p, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p = Workers(p)
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	if max := (n + grain - 1) / grain; p > max {
+		p = max
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n) using p workers. Convenience
+// wrapper over For for element-wise loops.
+func ForEach(p, n, grain int, body func(i int)) {
+	For(p, n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Do runs the given thunks concurrently on up to p workers and waits for all
+// of them. Used for small fixed fan-outs (e.g. sorting halves).
+func Do(p int, thunks ...func()) {
+	p = Workers(p)
+	if p == 1 || len(thunks) == 1 {
+		for _, t := range thunks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p)
+	for _, t := range thunks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f func()) {
+			defer func() { <-sem; wg.Done() }()
+			f()
+		}(t)
+	}
+	wg.Wait()
+}

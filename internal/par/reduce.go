@@ -1,0 +1,71 @@
+package par
+
+// Parallel reductions over index ranges. Used for graph statistics and for
+// the termination checks of round-synchronous LLP drivers.
+
+// ReduceInt64 reduces f(i) over [0, n) with the associative, commutative
+// combine function and the given identity, using p workers.
+func ReduceInt64(p, n int, identity int64, f func(i int) int64, combine func(a, b int64) int64) int64 {
+	return reduceChunks(p, n, identity, f, combine)
+}
+
+// SumInt64 returns the sum of f(i) for i in [0, n) computed with p workers.
+func SumInt64(p, n int, f func(i int) int64) int64 {
+	return reduceChunks(p, n, 0, f, func(a, b int64) int64 { return a + b })
+}
+
+// MaxInt64 returns the maximum of f(i) for i in [0, n), or identity if n==0.
+func MaxInt64(p, n int, identity int64, f func(i int) int64) int64 {
+	return reduceChunks(p, n, identity, f, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// CountTrue returns how many i in [0, n) satisfy pred.
+func CountTrue(p, n int, pred func(i int) bool) int64 {
+	return SumInt64(p, n, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Any reports whether pred(i) holds for at least one i in [0, n). It may
+// evaluate pred on all indices (no early exit across workers), which is fine
+// for the dense checks it is used for.
+func Any(p, n int, pred func(i int) bool) bool {
+	return CountTrue(p, n, pred) > 0
+}
+
+// reduceChunks evaluates the reduction chunk-wise: each worker-chunk reduces
+// locally, then the per-chunk results are folded sequentially. Per-chunk
+// results are delivered through a channel to avoid sharing accumulators.
+func reduceChunks(p, n int, identity int64, f func(i int) int64, combine func(a, b int64) int64) int64 {
+	p = Workers(p)
+	if p == 1 || n <= DefaultGrain {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = combine(acc, f(i))
+		}
+		return acc
+	}
+	nchunks := (n + DefaultGrain - 1) / DefaultGrain
+	results := make(chan int64, nchunks)
+	For(p, n, DefaultGrain, func(lo, hi int) {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, f(i))
+		}
+		results <- acc
+	})
+	close(results)
+	acc := identity
+	for v := range results {
+		acc = combine(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,91 @@
+package par
+
+import (
+	"slices"
+	"sort"
+)
+
+// Parallel sorting. Kruskal and the contraction steps sort edge arrays; on
+// large inputs we use a chunked merge sort: p sorted runs produced with the
+// stdlib sort, then pairwise parallel merges. Stable enough for our use
+// (keys are unique packed (weight,id) values).
+
+const sortSeqCutoff = 1 << 13
+
+// SortUint64 sorts s ascending using up to p workers.
+func SortUint64(p int, s []uint64) {
+	p = Workers(p)
+	if p == 1 || len(s) <= sortSeqCutoff {
+		slices.Sort(s)
+		return
+	}
+	mergeSortU64(p, s, make([]uint64, len(s)))
+}
+
+func mergeSortU64(p int, s, tmp []uint64) {
+	if p <= 1 || len(s) <= sortSeqCutoff {
+		slices.Sort(s)
+		return
+	}
+	mid := len(s) / 2
+	Do(2,
+		func() { mergeSortU64(p/2, s[:mid], tmp[:mid]) },
+		func() { mergeSortU64(p-p/2, s[mid:], tmp[mid:]) },
+	)
+	copy(tmp, s)
+	mergeU64(tmp[:mid], tmp[mid:], s)
+}
+
+func mergeU64(a, b, out []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// SortFunc sorts s with the given strict-weak less function using up to p
+// workers (parallel merge sort over stdlib-sorted runs).
+func SortFunc[T any](p int, s []T, less func(a, b T) bool) {
+	p = Workers(p)
+	if p == 1 || len(s) <= sortSeqCutoff {
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		return
+	}
+	mergeSortFunc(p, s, make([]T, len(s)), less)
+}
+
+func mergeSortFunc[T any](p int, s, tmp []T, less func(a, b T) bool) {
+	if p <= 1 || len(s) <= sortSeqCutoff {
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		return
+	}
+	mid := len(s) / 2
+	Do(2,
+		func() { mergeSortFunc(p/2, s[:mid], tmp[:mid], less) },
+		func() { mergeSortFunc(p-p/2, s[mid:], tmp[mid:], less) },
+	)
+	copy(tmp, s)
+	a, b := tmp[:mid], tmp[mid:]
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			s[k] = b[j]
+			j++
+		} else {
+			s[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(s[k:], a[i:])
+	copy(s[k+len(a)-i:], b[j:])
+}

@@ -1,0 +1,124 @@
+// Package pq provides the priority queues Prim-family algorithms are built
+// on: an indexed binary heap with decrease-key (classic Prim), a lazy binary
+// heap that admits duplicate entries (the simplified Prim the paper analyses
+// in §IV, and LLP-Prim's H), and a pairing heap (an alternative meldable
+// structure used by the heap-choice ablation).
+//
+// All heaps order by uint64 keys — in practice the packed (weight, edge id)
+// total order from internal/par.
+package pq
+
+// IndexedHeap is a binary min-heap over items 0..n-1 with decrease-key
+// support: each item appears at most once and its position is tracked, so
+// DecreaseKey is O(log n). This is the textbook structure behind
+// H.insertOrAdjust in Algorithm 2 (Prim).
+type IndexedHeap struct {
+	keys []uint64 // keys[item], valid while pos[item] >= 0
+	heap []uint32 // heap[i] = item at heap position i
+	pos  []int32  // pos[item] = position in heap, -1 if absent
+}
+
+// NewIndexedHeap returns an empty heap over items 0..n-1.
+func NewIndexedHeap(n int) *IndexedHeap {
+	h := &IndexedHeap{
+		keys: make([]uint64, n),
+		heap: make([]uint32, 0, n),
+		pos:  make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *IndexedHeap) Len() int { return len(h.heap) }
+
+// Empty reports whether the heap has no items.
+func (h *IndexedHeap) Empty() bool { return len(h.heap) == 0 }
+
+// Contains reports whether the item is currently in the heap.
+func (h *IndexedHeap) Contains(item uint32) bool { return h.pos[item] >= 0 }
+
+// Key returns the current key of an item that is in the heap.
+func (h *IndexedHeap) Key(item uint32) uint64 { return h.keys[item] }
+
+// InsertOrDecrease inserts the item with the given key, or lowers its key if
+// it is already present with a larger key. Returns true if the heap changed.
+// This is exactly Algorithm 2's H.insertOrAdjust.
+func (h *IndexedHeap) InsertOrDecrease(item uint32, key uint64) bool {
+	if p := h.pos[item]; p >= 0 {
+		if key >= h.keys[item] {
+			return false
+		}
+		h.keys[item] = key
+		h.siftUp(int(p))
+		return true
+	}
+	h.keys[item] = key
+	h.pos[item] = int32(len(h.heap))
+	h.heap = append(h.heap, item)
+	h.siftUp(len(h.heap) - 1)
+	return true
+}
+
+// PopMin removes and returns the item with the smallest key and that key.
+// Panics if empty.
+func (h *IndexedHeap) PopMin() (item uint32, key uint64) {
+	item = h.heap[0]
+	key = h.keys[item]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[item] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return item, key
+}
+
+// PeekMin returns the smallest item and key without removing it.
+func (h *IndexedHeap) PeekMin() (item uint32, key uint64) {
+	item = h.heap[0]
+	return item, h.keys[item]
+}
+
+func (h *IndexedHeap) less(i, j int) bool {
+	return h.keys[h.heap[i]] < h.keys[h.heap[j]]
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *IndexedHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,84 @@
+package pq
+
+// LazyHeap is a plain binary min-heap of (key, item) entries that permits
+// duplicate items. Instead of decrease-key, callers push a fresh entry and
+// discard stale pops by checking a "fixed" flag — the simplified Prim
+// variant the paper analyses in §IV ("the heap may have a vertex multiple
+// times with different keys"), and the heap H of LLP-Prim (Algorithm 5).
+type LazyHeap struct {
+	keys  []uint64
+	items []uint32
+}
+
+// NewLazyHeap returns an empty heap with the given initial capacity.
+func NewLazyHeap(capacity int) *LazyHeap {
+	return &LazyHeap{
+		keys:  make([]uint64, 0, capacity),
+		items: make([]uint32, 0, capacity),
+	}
+}
+
+// Len returns the number of entries (duplicates counted).
+func (h *LazyHeap) Len() int { return len(h.keys) }
+
+// Empty reports whether the heap has no entries.
+func (h *LazyHeap) Empty() bool { return len(h.keys) == 0 }
+
+// Push adds an entry.
+func (h *LazyHeap) Push(item uint32, key uint64) {
+	h.keys = append(h.keys, key)
+	h.items = append(h.items, item)
+	i := len(h.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// PopMin removes and returns the entry with the smallest key. Panics if
+// empty.
+func (h *LazyHeap) PopMin() (item uint32, key uint64) {
+	item, key = h.items[0], h.keys[0]
+	last := len(h.keys) - 1
+	h.swap(0, last)
+	h.keys = h.keys[:last]
+	h.items = h.items[:last]
+	n := last
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.keys[l] < h.keys[smallest] {
+			smallest = l
+		}
+		if r < n && h.keys[r] < h.keys[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return item, key
+}
+
+// PeekMin returns the smallest entry without removing it.
+func (h *LazyHeap) PeekMin() (item uint32, key uint64) {
+	return h.items[0], h.keys[0]
+}
+
+// Reset empties the heap, keeping its storage.
+func (h *LazyHeap) Reset() {
+	h.keys = h.keys[:0]
+	h.items = h.items[:0]
+}
+
+func (h *LazyHeap) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+}

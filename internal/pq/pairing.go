@@ -1,0 +1,115 @@
+package pq
+
+// PairingHeap is a meldable min-heap with O(1) insert/meld and amortized
+// O(log n) delete-min, keyed by uint64 with decrease-key by node handle.
+// Used by the heap-choice ablation benchmark as an alternative to the binary
+// heaps: pairing heaps historically back fast Prim implementations.
+type PairingHeap struct {
+	root *pairingNode
+	size int
+}
+
+// PairingNode is an opaque handle to an entry, needed for DecreaseKey.
+type PairingNode = pairingNode
+
+type pairingNode struct {
+	key                  uint64
+	item                 uint32
+	child, sibling, prev *pairingNode // prev = parent or left sibling
+}
+
+// Key returns the node's current key.
+func (n *pairingNode) Key() uint64 { return n.key }
+
+// Item returns the node's item.
+func (n *pairingNode) Item() uint32 { return n.item }
+
+// Len returns the number of entries.
+func (h *PairingHeap) Len() int { return h.size }
+
+// Empty reports whether the heap has no entries.
+func (h *PairingHeap) Empty() bool { return h.root == nil }
+
+// Push inserts an entry and returns its handle.
+func (h *PairingHeap) Push(item uint32, key uint64) *PairingNode {
+	n := &pairingNode{key: key, item: item}
+	h.root = meld(h.root, n)
+	h.size++
+	return n
+}
+
+// PeekMin returns the minimum entry without removing it. Panics if empty.
+func (h *PairingHeap) PeekMin() (item uint32, key uint64) {
+	return h.root.item, h.root.key
+}
+
+// PopMin removes and returns the minimum entry. Panics if empty.
+func (h *PairingHeap) PopMin() (item uint32, key uint64) {
+	r := h.root
+	item, key = r.item, r.key
+	h.root = mergePairs(r.child)
+	if h.root != nil {
+		h.root.prev = nil
+		h.root.sibling = nil
+	}
+	h.size--
+	// Detach popped node entirely.
+	r.child, r.sibling, r.prev = nil, nil, nil
+	return item, key
+}
+
+// DecreaseKey lowers the key of the entry with the given handle. It is a
+// no-op if the new key is not smaller. The handle must have been returned by
+// Push on this heap and not yet popped.
+func (h *PairingHeap) DecreaseKey(n *PairingNode, key uint64) {
+	if key >= n.key {
+		return
+	}
+	n.key = key
+	if n == h.root {
+		return
+	}
+	// Cut n from its parent's child list.
+	if n.prev.child == n { // n is the first child
+		n.prev.child = n.sibling
+	} else {
+		n.prev.sibling = n.sibling
+	}
+	if n.sibling != nil {
+		n.sibling.prev = n.prev
+	}
+	n.sibling, n.prev = nil, nil
+	h.root = meld(h.root, n)
+}
+
+func meld(a, b *pairingNode) *pairingNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.key < a.key {
+		a, b = b, a
+	}
+	// b becomes a's first child.
+	b.prev = a
+	b.sibling = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	return a
+}
+
+// mergePairs implements the two-pass pairing of delete-min.
+func mergePairs(first *pairingNode) *pairingNode {
+	if first == nil || first.sibling == nil {
+		return first
+	}
+	a, b := first, first.sibling
+	rest := b.sibling
+	a.sibling, a.prev = nil, nil
+	b.sibling, b.prev = nil, nil
+	return meld(meld(a, b), mergePairs(rest))
+}

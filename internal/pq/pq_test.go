@@ -1,0 +1,335 @@
+package pq
+
+import (
+	"container/heap"
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// refHeap is a container/heap-based oracle.
+type refEntry struct {
+	key  uint64
+	item uint32
+}
+type refHeap []refEntry
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(refEntry)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func TestIndexedHeapBasic(t *testing.T) {
+	h := NewIndexedHeap(10)
+	if !h.Empty() {
+		t.Fatal("new heap not empty")
+	}
+	h.InsertOrDecrease(3, 30)
+	h.InsertOrDecrease(1, 10)
+	h.InsertOrDecrease(2, 20)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if item, key := h.PeekMin(); item != 1 || key != 10 {
+		t.Fatalf("PeekMin = (%d, %d)", item, key)
+	}
+	item, key := h.PopMin()
+	if item != 1 || key != 10 {
+		t.Fatalf("PopMin = (%d, %d)", item, key)
+	}
+	if h.Contains(1) {
+		t.Fatal("popped item still contained")
+	}
+	if !h.Contains(2) || h.Key(2) != 20 {
+		t.Fatal("item 2 lost")
+	}
+}
+
+func TestIndexedHeapDecreaseKey(t *testing.T) {
+	h := NewIndexedHeap(10)
+	h.InsertOrDecrease(5, 100)
+	h.InsertOrDecrease(6, 50)
+	if h.InsertOrDecrease(5, 200) {
+		t.Fatal("increase reported as change")
+	}
+	if !h.InsertOrDecrease(5, 10) {
+		t.Fatal("decrease not reported")
+	}
+	if item, _ := h.PopMin(); item != 5 {
+		t.Fatalf("after decrease, min = %d, want 5", item)
+	}
+}
+
+func TestIndexedHeapSortsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	h := NewIndexedHeap(n)
+	ref := &refHeap{}
+	perm := rng.Perm(n)
+	for _, v := range perm {
+		key := uint64(rng.Int63())
+		h.InsertOrDecrease(uint32(v), key)
+		heap.Push(ref, refEntry{key, uint32(v)})
+	}
+	for !h.Empty() {
+		item, key := h.PopMin()
+		want := heap.Pop(ref).(refEntry)
+		if key != want.key {
+			t.Fatalf("key %d, oracle %d", key, want.key)
+		}
+		_ = item
+	}
+	if ref.Len() != 0 {
+		t.Fatal("oracle not drained")
+	}
+}
+
+func TestIndexedHeapRandomDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	h := NewIndexedHeap(n)
+	best := make(map[uint32]uint64)
+	for i := 0; i < 5000; i++ {
+		item := uint32(rng.Intn(n))
+		key := uint64(rng.Int63())
+		h.InsertOrDecrease(item, key)
+		if old, ok := best[item]; !ok || key < old {
+			best[item] = key
+		}
+	}
+	var keys []uint64
+	for !h.Empty() {
+		item, key := h.PopMin()
+		if best[item] != key {
+			t.Fatalf("item %d popped with %d, want %d", item, key, best[item])
+		}
+		delete(best, item)
+		keys = append(keys, key)
+	}
+	if len(best) != 0 {
+		t.Fatalf("%d items never popped", len(best))
+	}
+	if !slices.IsSorted(keys) {
+		t.Fatal("pops not in key order")
+	}
+}
+
+func TestLazyHeapAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewLazyHeap(16)
+	ref := &refHeap{}
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) != 0 || ref.Len() == 0 {
+			item := uint32(rng.Intn(100))
+			key := uint64(rng.Intn(1000)) // duplicates likely
+			h.Push(item, key)
+			heap.Push(ref, refEntry{key, item})
+		} else {
+			_, key := h.PopMin()
+			want := heap.Pop(ref).(refEntry)
+			if key != want.key {
+				t.Fatalf("pop key %d, oracle %d", key, want.key)
+			}
+		}
+	}
+	if h.Len() != ref.Len() {
+		t.Fatalf("Len %d, oracle %d", h.Len(), ref.Len())
+	}
+}
+
+func TestLazyHeapPeekAndReset(t *testing.T) {
+	h := NewLazyHeap(4)
+	h.Push(1, 5)
+	h.Push(2, 3)
+	if item, key := h.PeekMin(); item != 2 || key != 3 {
+		t.Fatalf("PeekMin = (%d, %d)", item, key)
+	}
+	h.Reset()
+	if !h.Empty() {
+		t.Fatal("Reset did not empty heap")
+	}
+	h.Push(7, 9)
+	if item, _ := h.PopMin(); item != 7 {
+		t.Fatal("heap broken after Reset")
+	}
+}
+
+func TestLazyHeapProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		h := NewLazyHeap(len(keys))
+		for i, k := range keys {
+			h.Push(uint32(i), k)
+		}
+		got := make([]uint64, 0, len(keys))
+		for !h.Empty() {
+			_, k := h.PopMin()
+			got = append(got, k)
+		}
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairingHeapBasic(t *testing.T) {
+	var h PairingHeap
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	h.Push(1, 10)
+	h.Push(2, 5)
+	h.Push(3, 20)
+	if item, key := h.PeekMin(); item != 2 || key != 5 {
+		t.Fatalf("PeekMin = (%d, %d)", item, key)
+	}
+	order := []uint32{2, 1, 3}
+	for _, want := range order {
+		item, _ := h.PopMin()
+		if item != want {
+			t.Fatalf("pop %d, want %d", item, want)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+func TestPairingHeapDecreaseKey(t *testing.T) {
+	var h PairingHeap
+	n1 := h.Push(1, 100)
+	h.Push(2, 50)
+	n3 := h.Push(3, 75)
+	h.DecreaseKey(n1, 10)
+	h.DecreaseKey(n3, 200) // no-op: not smaller
+	if item, key := h.PopMin(); item != 1 || key != 10 {
+		t.Fatalf("after decrease, min = (%d, %d)", item, key)
+	}
+	if item, _ := h.PopMin(); item != 2 {
+		t.Fatal("order wrong after decrease")
+	}
+	if item, key := h.PopMin(); item != 3 || key != 75 {
+		t.Fatalf("no-op decrease changed key: (%d, %d)", item, key)
+	}
+}
+
+func TestPairingHeapAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var h PairingHeap
+	ref := &refHeap{}
+	handles := make(map[int]*PairingNode)
+	id := 0
+	for i := 0; i < 8000; i++ {
+		switch {
+		case rng.Intn(3) != 0 || ref.Len() == 0:
+			key := uint64(rng.Intn(100000))
+			handles[id] = h.Push(uint32(id), key)
+			heap.Push(ref, refEntry{key, uint32(id)})
+			id++
+		default:
+			_, key := h.PopMin()
+			want := heap.Pop(ref).(refEntry)
+			if key != want.key {
+				t.Fatalf("iter %d: pop key %d, oracle %d", i, key, want.key)
+			}
+		}
+	}
+	if h.Len() != ref.Len() {
+		t.Fatalf("Len %d, oracle %d", h.Len(), ref.Len())
+	}
+}
+
+func TestPairingHeapDecreaseKeyStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var h PairingHeap
+	n := 1000
+	type entry struct {
+		node *PairingNode
+		key  uint64
+	}
+	entries := make([]entry, n)
+	for i := 0; i < n; i++ {
+		key := uint64(1000000 + rng.Intn(1000000))
+		entries[i] = entry{h.Push(uint32(i), key), key}
+	}
+	for i := 0; i < 5000; i++ {
+		e := &entries[rng.Intn(n)]
+		newKey := uint64(rng.Intn(2000000))
+		h.DecreaseKey(e.node, newKey)
+		if newKey < e.key {
+			e.key = newKey
+		}
+	}
+	var keys []uint64
+	for !h.Empty() {
+		item, key := h.PopMin()
+		if entries[item].key != key {
+			t.Fatalf("item %d popped with key %d, want %d", item, key, entries[item].key)
+		}
+		keys = append(keys, key)
+	}
+	if !slices.IsSorted(keys) {
+		t.Fatal("pairing heap pops not sorted")
+	}
+}
+
+func BenchmarkIndexedHeap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 16
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewIndexedHeap(n)
+		for j := 0; j < n; j++ {
+			h.InsertOrDecrease(uint32(j), keys[j])
+		}
+		for !h.Empty() {
+			h.PopMin()
+		}
+	}
+}
+
+func BenchmarkLazyHeap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 16
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewLazyHeap(n)
+		for j := 0; j < n; j++ {
+			h.Push(uint32(j), keys[j])
+		}
+		for !h.Empty() {
+			h.PopMin()
+		}
+	}
+}
+
+func BenchmarkPairingHeap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 16
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var h PairingHeap
+		for j := 0; j < n; j++ {
+			h.Push(uint32(j), keys[j])
+		}
+		for !h.Empty() {
+			h.PopMin()
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"llpmst/internal/gen"
+)
+
+func BenchmarkForEachAsyncFlat(b *testing.B) {
+	const n = 1 << 16
+	initial := make([]int, n)
+	for i := range initial {
+		initial[i] = i
+	}
+	var sink atomic.Int64
+	b.SetBytes(n * 8)
+	for i := 0; i < b.N; i++ {
+		ForEachAsync(0, initial, func(x int, push func(int)) {
+			sink.Add(int64(x & 1))
+		})
+	}
+}
+
+func BenchmarkForEachAsyncBFS(b *testing.B) {
+	g := gen.RoadNetwork(0, 64, 64, 0.2, 42)
+	n := g.NumVertices()
+	b.SetBytes(int64(g.NumEdges()))
+	for i := 0; i < b.N; i++ {
+		visited := make([]int32, n)
+		visited[0] = 1
+		ForEachAsync(0, []uint32{0}, func(v uint32, push func(uint32)) {
+			lo, hi := g.ArcRange(v)
+			for a := lo; a < hi; a++ {
+				to := g.Target(a)
+				if atomic.CompareAndSwapInt32(&visited[to], 0, 1) {
+					push(to)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkForEachOrderedBuckets(b *testing.B) {
+	const n = 1 << 14
+	items := make([]uint64, n)
+	for i := range items {
+		items[i] = uint64(i % 64)
+	}
+	for i := 0; i < b.N; i++ {
+		var count atomic.Int64
+		ForEachOrdered(0, items, func(x uint64) uint64 { return x }, func(x uint64, push func(uint64)) {
+			count.Add(1)
+		})
+		if count.Load() != n {
+			b.Fatal("missed items")
+		}
+	}
+}

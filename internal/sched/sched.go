@@ -1,0 +1,193 @@
+// Package sched provides Galois-style data-driven schedulers: workers pull
+// items from a concurrent work bag, process them, and push newly discovered
+// work back, until global quiescence. The paper's LLP-Prim runs on exactly
+// this kind of runtime ("We use the Galois Library as our underlying runtime
+// framework", §VII) — its R set is an unordered bag whose elements "can be
+// explored in parallel" in any order.
+//
+// Two schedulers are provided:
+//
+//   - ForEachAsync: unordered, per-worker LIFO queues with work stealing —
+//     the Galois do_all/for_each analogue.
+//   - ForEachOrdered: priority-level-synchronous — the OBIM
+//     (ordered-by-integer-metric) analogue, processing the minimum-priority
+//     level in parallel before moving on.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"llpmst/internal/par"
+)
+
+// ForEachAsync processes the initial items and everything pushed during
+// processing, on p workers, in no particular order. process receives the
+// item and a push function that may only be called from within that process
+// invocation. Each pushed item is processed exactly once. Returns when all
+// work has drained (quiescence).
+func ForEachAsync[T any](p int, initial []T, process func(item T, push func(T))) {
+	p = par.Workers(p)
+	if p == 1 {
+		stack := make([]T, len(initial))
+		copy(stack, initial)
+		push := func(x T) { stack = append(stack, x) }
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			process(x, push)
+		}
+		return
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(initial)))
+	queues := make([]workQueue[T], p)
+	for i, x := range initial {
+		q := &queues[i%p]
+		q.items = append(q.items, x)
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(self int) {
+			defer wg.Done()
+			my := &queues[self]
+			push := func(x T) {
+				pending.Add(1)
+				my.push(x)
+			}
+			for {
+				x, ok := my.pop()
+				if !ok {
+					x, ok = steal(queues, self)
+				}
+				if ok {
+					process(x, push)
+					pending.Add(-1)
+					continue
+				}
+				if pending.Load() == 0 {
+					return
+				}
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// workQueue is one worker's LIFO queue. The owner pushes and pops at the
+// tail; thieves take from the head. A plain mutex keeps it simple — the
+// queues are touched once per item, and items carry real work.
+type workQueue[T any] struct {
+	mu    sync.Mutex
+	items []T
+	_     [40]byte // pad to a cache line to avoid false sharing
+}
+
+func (q *workQueue[T]) push(x T) {
+	q.mu.Lock()
+	q.items = append(q.items, x)
+	q.mu.Unlock()
+}
+
+func (q *workQueue[T]) pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	n := len(q.items)
+	if n == 0 {
+		return zero, false
+	}
+	x := q.items[n-1]
+	q.items[n-1] = zero
+	q.items = q.items[:n-1]
+	return x, true
+}
+
+// stealHalf removes the first half (head side) of the victim's queue.
+func (q *workQueue[T]) stealHalf() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items)
+	if n == 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	got := make([]T, k)
+	copy(got, q.items[:k])
+	rest := copy(q.items, q.items[k:])
+	var zero T
+	for i := rest; i < n; i++ {
+		q.items[i] = zero
+	}
+	q.items = q.items[:rest]
+	return got
+}
+
+func steal[T any](queues []workQueue[T], self int) (T, bool) {
+	var zero T
+	p := len(queues)
+	for off := 1; off < p; off++ {
+		victim := (self + off) % p
+		got := queues[victim].stealHalf()
+		if len(got) == 0 {
+			continue
+		}
+		my := &queues[self]
+		my.mu.Lock()
+		my.items = append(my.items, got[:len(got)-1]...)
+		my.mu.Unlock()
+		return got[len(got)-1], true
+	}
+	return zero, false
+}
+
+// ForEachOrdered processes items level-synchronously by priority: the
+// minimum-priority level runs (in parallel on p workers) to exhaustion —
+// items pushed at a priority at or below the current level join it — before
+// the next level starts. This is the OBIM-style schedule under which
+// priority-guided algorithms (Dijkstra-like relaxations) do near-minimal
+// work. prio must be stable for a given item; push may only be called from
+// within process.
+func ForEachOrdered[T any](p int, initial []T, prio func(T) uint64, process func(item T, push func(T))) {
+	bins := map[uint64][]T{}
+	for _, x := range initial {
+		bins[prio(x)] = append(bins[prio(x)], x)
+	}
+	for len(bins) > 0 {
+		// Find the minimum priority level.
+		first := true
+		var cur uint64
+		for pr := range bins {
+			if first || pr < cur {
+				cur, first = pr, false
+			}
+		}
+		level := bins[cur]
+		delete(bins, cur)
+		for len(level) > 0 {
+			type pushed struct {
+				pr uint64
+				x  T
+			}
+			out := par.ForCollect(p, len(level), 64, func(lo, hi int, out []pushed) []pushed {
+				for i := lo; i < hi; i++ {
+					process(level[i], func(x T) {
+						out = append(out, pushed{prio(x), x})
+					})
+				}
+				return out
+			})
+			level = level[:0]
+			for _, u := range out {
+				if u.pr <= cur {
+					level = append(level, u.x)
+				} else {
+					bins[u.pr] = append(bins[u.pr], u.x)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"llpmst/internal/gen"
+)
+
+func TestForEachAsyncProcessesEverythingOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		const n = 20000
+		counts := make([]int32, n)
+		initial := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			initial = append(initial, i)
+		}
+		ForEachAsync(p, initial, func(x int, push func(int)) {
+			atomic.AddInt32(&counts[x], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: item %d processed %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachAsyncDynamicPushes(t *testing.T) {
+	// BFS over a generated graph: each vertex processed exactly once, all
+	// reachable vertices visited.
+	g := gen.RoadNetwork(1, 40, 40, 0.3, 3)
+	n := g.NumVertices()
+	for _, p := range []int{1, 4} {
+		visited := make([]int32, n)
+		atomic.StoreInt32(&visited[0], 1)
+		ForEachAsync(p, []uint32{0}, func(v uint32, push func(uint32)) {
+			lo, hi := g.ArcRange(v)
+			for a := lo; a < hi; a++ {
+				to := g.Target(a)
+				if atomic.CompareAndSwapInt32(&visited[to], 0, 1) {
+					push(to)
+				}
+			}
+		})
+		for v, seen := range visited {
+			if seen != 1 {
+				t.Fatalf("p=%d: vertex %d not visited (connected graph)", p, v)
+			}
+		}
+	}
+}
+
+func TestForEachAsyncEmpty(t *testing.T) {
+	called := false
+	ForEachAsync(4, nil, func(x int, push func(int)) { called = true })
+	if called {
+		t.Fatal("process called with no items")
+	}
+}
+
+func TestForEachAsyncDeepChain(t *testing.T) {
+	// Each item pushes the next: maximum dependency depth, exercises
+	// stealing of a mostly-empty system.
+	var sum atomic.Int64
+	ForEachAsync(4, []int{10000}, func(x int, push func(int)) {
+		sum.Add(1)
+		if x > 1 {
+			push(x - 1)
+		}
+	})
+	if sum.Load() != 10000 {
+		t.Fatalf("processed %d items, want 10000", sum.Load())
+	}
+}
+
+func TestForEachOrderedRespectsLevels(t *testing.T) {
+	// Items carry priorities; the schedule must never process a priority
+	// level before a strictly smaller one that was present at the time.
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	items := make([]uint64, n)
+	for i := range items {
+		items[i] = uint64(rng.Intn(50))
+	}
+	var mu atomic.Uint64 // highest priority level seen so far
+	violations := atomic.Int32{}
+	ForEachOrdered(4, items, func(x uint64) uint64 { return x }, func(x uint64, push func(uint64)) {
+		for {
+			cur := mu.Load()
+			if x < cur {
+				violations.Add(1)
+				return
+			}
+			if x == cur || mu.CompareAndSwap(cur, x) {
+				return
+			}
+		}
+	})
+	if violations.Load() > 0 {
+		t.Fatalf("%d priority inversions", violations.Load())
+	}
+}
+
+func TestForEachOrderedPushIntoCurrentAndFutureLevels(t *testing.T) {
+	// Seed one item at level 0; it pushes an item at level 0 (joins the
+	// current level) and one at level 5 (a future level). All must run.
+	var order []uint64
+	var mu atomic.Int32
+	appendOrder := func(x uint64) {
+		for !mu.CompareAndSwap(0, 1) {
+		}
+		order = append(order, x)
+		mu.Store(0)
+	}
+	first := true
+	ForEachOrdered(2, []uint64{0}, func(x uint64) uint64 { return x }, func(x uint64, push func(uint64)) {
+		appendOrder(x)
+		if first {
+			first = false
+			push(0)
+			push(5)
+		}
+	})
+	if len(order) != 3 {
+		t.Fatalf("processed %d items, want 3: %v", len(order), order)
+	}
+	if order[len(order)-1] != 5 {
+		t.Fatalf("future level did not run last: %v", order)
+	}
+}
+
+func TestForEachOrderedDijkstraStyle(t *testing.T) {
+	// Use the ordered executor to run Dijkstra directly: settle vertices in
+	// distance order, push neighbors with tentative distances.
+	g := gen.RoadNetwork(1, 24, 24, 0.25, 9)
+	n := g.NumVertices()
+	const inf = ^uint64(0)
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	type item struct {
+		v uint32
+		d uint64
+	}
+	settled := make([]int32, n)
+	ForEachOrdered(4, []item{{0, 0}},
+		func(it item) uint64 { return it.d },
+		func(it item, push func(item)) {
+			if !atomic.CompareAndSwapInt32(&settled[it.v], 0, 1) {
+				return // stale entry
+			}
+			lo, hi := g.ArcRange(it.v)
+			for a := lo; a < hi; a++ {
+				to := g.Target(a)
+				nd := it.d + uint64(g.ArcWeight(a))
+				for {
+					old := atomic.LoadUint64(&dist[to])
+					if nd >= old {
+						break
+					}
+					if atomic.CompareAndSwapUint64(&dist[to], old, nd) {
+						push(item{to, nd})
+						break
+					}
+				}
+			}
+		})
+	// Reference sequential Dijkstra on integer weights.
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = inf
+	}
+	want[0] = 0
+	done := make([]bool, n)
+	for {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !done[v] && want[v] != inf && (best < 0 || want[v] < want[best]) {
+				best = v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		done[best] = true
+		lo, hi := g.ArcRange(uint32(best))
+		for a := lo; a < hi; a++ {
+			to := g.Target(a)
+			if d := want[best] + uint64(g.ArcWeight(a)); d < want[to] {
+				want[to] = d
+			}
+		}
+	}
+	for v := range dist {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+}

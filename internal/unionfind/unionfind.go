@@ -1,0 +1,70 @@
+// Package unionfind provides disjoint-set structures: a sequential
+// union-by-rank/path-compression implementation (Kruskal, verifiers, graph
+// generators) and a lock-free concurrent version built on CAS linking
+// (parallel Kruskal and the contraction bookkeeping of parallel Boruvka).
+package unionfind
+
+// UF is the classic sequential disjoint-set forest with union by rank and
+// path compression. Not safe for concurrent use; see Concurrent.
+type UF struct {
+	parent []uint32
+	rank   []uint8
+	count  int // number of disjoint sets
+}
+
+// New returns a UF over n singleton elements.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]uint32, n),
+		rank:   make([]uint8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = uint32(i)
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UF) Find(x uint32) uint32 {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of a and b; returns true if they were distinct.
+func (u *UF) Union(a, b uint32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UF) Same(a, b uint32) bool { return u.Find(a) == u.Find(b) }
+
+// Count returns the current number of disjoint sets.
+func (u *UF) Count() int { return u.count }
+
+// Reset returns every element to its own singleton set, reusing storage.
+func (u *UF) Reset() {
+	for i := range u.parent {
+		u.parent[i] = uint32(i)
+		u.rank[i] = 0
+	}
+	u.count = len(u.parent)
+}

@@ -1,0 +1,332 @@
+// Package llpmst computes minimum spanning trees and forests with the
+// parallel algorithms of "Parallel Minimum Spanning Tree Algorithms via
+// Lattice Linear Predicate Detection" (Alves & Garg, 2022): LLP-Prim and
+// LLP-Boruvka, alongside the classical baselines they are measured against
+// (Prim, Boruvka, parallel Boruvka, Kruskal, Filter-Kruskal).
+//
+// # Quick start
+//
+//	g, err := llpmst.NewGraph(4, []llpmst.Edge{
+//		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 3, V: 0, W: 4},
+//	})
+//	if err != nil { ... }
+//	f := llpmst.MinimumSpanningForest(g, llpmst.Options{})
+//	fmt.Println(f.Weight, f.EdgeIDs)
+//
+// # Choosing an algorithm
+//
+// MinimumSpanningForest picks per the paper's conclusion: LLP-Prim for one
+// worker (it beats Prim single-threaded by reducing heap work), LLP-Boruvka
+// when several workers are available (Boruvka-family algorithms scale
+// near-linearly and dominate at high core counts). Call a specific
+// algorithm directly, or Run with an Algorithm constant, to override.
+//
+// All algorithms return the same, unique forest: ties between equal weights
+// are broken by canonical edge id, the paper's "make weights unique by
+// incorporating identities" device.
+//
+// # The LLP framework
+//
+// The generic engine (the paper's Algorithm 1) is exposed through
+// LLPPredicate and SolveLLP; ShortestPaths and ConnectedComponents are two
+// non-MST instances included to show the framework's breadth.
+package llpmst
+
+import (
+	"io"
+	"os"
+	"slices"
+
+	"llpmst/internal/dist"
+	"llpmst/internal/graph"
+	"llpmst/internal/llp"
+	"llpmst/internal/mst"
+)
+
+// Edge is one undirected weighted edge: endpoints U, V and a finite,
+// non-negative weight W.
+type Edge = graph.Edge
+
+// Graph is an immutable undirected weighted graph in CSR form.
+type Graph = graph.CSR
+
+// Stats summarizes a graph's shape; see (*Graph).ComputeStats.
+type Stats = graph.Stats
+
+// Forest is a minimum spanning forest: sorted canonical edge ids, total
+// weight, and tree count.
+type Forest = mst.Forest
+
+// Options configures worker counts and the ablation switches of the LLP
+// algorithms. The zero value uses GOMAXPROCS workers and the paper-default
+// configuration.
+type Options = mst.Options
+
+// Algorithm names one of the implemented MSF algorithms, for use with Run.
+type Algorithm = mst.Algorithm
+
+// WorkMetrics counts machine-independent operations (heap traffic, early
+// fixes, contraction rounds, ...). Set Options.Metrics to collect them —
+// they quantify the paper's mechanism claims, e.g. that LLP-Prim performs
+// fewer heap operations than Prim.
+type WorkMetrics = mst.WorkMetrics
+
+// The implemented algorithms (see Run).
+const (
+	AlgPrim            = mst.AlgPrim
+	AlgPrimLazy        = mst.AlgPrimLazy
+	AlgLLPPrim         = mst.AlgLLPPrim
+	AlgLLPPrimParallel = mst.AlgLLPPrimParallel
+	AlgLLPPrimAsync    = mst.AlgLLPPrimAsync
+	AlgBoruvka         = mst.AlgBoruvka
+	AlgParallelBoruvka = mst.AlgParallelBoruvka
+	AlgLLPBoruvka      = mst.AlgLLPBoruvka
+	AlgKruskal         = mst.AlgKruskal
+	AlgFilterKruskal   = mst.AlgFilterKruskal
+	AlgKKT             = mst.AlgKKT
+)
+
+// Algorithms lists every implemented algorithm.
+func Algorithms() []Algorithm { return mst.Algorithms() }
+
+// NewGraph builds a graph with n vertices from an undirected edge list.
+// Self-loops are dropped; parallel edges are kept. Endpoints must be < n and
+// weights finite and non-negative. The edge list is retained; do not modify
+// it afterwards.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(0, n, edges)
+}
+
+// NewGraphWorkers is NewGraph with an explicit builder worker count.
+func NewGraphWorkers(workers, n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(workers, n, edges)
+}
+
+// MinimumSpanningForest computes the minimum spanning forest with the
+// algorithm the paper's conclusion recommends for the configured worker
+// count: LLP-Prim for a single worker, LLP-Boruvka otherwise.
+func MinimumSpanningForest(g *Graph, opts Options) *Forest {
+	if opts.Workers == 1 {
+		return mst.LLPPrim(g, opts)
+	}
+	return mst.LLPBoruvka(g, opts)
+}
+
+// Run computes the minimum spanning forest with the named algorithm.
+func Run(alg Algorithm, g *Graph, opts Options) (*Forest, error) {
+	return mst.Run(alg, g, opts)
+}
+
+// Prim runs the classical Prim's algorithm (indexed heap, Algorithm 2).
+func Prim(g *Graph) *Forest { return mst.Prim(g) }
+
+// LLPPrim runs the sequential LLP-Prim (Algorithm 5, 1 thread).
+func LLPPrim(g *Graph, opts Options) *Forest { return mst.LLPPrim(g, opts) }
+
+// LLPPrimParallel runs LLP-Prim with the bag R processed in parallel
+// frontier waves.
+func LLPPrimParallel(g *Graph, opts Options) *Forest { return mst.LLPPrimParallel(g, opts) }
+
+// LLPPrimAsync runs LLP-Prim with the bag R processed by an asynchronous
+// work-stealing scheduler (the Galois-style schedule the paper's
+// implementation uses).
+func LLPPrimAsync(g *Graph, opts Options) *Forest { return mst.LLPPrimAsync(g, opts) }
+
+// Boruvka runs the sequential Boruvka's algorithm (Algorithm 3).
+func Boruvka(g *Graph) *Forest { return mst.Boruvka(g) }
+
+// ParallelBoruvka runs the GBBS-style parallel Boruvka baseline.
+func ParallelBoruvka(g *Graph, opts Options) *Forest { return mst.ParallelBoruvka(g, opts) }
+
+// LLPBoruvka runs LLP-Boruvka (Algorithm 6).
+func LLPBoruvka(g *Graph, opts Options) *Forest { return mst.LLPBoruvka(g, opts) }
+
+// Kruskal runs the classical Kruskal's algorithm.
+func Kruskal(g *Graph) *Forest { return mst.Kruskal(g) }
+
+// KKT runs the Karger-Klein-Tarjan randomized expected-linear-time MSF
+// algorithm (the §III lineage the paper targets for future comparison).
+// Reproducible via Options.Seed; the output is the same canonical forest
+// for every seed.
+func KKT(g *Graph, opts Options) *Forest { return mst.KKT(g, opts) }
+
+// FilterKruskal runs the parallel filter-Kruskal variant.
+func FilterKruskal(g *Graph, opts Options) *Forest { return mst.FilterKruskal(g, opts) }
+
+// IncrementalMSF maintains a minimum spanning forest under online edge
+// insertions; see NewIncrementalMSF.
+type IncrementalMSF = mst.Incremental
+
+// NewIncrementalMSF creates an empty incremental minimum-spanning-forest
+// maintainer over n vertices. Each Insert either ignores the new edge, adds
+// it, or swaps it for the heaviest edge on the cycle it closes, so the
+// maintained forest is always the canonical MSF of everything inserted.
+func NewIncrementalMSF(n int) *IncrementalMSF { return mst.NewIncremental(n) }
+
+// DistSimStats reports a distributed run's costs: Boruvka phases,
+// synchronous message rounds, and total messages.
+type DistSimStats = dist.SimStats
+
+// DistributedMSF computes the minimum spanning forest with a GHS-style
+// protocol on a simulated synchronous message-passing network: nodes know
+// only their incident edges and communicate over them. Returns the chosen
+// edge ids (sorted) and the simulation's phase/round/message counts. The
+// elected forest is the same canonical MSF every other algorithm returns.
+func DistributedMSF(g *Graph) ([]uint32, DistSimStats, error) {
+	ids, stats, err := dist.MSF(g)
+	if err != nil {
+		return nil, stats, err
+	}
+	slices.Sort(ids)
+	return ids, stats, nil
+}
+
+// CheckForest verifies structural validity of a forest (acyclic, spanning,
+// consistent bookkeeping) without checking minimality.
+func CheckForest(g *Graph, f *Forest) error { return mst.CheckForest(g, f) }
+
+// VerifyMinimum verifies that f is the minimum spanning forest of g via the
+// cycle property in O((n+m) log n).
+func VerifyMinimum(g *Graph, f *Forest) error { return mst.VerifyMinimum(g, f) }
+
+// ReadDIMACS parses a DIMACS shortest-path (.gr) file, the format of the
+// paper's road-network dataset.
+func ReadDIMACS(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(0, r) }
+
+// WriteDIMACS writes g in DIMACS .gr format.
+func WriteDIMACS(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+
+// LoadGraph reads a graph from a file: .gr (DIMACS) or the compact binary
+// .llpg format, chosen by extension sniffing (binary magic).
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// The binary magic 0x4c4c5047 serializes little-endian as "GPLL".
+	var magic [4]byte
+	_, readErr := io.ReadFull(f, magic[:])
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if readErr == nil && magic == [4]byte{'G', 'P', 'L', 'L'} {
+		return graph.ReadBinary(0, f)
+	}
+	return graph.ReadDIMACS(0, f)
+}
+
+// ReadMatrixMarket parses a Matrix Market coordinate file (.mtx) into an
+// undirected weighted graph.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) { return graph.ReadMatrixMarket(0, r) }
+
+// WriteMatrixMarket writes g as a symmetric Matrix Market coordinate file.
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return graph.WriteMatrixMarket(w, g) }
+
+// ReadMETIS parses a METIS adjacency file into an undirected weighted graph
+// (fmt codes 0 and 001).
+func ReadMETIS(r io.Reader) (*Graph, error) { return graph.ReadMETIS(0, r) }
+
+// WriteMETIS writes g in METIS adjacency format with integer edge weights.
+func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
+
+// WriteBinaryGraph writes g to w in the compact binary .llpg format.
+func WriteBinaryGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// SaveBinary writes g to path in the compact binary format for fast reload.
+func SaveBinary(path string, g *Graph) error { return graph.SaveBinary(path, g) }
+
+// LoadBinary reads a graph written by SaveBinary.
+func LoadBinary(path string) (*Graph, error) { return graph.LoadBinary(0, path) }
+
+// LLPPredicate is a lattice-linear predicate for the generic LLP engine
+// (the paper's Algorithm 1); see SolveLLP.
+type LLPPredicate = llp.Predicate
+
+// LLPMode selects the LLP driver: LLPAsync (barrier-free parallel, the
+// default), LLPRound (barrier-synchronized rounds) or LLPSequential.
+type LLPMode = llp.Mode
+
+// LLP driver modes.
+const (
+	LLPAsync      = llp.ModeAsync
+	LLPRound      = llp.ModeRound
+	LLPSequential = llp.ModeSequential
+)
+
+// LLPStats reports rounds and advances performed by a driver.
+type LLPStats = llp.Stats
+
+// SolveLLP runs the generic LLP algorithm: repeatedly advance every
+// forbidden index until none remains. The final state lives in the
+// predicate's own storage.
+func SolveLLP(mode LLPMode, workers int, pred LLPPredicate) LLPStats {
+	return llp.Run(mode, workers, pred)
+}
+
+// ShortestPaths computes single-source shortest path distances with the
+// LLP-Bellman-Ford instance (+inf for unreachable vertices).
+func ShortestPaths(mode LLPMode, workers int, g *Graph, source uint32) []float64 {
+	d, _ := llp.SolveShortestPaths(mode, workers, g, source)
+	return d
+}
+
+// LLPPriorityPredicate extends LLPPredicate with an advance-target
+// priority; see SolveLLPPriority.
+type LLPPriorityPredicate = llp.PriorityPredicate
+
+// SolveLLPPriority runs the LLP algorithm advancing, each round, only the
+// forbidden indices within delta of the minimum priority. With delta == 0
+// this is the evaluation order that turns LLP-Bellman-Ford into Dijkstra's
+// algorithm (the derivation the paper's reference [15] describes).
+func SolveLLPPriority(workers int, pred LLPPriorityPredicate, delta uint64) LLPStats {
+	return llp.RunPriority(workers, pred, delta)
+}
+
+// ShortestPathsDijkstra computes single-source shortest paths with the
+// priority-ordered LLP driver at delta == 0: each reachable vertex settles
+// in exactly one advance, Dijkstra's order.
+func ShortestPathsDijkstra(workers int, g *Graph, source uint32) []float64 {
+	d, _ := llp.SolveShortestPathsDijkstra(workers, g, source)
+	return d
+}
+
+// ShortestPathsDeltaStepping computes single-source shortest paths with
+// bucketed delta-stepping on the ordered work scheduler: buckets of width
+// delta run in parallel, in bucket order — the practical point between the
+// Bellman-Ford sweeps and Dijkstra's strict order.
+func ShortestPathsDeltaStepping(workers int, g *Graph, source uint32, delta float32) []float64 {
+	return llp.DeltaStepping(workers, g, source, delta)
+}
+
+// ConnectedComponents labels each vertex with the smallest vertex id in its
+// component, using the LLP min-label instance.
+func ConnectedComponents(mode LLPMode, workers int, g *Graph) []uint32 {
+	l, _ := llp.SolveComponents(mode, workers, g)
+	return l
+}
+
+// StableMarriage computes the man-optimal stable matching with the LLP
+// Gale-Shapley instance (§III: one of the problems derivable from the LLP
+// algorithm). prefM[m] and prefW[w] are full preference lists (best first);
+// the result maps each man to his matched woman.
+func StableMarriage(mode LLPMode, workers int, prefM, prefW [][]uint32) []uint32 {
+	match, _ := llp.SolveStableMarriage(mode, workers, prefM, prefW)
+	return match
+}
+
+// IsStableMatching reports whether match is a perfect matching with no
+// blocking pair under the given preferences.
+func IsStableMatching(prefM, prefW [][]uint32, match []uint32) bool {
+	return llp.IsStableMatching(prefM, prefW, match)
+}
+
+// MarketClearingPrices computes the componentwise-minimum Walrasian prices
+// for a square market (value[b][i] = buyer b's integer valuation of item i)
+// with the LLP Demange-Gale-Sotomayor ascending auction (§III's last listed
+// LLP-derivable problem). Returns the prices and a clearing assignment
+// (buyer -> item, -1 for priced-out buyers).
+func MarketClearingPrices(value [][]int64) ([]int64, []int32) {
+	p, a, _ := llp.SolveMarketClearing(value)
+	return p, a
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Reproduce everything: build, full test suite (with race detector on the
+# parallel paths), every paper table/figure via the harness, and the
+# testing.B benchmark sweep. Outputs land in ./artifacts/.
+#
+# Usage: ./reproduce.sh [scale]    # scale: test|s|m|l (default s)
+set -eu
+
+SCALE="${1:-s}"
+mkdir -p artifacts
+
+echo "== build =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./... -count=1 2>&1 | tee artifacts/test_output.txt
+
+echo "== race detector =="
+go test -race ./internal/... . -count=1 2>&1 | tee artifacts/race_output.txt
+
+echo "== paper experiments (scale=$SCALE) =="
+go run ./cmd/mstbench -exp all -scale "$SCALE" -trials 5 \
+    -csv artifacts/results.csv 2>&1 | tee artifacts/mstbench_output.txt
+
+echo "== testing.B benches =="
+go test -bench=. -benchmem ./... 2>&1 | tee artifacts/bench_output.txt
+
+echo
+echo "done; see artifacts/"
