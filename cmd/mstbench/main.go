@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -24,6 +28,7 @@ import (
 	"strings"
 
 	"llpmst/internal/bench"
+	"llpmst/internal/obs"
 )
 
 func main() {
@@ -36,19 +41,39 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mstbench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|dist|all")
-		scale   = fs.String("scale", "s", "dataset scale: test|s|m|l")
-		trials  = fs.Int("trials", 3, "trials per cell (best time is reported)")
-		threads = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
-		low     = fs.Int("low", 4, "low worker count for fig4")
-		high    = fs.Int("high", 32, "high worker count for fig4")
-		workers = fs.Int("workers", 8, "worker count for sizesweep and ablation")
-		csvPath = fs.String("csv", "", "also write timing rows as CSV to this path")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
-		memProf = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
+		exp      = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|dist|all")
+		scale    = fs.String("scale", "s", "dataset scale: test|s|m|l")
+		trials   = fs.Int("trials", 3, "trials per cell (best time is reported)")
+		threads  = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
+		low      = fs.Int("low", 4, "low worker count for fig4")
+		high     = fs.Int("high", 32, "high worker count for fig4")
+		workers  = fs.Int("workers", 8, "worker count for sizesweep and ablation")
+		csvPath  = fs.String("csv", "", "also write timing rows as CSV to this path")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
+		memProf  = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
+		timeout  = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit); a timed-out run still reports completed rows")
+		traceOut = fs.String("trace-out", "", "write the runtime phase timeline (spans, counters, gauge maxima) as JSON to this path")
+		pprofSrv = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var rec *obs.Recording
+	if *traceOut != "" {
+		rec = obs.NewRecording()
+		ctx = obs.NewContext(ctx, rec)
+	}
+	if *pprofSrv != "" {
+		srv := &http.Server{Addr: *pprofSrv}
+		go srv.ListenAndServe()
+		defer srv.Close()
+		fmt.Fprintf(stdout, "pprof: serving http://%s/debug/pprof/\n", *pprofSrv)
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -113,13 +138,13 @@ func run(args []string, stdout io.Writer) error {
 		f    func() ([]bench.Result, error)
 	}{
 		{"tableI", func() ([]bench.Result, error) { return bench.TableI(stdout, sc) }},
-		{"fig2", func() ([]bench.Result, error) { return bench.Fig2(stdout, sc, *trials) }},
-		{"fig3", func() ([]bench.Result, error) { return bench.Fig3(stdout, sc, *trials, threadList) }},
-		{"fig4", func() ([]bench.Result, error) { return bench.Fig4(stdout, sc, *trials, *low, *high) }},
-		{"sizesweep", func() ([]bench.Result, error) { return bench.SizeSweep(stdout, sc, *trials, *workers) }},
-		{"ablation", func() ([]bench.Result, error) { return bench.Ablation(stdout, sc, *trials, *workers) }},
+		{"fig2", func() ([]bench.Result, error) { return bench.Fig2Ctx(ctx, stdout, sc, *trials) }},
+		{"fig3", func() ([]bench.Result, error) { return bench.Fig3Ctx(ctx, stdout, sc, *trials, threadList) }},
+		{"fig4", func() ([]bench.Result, error) { return bench.Fig4Ctx(ctx, stdout, sc, *trials, *low, *high) }},
+		{"sizesweep", func() ([]bench.Result, error) { return bench.SizeSweepCtx(ctx, stdout, sc, *trials, *workers) }},
+		{"ablation", func() ([]bench.Result, error) { return bench.AblationCtx(ctx, stdout, sc, *trials, *workers) }},
 		{"dist", func() ([]bench.Result, error) {
-			rows, err := bench.Distributed(stdout, sc)
+			rows, err := bench.DistributedCtx(ctx, stdout, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -133,7 +158,7 @@ func run(args []string, stdout io.Writer) error {
 			return out, nil
 		}},
 		{"work", func() ([]bench.Result, error) {
-			rows, err := bench.Work(stdout, sc)
+			rows, err := bench.WorkCtx(ctx, stdout, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -148,6 +173,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	for _, s := range steps {
 		if err := step(s.name, s.f); err != nil {
+			// A -timeout expiry is a requested stop, not a failure: report
+			// the rows completed so far and still write -csv/-trace-out.
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(stdout, "\ntimeout: %v — stopping after %d completed rows\n", err, len(all))
+				break
+			}
 			return err
 		}
 	}
@@ -159,6 +190,20 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nwrote %d rows to %s\n", len(all), *csvPath)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTimeline(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d spans to %s\n", len(rec.Spans()), *traceOut)
 	}
 	return nil
 }

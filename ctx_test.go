@@ -1,0 +1,155 @@
+package llpmst_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"llpmst"
+)
+
+// bigGraph builds a ~1M-edge random graph once for the acceptance tests.
+var bigGraph = sync.OnceValue(func() *llpmst.Graph {
+	const n = 1 << 17
+	const m = 1 << 20
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	edges := make([]llpmst.Edge, 0, m)
+	for len(edges) < m {
+		u := uint32(next() % n)
+		v := uint32(next() % n)
+		if u == v {
+			continue
+		}
+		w := float32(next()%1000000) / 1000
+		edges = append(edges, llpmst.Edge{U: u, V: v, W: w})
+	}
+	g, err := llpmst.NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+})
+
+// TestCancelMillionEdgePromptness is the PR's acceptance bound: cancelling
+// a RunCtx call mid-flight on a ~1M-edge graph must return within 100ms
+// with a non-nil error and without leaking goroutines.
+func TestCancelMillionEdgePromptness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-edge graph build is too slow for -short")
+	}
+	g := bigGraph()
+	for _, alg := range []llpmst.Algorithm{
+		llpmst.AlgLLPPrimParallel, llpmst.AlgLLPPrimAsync,
+		llpmst.AlgParallelBoruvka, llpmst.AlgLLPBoruvka,
+	} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			var err error
+			var elapsed time.Duration
+			go func() {
+				defer close(done)
+				started := make(chan struct{})
+				var cancelAt time.Time
+				go func() {
+					<-started
+					time.Sleep(5 * time.Millisecond) // let the run get going
+					cancelAt = time.Now()
+					cancel()
+				}()
+				close(started)
+				_, err = llpmst.RunCtx(ctx, alg, g, llpmst.Options{Workers: 4})
+				if !cancelAt.IsZero() {
+					elapsed = time.Since(cancelAt)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancelled run did not return within 10s")
+			}
+			if err == nil {
+				// The run legitimately won the 5ms race only if it finished
+				// before cancel; on a 1M-edge graph that would itself be
+				// suspicious, but accept it rather than flake.
+				t.Logf("%s finished before the cancel landed", alg)
+				return
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			if elapsed > 100*time.Millisecond {
+				t.Fatalf("cancel-to-return latency %v, want <= 100ms", elapsed)
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if ng := runtime.NumGoroutine(); ng > before+2 {
+				t.Fatalf("goroutine leak: before=%d after=%d", before, ng)
+			}
+		})
+	}
+}
+
+func TestMinimumSpanningForestCtx(t *testing.T) {
+	g, err := llpmst.NewGraph(4, []llpmst.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 3, V: 0, W: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := llpmst.MinimumSpanningForestCtx(context.Background(), g, llpmst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Weight != 6 || len(f.EdgeIDs) != 3 {
+		t.Fatalf("weight=%g edges=%d, want 6 and 3", f.Weight, len(f.EdgeIDs))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := llpmst.MinimumSpanningForestCtx(ctx, g, llpmst.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: got %v, want wrapped context.Canceled", err)
+	}
+	// Workers==1 routes through LLP-Prim; exercise that path too.
+	if _, err := llpmst.MinimumSpanningForestCtx(ctx, g, llpmst.Options{Workers: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled 1-worker: got %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestPublicObserverAPI(t *testing.T) {
+	g, err := llpmst.NewGraph(5, []llpmst.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 3, V: 4, W: 4}, {U: 4, V: 0, W: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := llpmst.NewRecordingObserver()
+	if _, err := llpmst.RunCtx(context.Background(), llpmst.AlgLLPBoruvka, g,
+		llpmst.Options{Workers: 2, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans()) == 0 {
+		t.Fatal("recording observer captured no spans")
+	}
+	// The ctx-carried route must reach the same collector.
+	rec2 := llpmst.NewRecordingObserver()
+	ctx := llpmst.WithObserver(context.Background(), rec2)
+	if _, err := llpmst.MinimumSpanningForestCtx(ctx, g, llpmst.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Spans()) == 0 {
+		t.Fatal("ctx-carried observer captured no spans")
+	}
+}

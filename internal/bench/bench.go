@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -172,9 +173,18 @@ type Result struct {
 // Measure runs the algorithm `trials` times and returns the best wall time,
 // verifying the structural validity of the produced forest once.
 func Measure(g *graph.CSR, alg mst.Algorithm, opts mst.Options, trials int) (Result, error) {
+	return MeasureCtx(context.Background(), g, alg, opts, trials)
+}
+
+// MeasureCtx is Measure under a context: the context is installed into the
+// run's Options (cancelling every trial cooperatively) and any collector it
+// carries observes each trial's phases. A cancelled trial aborts the whole
+// measurement with its error.
+func MeasureCtx(ctx context.Context, g *graph.CSR, alg mst.Algorithm, opts mst.Options, trials int) (Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
+	opts.Ctx = ctx
 	var sample Sample
 	var forest *mst.Forest
 	for t := 0; t < trials; t++ {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -24,6 +25,12 @@ type DistRow struct {
 // Wall time is irrelevant here — the simulation is sequential — so this
 // experiment is meaningful on any host.
 func Distributed(w io.Writer, sc Scale) ([]DistRow, error) {
+	return DistributedCtx(context.Background(), w, sc)
+}
+
+// DistributedCtx is Distributed under a context: the protocol simulation
+// polls the context between message rounds (see dist.RunGHS).
+func DistributedCtx(ctx context.Context, w io.Writer, sc Scale) ([]DistRow, error) {
 	var graphs []struct {
 		name string
 		g    *graph.CSR
@@ -49,7 +56,7 @@ func Distributed(w io.Writer, sc Scale) ([]DistRow, error) {
 	var rows []DistRow
 	var table [][]string
 	for _, item := range graphs {
-		ids, stats, err := dist.MSF(item.g)
+		ids, stats, err := dist.RunGHS(ctx, item.g)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,6 +43,11 @@ func TableI(w io.Writer, sc Scale) ([]Result, error) {
 // paper's shape: Prim-family ~3x faster than Boruvka; LLP-Prim(1T) ~21-27%
 // faster than Prim.
 func Fig2(w io.Writer, sc Scale, trials int) ([]Result, error) {
+	return Fig2Ctx(context.Background(), w, sc, trials)
+}
+
+// Fig2Ctx is Fig2 under a context (see MeasureCtx).
+func Fig2Ctx(ctx context.Context, w io.Writer, sc Scale, trials int) ([]Result, error) {
 	algs := []mst.Algorithm{mst.AlgPrim, mst.AlgLLPPrim, mst.AlgBoruvka}
 	var results []Result
 	for _, ds := range []string{"road", "rmat"} {
@@ -51,7 +57,7 @@ func Fig2(w io.Writer, sc Scale, trials int) ([]Result, error) {
 		}
 		var primMs float64
 		for _, alg := range algs {
-			r, err := Measure(g, alg, mst.Options{Workers: 1}, trials)
+			r, err := MeasureCtx(ctx, g, alg, mst.Options{Workers: 1}, trials)
 			if err != nil {
 				return nil, err
 			}
@@ -84,6 +90,11 @@ func Fig2(w io.Writer, sc Scale, trials int) ([]Result, error) {
 // algorithms scale near-linearly and overtake around 8 threads, with
 // LLP-Boruvka ahead of Boruvka throughout.
 func Fig3(w io.Writer, sc Scale, trials int, threads []int) ([]Result, error) {
+	return Fig3Ctx(context.Background(), w, sc, trials, threads)
+}
+
+// Fig3Ctx is Fig3 under a context (see MeasureCtx).
+func Fig3Ctx(ctx context.Context, w io.Writer, sc Scale, trials int, threads []int) ([]Result, error) {
 	if len(threads) == 0 {
 		threads = DefaultThreads
 	}
@@ -96,7 +107,7 @@ func Fig3(w io.Writer, sc Scale, trials int, threads []int) ([]Result, error) {
 	base := map[mst.Algorithm]float64{}
 	for _, alg := range algs {
 		for _, p := range threads {
-			r, err := Measure(g, alg, mst.Options{Workers: p}, trials)
+			r, err := MeasureCtx(ctx, g, alg, mst.Options{Workers: p}, trials)
 			if err != nil {
 				return nil, err
 			}
@@ -127,6 +138,11 @@ func Fig3(w io.Writer, sc Scale, trials int, threads []int) ([]Result, error) {
 // at low counts and on denser graphs; Boruvka-family best at high counts
 // with LLP-Boruvka modestly ahead.
 func Fig4(w io.Writer, sc Scale, trials int, lowP, highP int) ([]Result, error) {
+	return Fig4Ctx(context.Background(), w, sc, trials, lowP, highP)
+}
+
+// Fig4Ctx is Fig4 under a context (see MeasureCtx).
+func Fig4Ctx(ctx context.Context, w io.Writer, sc Scale, trials int, lowP, highP int) ([]Result, error) {
 	if lowP <= 0 {
 		lowP = 4
 	}
@@ -142,7 +158,7 @@ func Fig4(w io.Writer, sc Scale, trials int, lowP, highP int) ([]Result, error) 
 		}
 		for _, p := range []int{lowP, highP} {
 			for _, alg := range algs {
-				r, err := Measure(g, alg, mst.Options{Workers: p}, trials)
+				r, err := MeasureCtx(ctx, g, alg, mst.Options{Workers: p}, trials)
 				if err != nil {
 					return nil, err
 				}
@@ -166,6 +182,11 @@ func Fig4(w io.Writer, sc Scale, trials int, lowP, highP int) ([]Result, error) 
 // different sizes show analogous behaviour. Runs the three parallel
 // algorithms across the scales up to maxScale at a fixed worker count.
 func SizeSweep(w io.Writer, maxScale Scale, trials, workers int) ([]Result, error) {
+	return SizeSweepCtx(context.Background(), w, maxScale, trials, workers)
+}
+
+// SizeSweepCtx is SizeSweep under a context (see MeasureCtx).
+func SizeSweepCtx(ctx context.Context, w io.Writer, maxScale Scale, trials, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = 8
 	}
@@ -178,7 +199,7 @@ func SizeSweep(w io.Writer, maxScale Scale, trials, workers int) ([]Result, erro
 				return nil, err
 			}
 			for _, alg := range algs {
-				r, err := Measure(g, alg, mst.Options{Workers: workers}, trials)
+				r, err := MeasureCtx(ctx, g, alg, mst.Options{Workers: workers}, trials)
 				if err != nil {
 					return nil, err
 				}
@@ -203,6 +224,12 @@ func SizeSweep(w io.Writer, maxScale Scale, trials, workers int) ([]Result, erro
 //	(c) LLP-Boruvka's pointer jumping under the three LLP drivers,
 //	(d) Prim's heap choice: indexed binary vs lazy binary vs pairing.
 func Ablation(w io.Writer, sc Scale, trials, workers int) ([]Result, error) {
+	return AblationCtx(context.Background(), w, sc, trials, workers)
+}
+
+// AblationCtx is Ablation under a context: each ablation case runs with the
+// context installed in its Options.
+func AblationCtx(ctx context.Context, w io.Writer, sc Scale, trials, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = 8
 	}
@@ -242,22 +269,22 @@ func Ablation(w io.Writer, sc Scale, trials, workers int) ([]Result, error) {
 			run   func(g *graph.CSR) (*mst.Forest, error)
 		}{
 			{"llp-prim/full", func(g *graph.CSR) (*mst.Forest, error) {
-				return mst.LLPPrim(g, mst.Options{}), nil
+				return mst.LLPPrim(g, mst.Options{Ctx: ctx})
 			}},
 			{"llp-prim/no-early-fix", func(g *graph.CSR) (*mst.Forest, error) {
-				return mst.LLPPrim(g, mst.Options{NoEarlyFix: true}), nil
+				return mst.LLPPrim(g, mst.Options{NoEarlyFix: true, Ctx: ctx})
 			}},
 			{"llp-prim/no-staging", func(g *graph.CSR) (*mst.Forest, error) {
-				return mst.LLPPrim(g, mst.Options{NoStaging: true}), nil
+				return mst.LLPPrim(g, mst.Options{NoStaging: true, Ctx: ctx})
 			}},
 			{"llp-boruvka/jump-async", func(g *graph.CSR) (*mst.Forest, error) {
-				return mst.LLPBoruvka(g, mst.Options{Workers: workers, JumpMode: llp.ModeAsync}), nil
+				return mst.LLPBoruvka(g, mst.Options{Workers: workers, JumpMode: llp.ModeAsync, Ctx: ctx})
 			}},
 			{"llp-boruvka/jump-round", func(g *graph.CSR) (*mst.Forest, error) {
-				return mst.LLPBoruvka(g, mst.Options{Workers: workers, JumpMode: llp.ModeRound}), nil
+				return mst.LLPBoruvka(g, mst.Options{Workers: workers, JumpMode: llp.ModeRound, Ctx: ctx})
 			}},
 			{"llp-boruvka/jump-sequential", func(g *graph.CSR) (*mst.Forest, error) {
-				return mst.LLPBoruvka(g, mst.Options{Workers: workers, JumpMode: llp.ModeSequential}), nil
+				return mst.LLPBoruvka(g, mst.Options{Workers: workers, JumpMode: llp.ModeSequential, Ctx: ctx})
 			}},
 			{"prim/indexed-heap", func(g *graph.CSR) (*mst.Forest, error) { return mst.Prim(g), nil }},
 			{"prim/lazy-heap", func(g *graph.CSR) (*mst.Forest, error) { return mst.PrimLazy(g), nil }},

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,6 +22,11 @@ type WorkRow struct {
 // (core count, clock, contention), so they reproduce the paper's mechanism
 // claims even on machines unlike its 48-vCPU testbed.
 func Work(w io.Writer, sc Scale) ([]WorkRow, error) {
+	return WorkCtx(context.Background(), w, sc)
+}
+
+// WorkCtx is Work under a context (see MeasureCtx).
+func WorkCtx(ctx context.Context, w io.Writer, sc Scale) ([]WorkRow, error) {
 	algs := []mst.Algorithm{
 		mst.AlgPrim, mst.AlgPrimLazy, mst.AlgLLPPrim,
 		mst.AlgBoruvka, mst.AlgParallelBoruvka, mst.AlgLLPBoruvka,
@@ -33,7 +39,7 @@ func Work(w io.Writer, sc Scale) ([]WorkRow, error) {
 		}
 		for _, alg := range algs {
 			var m mst.WorkMetrics
-			if _, err := mst.Run(alg, g, mst.Options{Workers: 4, Metrics: &m}); err != nil {
+			if _, err := mst.Run(alg, g, mst.Options{Workers: 4, Metrics: &m, Ctx: ctx}); err != nil {
 				return nil, err
 			}
 			rows = append(rows, WorkRow{Dataset: ds, Algorithm: string(alg), Metrics: m})

@@ -1,9 +1,11 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"llpmst/internal/graph"
+	"llpmst/internal/obs"
 	"llpmst/internal/par"
 )
 
@@ -30,8 +32,22 @@ import (
 // Like the shared-memory algorithms, ties break on packed (weight, edge id)
 // keys, so the protocol elects exactly the canonical MSF.
 func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
+	return RunGHS(context.Background(), g)
+}
+
+// RunGHS is MSF with cooperative cancellation and observability: ctx is
+// polled at every phase boundary and between message rounds, and a
+// collector carried on ctx (obs.NewContext) receives per-phase spans plus
+// the ghs.phases / ghs.messages counters. A cancelled run returns the edge
+// ids elected in completed sub-phases — always a subset of the canonical
+// MSF, since an edge is only chosen after its fragment's convergecast
+// finished — plus a non-nil error wrapping ctx.Err().
+func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 	n := g.NumVertices()
 	nw := NewNetwork(g)
+	cc := par.NewCanceller(ctx)
+	col := obs.FromContext(ctx)
+	defer col.Span("ghs")()
 
 	type nodeState struct {
 		frag      uint32
@@ -65,14 +81,19 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 
 	// runSubPhase drives handler rounds to quiescence: handler is invoked
 	// for every node each round (with that round's inbox) and must be
-	// idempotent across rounds via its own guards.
-	runSubPhase := func(handler func(v uint32)) {
+	// idempotent across rounds via its own guards. Returns true when
+	// interrupted by ctx; rounds are atomic (a started round always delivers
+	// its sends), so node state stays consistent across an interruption.
+	runSubPhase := func(handler func(v uint32)) bool {
 		for {
+			if cc.Poll() {
+				return true
+			}
 			for v := uint32(0); int(v) < n; v++ {
 				handler(v)
 			}
 			if nw.Deliver() == 0 {
-				return
+				return false
 			}
 		}
 	}
@@ -82,9 +103,17 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 		maxPhases++ // fragments at least halve per phase: log2(n)+2 bound
 	}
 	phase := 0
+	cancelled := false
 	for {
+		if cc.Poll() {
+			cancelled = true
+			break
+		}
 		phase++
+		col.Count(obs.CtrGHSPhases, 1)
+		phaseSpan := col.Span("ghs.phase")
 		if phase > maxPhases+1 {
+			phaseSpan()
 			return nil, SimStats{}, fmt.Errorf("dist: protocol exceeded %d phases; protocol bug", maxPhases)
 		}
 		// ---- (1) fragment-id exchange (one round) ----
@@ -135,7 +164,7 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 			}
 			st.acc = st.localBest
 		}
-		runSubPhase(func(v uint32) {
+		aborted := runSubPhase(func(v uint32) {
 			st := &nodes[v]
 			if !st.active {
 				return
@@ -160,6 +189,11 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 				}
 			}
 		})
+		if aborted {
+			cancelled = true
+			phaseSpan()
+			break
+		}
 
 		// ---- (3) winner broadcast + CONNECT ----
 		allDone := true
@@ -194,7 +228,7 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 			}
 		}
 		started := make([]bool, n)
-		runSubPhase(func(v uint32) {
+		aborted = runSubPhase(func(v uint32) {
 			st := &nodes[v]
 			if st.parentArc < 0 && st.hasWinner && !started[v] && st.active {
 				started[v] = true
@@ -215,12 +249,20 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 				}
 			}
 		})
+		if aborted {
+			// Edges already elected are fragment MWOEs (cut property: always
+			// in the MSF), so the partial result stays sound.
+			cancelled = true
+			phaseSpan()
+			break
+		}
 		for v := uint32(0); int(v) < n; v++ {
 			if nodes[v].active {
 				allDone = false
 			}
 		}
 		if allDone {
+			phaseSpan()
 			break
 		}
 
@@ -228,7 +270,7 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 		// Core edge: CONNECT sent and received on the same arc. The higher
 		// node id of the core edge roots the merged fragment and names it.
 		floodStarted := make([]bool, n)
-		runSubPhase(func(v uint32) {
+		aborted = runSubPhase(func(v uint32) {
 			st := &nodes[v]
 			if !floodStarted[v] && st.connectArc >= 0 && connRecv[st.connectArc] {
 				other := g.Target(st.connectArc)
@@ -265,6 +307,11 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 				}
 			}
 		})
+		if aborted {
+			cancelled = true
+			phaseSpan()
+			break
+		}
 		for v := uint32(0); int(v) < n; v++ {
 			st := &nodes[v]
 			if st.hasNewFrag {
@@ -284,7 +331,7 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 				st.parentArc = -1 // new root
 			}
 		}
-		runSubPhase(func(v uint32) {
+		aborted = runSubPhase(func(v uint32) {
 			st := &nodes[v]
 			if !st.active {
 				return
@@ -313,12 +360,24 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 				}
 			}
 		})
+		if aborted {
+			cancelled = true
+			phaseSpan()
+			break
+		}
 		// Clear per-phase arc scratch.
 		for i := range connRecv {
 			connRecv[i] = false
 		}
+		phaseSpan()
 	}
-	return result, SimStats{Phases: phase, Rounds: nw.Rounds, Messages: nw.Sent}, nil
+	col.Count(obs.CtrGHSMessages, nw.Sent)
+	st := SimStats{Phases: phase, Rounds: nw.Rounds, Messages: nw.Sent}
+	if cancelled {
+		return result, st, fmt.Errorf("dist: ghs interrupted after %d phases with %d edges elected: %w",
+			phase, len(result), cc.Err())
+	}
+	return result, st, nil
 }
 
 // SimStats reports the distributed protocol's costs.

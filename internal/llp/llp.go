@@ -25,6 +25,8 @@
 package llp
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
 
 	"llpmst/internal/par"
@@ -153,5 +155,74 @@ func Run(mode Mode, workers int, pred Predicate) Stats {
 		return Sequential(pred)
 	default:
 		return Async(workers, pred)
+	}
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled
+// between sweeps/rounds of whichever driver mode selects (a sweep over the
+// index set is the natural quantum — aborting mid-sweep would leave the
+// fixpoint iteration's progress guarantees intact anyway, but sweeps are
+// short and keeping them atomic keeps the round counts meaningful). On
+// cancellation the state vector holds a partially advanced (still
+// lattice-consistent) state and the error wraps ctx.Err().
+func RunCtx(ctx context.Context, mode Mode, workers int, pred Predicate) (Stats, error) {
+	cc := par.NewCanceller(ctx)
+	if !cc.Active() {
+		return Run(mode, workers, pred), nil
+	}
+	n := pred.N()
+	var st Stats
+	for {
+		if cc.Poll() {
+			return st, fmt.Errorf("llp: driver interrupted after %d rounds: %w", st.Rounds, cc.Err())
+		}
+		st.Rounds++
+		var advances int64
+		switch mode {
+		case ModeSequential:
+			for j := 0; j < n; j++ {
+				if cc.Stride(j) {
+					break
+				}
+				if pred.Forbidden(j) {
+					pred.Advance(j)
+					advances++
+				}
+			}
+		case ModeRound:
+			forbidden := par.PackIndex(workers, n, func(j int) bool { return pred.Forbidden(j) })
+			par.ForEach(workers, len(forbidden), 256, func(i int) {
+				if cc.Stride(i) {
+					return
+				}
+				pred.Advance(int(forbidden[i]))
+			})
+			advances = int64(len(forbidden))
+		default:
+			var adv atomic.Int64
+			par.For(workers, n, 512, func(lo, hi int) {
+				local := int64(0)
+				for j := lo; j < hi; j++ {
+					if cc.Stride(j) {
+						break
+					}
+					if pred.Forbidden(j) {
+						pred.Advance(j)
+						local++
+					}
+				}
+				adv.Add(local)
+			})
+			advances = adv.Load()
+		}
+		st.Advances += advances
+		if advances == 0 {
+			if cc.Poll() {
+				// A cancelled sweep observes no advances without being at
+				// the fixpoint; report the interruption, not convergence.
+				return st, fmt.Errorf("llp: driver interrupted after %d rounds: %w", st.Rounds, cc.Err())
+			}
+			return st, nil
+		}
 	}
 }

@@ -1,0 +1,147 @@
+package mst
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"llpmst/internal/gen"
+	"llpmst/internal/graph"
+)
+
+// ctxAlgs are the algorithms with cooperative cancellation support.
+var ctxAlgs = []Algorithm{
+	AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync, AlgParallelBoruvka, AlgLLPBoruvka,
+}
+
+func TestRunCtxPreCancelledDoesNoWork(t *testing.T) {
+	g := gen.ErdosRenyi(1, 500, 2500, gen.WeightUniform, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range ctxAlgs {
+		f, err := RunCtx(ctx, alg, g, Options{Workers: 2})
+		if err == nil {
+			t.Fatalf("%s: pre-cancelled ctx returned nil error", alg)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error %v does not wrap context.Canceled", alg, err)
+		}
+		if f != nil {
+			t.Fatalf("%s: pre-cancelled ctx returned a forest (%d edges); want nil, no work done",
+				alg, len(f.EdgeIDs))
+		}
+	}
+}
+
+func TestRunCtxNilAndBackgroundAreInert(t *testing.T) {
+	g := gen.RoadNetwork(1, 16, 16, 0.2, 8)
+	oracle := Kruskal(g)
+	for _, alg := range ctxAlgs {
+		f, err := RunCtx(context.Background(), alg, g, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: background ctx errored: %v", alg, err)
+		}
+		if !f.Equal(oracle) {
+			t.Fatalf("%s: background ctx changed the result", alg)
+		}
+		f, err = Run(alg, g, Options{Workers: 2}) // nil ctx in Options
+		if err != nil || !f.Equal(oracle) {
+			t.Fatalf("%s: nil ctx run wrong (err=%v)", alg, err)
+		}
+	}
+}
+
+// TestRunCtxCancelMidRun cancels each algorithm mid-flight and checks the
+// three-part contract: a prompt return, an error wrapping context.Canceled,
+// and a partial forest that is a subset of the canonical MSF.
+func TestRunCtxCancelMidRun(t *testing.T) {
+	g := gen.ErdosRenyi(1, 2000, 20000, gen.WeightUniform, 9)
+	oracle := Kruskal(g)
+	inMSF := make(map[uint32]bool, len(oracle.EdgeIDs))
+	for _, id := range oracle.EdgeIDs {
+		inMSF[id] = true
+	}
+	for _, alg := range ctxAlgs {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			// Cancel at a random-ish point mid-run; even when the run wins the
+			// race and completes, the nil-error path must then hold.
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(200 * time.Microsecond)
+				cancel()
+			}()
+			start := time.Now()
+			f, err := RunCtx(ctx, alg, g, Options{Workers: 2})
+			elapsed := time.Since(start)
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancelled run took %v", elapsed)
+			}
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("error %v does not wrap context.Canceled", err)
+				}
+				for _, id := range f.EdgeIDs {
+					if !inMSF[id] {
+						t.Fatalf("partial forest contains non-MSF edge %d", id)
+					}
+				}
+			} else if !f.Equal(oracle) {
+				t.Fatalf("uncancelled run produced a wrong forest")
+			}
+		})
+	}
+}
+
+// TestRunCtxCancelNoGoroutineLeak checks that a cancelled parallel run
+// tears down all its workers: the goroutine count settles back to (about)
+// the pre-run level.
+func TestRunCtxCancelNoGoroutineLeak(t *testing.T) {
+	g := gen.ErdosRenyi(1, 2000, 20000, gen.WeightUniform, 10)
+	before := runtime.NumGoroutine()
+	for _, alg := range []Algorithm{AlgLLPPrimParallel, AlgLLPPrimAsync, AlgParallelBoruvka, AlgLLPBoruvka} {
+		for i := 0; i < 5; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(100 * time.Microsecond)
+				cancel()
+			}()
+			_, _ = RunCtx(ctx, alg, g, Options{Workers: 4})
+			cancel()
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestRunCtxDeadline exercises the DeadlineExceeded path (the -timeout flag
+// of mstbench) as distinct from explicit cancellation.
+func TestRunCtxDeadline(t *testing.T) {
+	g := gen.ErdosRenyi(1, 2000, 20000, gen.WeightUniform, 11)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunCtx(ctx, AlgLLPBoruvka, g, Options{Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestInterruptedErrorShape pins the error message contract: algorithm
+// name, progress fraction, and the wrapped cause.
+func TestInterruptedErrorShape(t *testing.T) {
+	g := graph.MustFromEdges(1, 3, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, AlgLLPPrim, g, Options{})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package mst
+
+import (
+	"context"
+	"fmt"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/obs"
+	"llpmst/internal/par"
+)
+
+// Cancellation protocol shared by the parallel algorithms.
+//
+// Every algorithm that takes Options polls opts.Ctx cooperatively — at
+// phase boundaries with Canceller.Poll and inside per-edge/per-vertex loops
+// with the strided Canceller.Stride — and, when cancelled, stops and
+// returns the forest built so far together with the context's error.
+//
+// The partial forest is always structurally sound (a subset of MSF edge
+// choices made from fully completed phases: a phase whose writes were only
+// partially applied is never consumed, because the poll between phases
+// aborts first), but it is of course not spanning. Callers distinguish the
+// cases by the error: nil error means the complete canonical MSF.
+
+// interrupted wraps a cancellation error with the algorithm name and how
+// far the run got, preserving errors.Is(err, context.Canceled /
+// DeadlineExceeded) through %w.
+func interrupted(alg Algorithm, cc *par.Canceller, have, want int) error {
+	err := cc.Err()
+	if err == nil {
+		// Poll observed Done but Err is read on a racing path; fall back to
+		// the canonical error rather than fabricating one.
+		err = context.Canceled
+	}
+	return fmt.Errorf("mst: %s interrupted with %d/%d forest edges chosen: %w", alg, have, want, err)
+}
+
+// ctxErr returns ctx's error, tolerating a nil ctx.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// canceller builds the run's Canceller from Options (inert when no context
+// is configured).
+func (o Options) canceller() *par.Canceller { return par.NewCanceller(o.Ctx) }
+
+// collector resolves the run's Collector: the explicit Options.Observer if
+// set, else one carried by Options.Ctx, else the free no-op.
+func (o Options) collector() obs.Collector {
+	if o.Observer != nil {
+		return o.Observer
+	}
+	return obs.FromContext(o.Ctx)
+}
+
+// RunCtx is Run under ctx: the context is installed into opts (overriding
+// any Options.Ctx already set) and cancellation surfaces as a partial
+// forest plus a non-nil error wrapping ctx.Err(). A pre-cancelled context
+// returns before any work is done.
+func RunCtx(ctx context.Context, alg Algorithm, g *graph.CSR, opts Options) (*Forest, error) {
+	if ctx != nil {
+		opts.Ctx = ctx
+	}
+	return Run(alg, g, opts)
+}

@@ -25,16 +25,16 @@ func TestParallelDeterminismStress(t *testing.T) {
 		for i := 0; i < runs; i++ {
 			workers := 1 + (i*3)%7
 			opts := Options{Workers: workers}
-			if f := LLPPrimParallel(g, opts); !f.Equal(oracle) {
+			if f := must(LLPPrimParallel(g, opts)); !f.Equal(oracle) {
 				t.Fatalf("%s run %d (w=%d): llp-prim-par nondeterministic", name, i, workers)
 			}
-			if f := LLPPrimAsync(g, opts); !f.Equal(oracle) {
+			if f := must(LLPPrimAsync(g, opts)); !f.Equal(oracle) {
 				t.Fatalf("%s run %d (w=%d): llp-prim-async nondeterministic", name, i, workers)
 			}
-			if f := ParallelBoruvka(g, opts); !f.Equal(oracle) {
+			if f := must(ParallelBoruvka(g, opts)); !f.Equal(oracle) {
 				t.Fatalf("%s run %d (w=%d): boruvka-par nondeterministic", name, i, workers)
 			}
-			if f := LLPBoruvka(g, opts); !f.Equal(oracle) {
+			if f := must(LLPBoruvka(g, opts)); !f.Equal(oracle) {
 				t.Fatalf("%s run %d (w=%d): llp-boruvka nondeterministic", name, i, workers)
 			}
 			if f := FilterKruskal(g, opts); !f.Equal(oracle) {
@@ -56,10 +56,10 @@ func TestAblationsPreserveDeterminism(t *testing.T) {
 			{Workers: 4, NoStaging: true},
 			{Workers: 4, NoEarlyFix: true, NoStaging: true},
 		} {
-			if f := LLPPrimParallel(g, opts); !f.Equal(oracle) {
+			if f := must(LLPPrimParallel(g, opts)); !f.Equal(oracle) {
 				t.Fatalf("ablation %+v nondeterministic or wrong", opts)
 			}
-			if f := LLPPrimAsync(g, opts); !f.Equal(oracle) {
+			if f := must(LLPPrimAsync(g, opts)); !f.Equal(oracle) {
 				t.Fatalf("async ablation %+v nondeterministic or wrong", opts)
 			}
 		}

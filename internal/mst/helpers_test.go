@@ -1,0 +1,10 @@
+package mst
+
+// must unwraps a (*Forest, error) return in tests that run without a
+// cancellable context, where a non-nil error is a test bug.
+func must(f *Forest, err error) *Forest {
+	if err != nil {
+		panic("unexpected error: " + err.Error())
+	}
+	return f
+}

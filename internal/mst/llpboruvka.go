@@ -3,6 +3,7 @@ package mst
 import (
 	"llpmst/internal/graph"
 	"llpmst/internal/llp"
+	"llpmst/internal/obs"
 	"llpmst/internal/par"
 )
 
@@ -34,10 +35,20 @@ type cedge struct {
 //
 // Unlike ParallelBoruvka there is no shared union-find: component identity
 // is carried entirely by the G array and resolved by pointer jumping.
-func LLPBoruvka(g *graph.CSR, opts Options) *Forest {
+//
+// Cancellation via opts.Ctx is polled at every phase boundary, (strided)
+// inside the per-edge phase loops, and between pointer-jumping sweeps; a
+// cancelled run returns the forest edges chosen so far plus a non-nil
+// error. Parent choices are only consumed when the preceding mwe phase ran
+// to completion, so the partial forest is always a subset of the canonical
+// MSF.
+func LLPBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
 	p := opts.workers()
 	n := g.NumVertices()
 	m := g.NumEdges()
+	cc := opts.canceller()
+	col := opts.collector()
+	defer col.Span("llp-boruvka")()
 
 	edges := make([]cedge, m)
 	par.ForEach(p, m, 4096, func(i int) {
@@ -56,12 +67,23 @@ func LLPBoruvka(g *graph.CSR, opts Options) *Forest {
 	nv := n
 	ids := make([]uint32, 0, n)
 	var rounds, jumpRounds, jumpAdvances int64
+	cancelled := false
 	for len(edges) > 0 {
+		if cc.Poll() {
+			cancelled = true
+			break
+		}
 		rounds++
+		col.Count(obs.CtrRounds, 1)
+		col.Gauge(obs.GaugeLiveEdges, int64(len(edges)))
 		// Phase 1: mwe per current vertex.
+		mweSpan := col.Span("llp-boruvka.mwe")
 		bst := best[:nv]
 		par.FillKeys(p, bst, par.InfKey)
 		par.ForEach(p, len(edges), 2048, func(i int) {
+			if cc.Stride(i) {
+				return
+			}
 			e := &edges[i]
 			par.WriteMin(&bst[e.u], e.key)
 			par.WriteMin(&bst[e.v], e.key)
@@ -79,12 +101,23 @@ func LLPBoruvka(g *graph.CSR, opts Options) *Forest {
 				bidx[e.v] = int32(i)
 			}
 		})
+		mweSpan()
+		// A cancel inside phase 1 leaves bst/bidx incomplete; the parent
+		// phase must not consume them, or its choices need not be MSF edges.
+		if cc.Poll() {
+			cancelled = true
+			break
+		}
 		// Phase 2: choose parents with the symmetry break, and collect each
 		// chosen edge exactly once (mutual pairs: the smaller endpoint
 		// reports; non-mutual: the choosing endpoint reports).
+		parentSpan := col.Span("llp-boruvka.parents")
 		gv := G[:nv]
 		chosen := par.ForCollect(p, nv, 2048, func(lo, hi int, out []uint32) []uint32 {
 			for v := lo; v < hi; v++ {
+				if cc.Stride(v) {
+					break
+				}
 				bi := bidx[v]
 				if bi < 0 {
 					gv[v] = uint32(v) // isolated in the contracted graph
@@ -107,13 +140,31 @@ func LLPBoruvka(g *graph.CSR, opts Options) *Forest {
 			}
 			return out
 		})
+		parentSpan()
+		// Choices made before a mid-parent-phase cancel are sound (the mwe
+		// phase was complete), so they may join the partial result.
 		ids = append(ids, chosen...)
+		if cc.Poll() {
+			cancelled = true
+			break
+		}
 		// Phase 3: rooted trees -> rooted stars via LLP pointer jumping.
-		jst := llp.Stars(opts.JumpMode, p, gv)
+		jumpSpan := col.Span("llp-boruvka.jump")
+		jst, jumpErr := llp.StarsCtx(opts.Ctx, opts.JumpMode, p, gv)
+		jumpSpan()
 		jumpRounds += int64(jst.Rounds)
 		jumpAdvances += jst.Advances
+		col.Count(obs.CtrJumpRounds, int64(jst.Rounds))
+		col.Count(obs.CtrJumpAdvances, jst.Advances)
+		// An interrupted jump leaves non-star trees in gv; contraction must
+		// not run on them.
+		if jumpErr != nil || cc.Poll() {
+			cancelled = true
+			break
+		}
 		// Phase 4: contract. Star roots become next round's vertices;
 		// surviving cross edges are relabelled into the spare buffer.
+		contractSpan := col.Span("llp-boruvka.contract")
 		roots := par.PackIndex(p, nv, func(v int) bool { return gv[v] == uint32(v) })
 		nid := newID[:nv]
 		par.ForEach(p, len(roots), 8192, func(i int) { nid[roots[i]] = uint32(i) })
@@ -134,11 +185,16 @@ func LLPBoruvka(g *graph.CSR, opts Options) *Forest {
 		spare = edges[:cap(edges)]
 		edges = dst
 		nv = len(roots)
+		contractSpan()
 	}
 	if opts.Metrics != nil {
 		*opts.Metrics = WorkMetrics{
 			Rounds: rounds, JumpRounds: jumpRounds, JumpAdvances: jumpAdvances,
 		}
 	}
-	return newForest(g, ids)
+	f := newForest(g, ids)
+	if cancelled {
+		return f, interrupted(AlgLLPBoruvka, cc, len(ids), n-1)
+	}
+	return f, nil
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"llpmst/internal/graph"
+	"llpmst/internal/obs"
 	"llpmst/internal/par"
 	"llpmst/internal/pq"
 )
@@ -37,12 +38,17 @@ import (
 
 // LLPPrim runs the sequential (1-thread) LLP-Prim of Algorithm 5.
 // Disconnected inputs are handled by restarting from each unvisited vertex,
-// producing the minimum spanning forest.
-func LLPPrim(g *graph.CSR, opts Options) *Forest {
+// producing the minimum spanning forest. Cancellation via opts.Ctx is
+// polled once per explored vertex; a cancelled run returns the partial
+// forest plus a non-nil error.
+func LLPPrim(g *graph.CSR, opts Options) (*Forest, error) {
 	n := g.NumVertices()
 	mwe := minWeightEdges(1, g)
 	earlyFix := !opts.NoEarlyFix
 	staging := !opts.NoStaging
+	cc := opts.canceller()
+	col := opts.collector()
+	defer col.Span("llp-prim")()
 
 	fixed := make([]bool, n)
 	dist := make([]uint64, n)
@@ -55,16 +61,34 @@ func LLPPrim(g *graph.CSR, opts Options) *Forest {
 	inQ := make([]bool, n)
 	ids := make([]uint32, 0, n)
 	var pushes, pops, stale, early, heapFixes, relaxations int64
+	step := 0 // work-item index for strided cancellation polls
+	flush := func() {
+		col.Count(obs.CtrHeapPush, pushes)
+		col.Count(obs.CtrHeapPop, pops)
+		col.Count(obs.CtrEarlyFix, early)
+		if opts.Metrics != nil {
+			*opts.Metrics = WorkMetrics{
+				HeapPushes: pushes, HeapPops: pops, StalePops: stale,
+				EarlyFixes: early, HeapFixes: heapFixes, Relaxations: relaxations,
+			}
+		}
+	}
 
 	for s := 0; s < n; s++ {
 		if fixed[s] {
 			continue
+		}
+		if cc.Stride(step) {
+			goto cancelled
 		}
 		fixed[s] = true
 		r = append(r[:0], uint32(s))
 		for {
 			// Drain R: explore fixed vertices, cascading MWE fixings.
 			for len(r) > 0 {
+				if step++; cc.Stride(step) {
+					goto cancelled
+				}
 				j := r[len(r)-1]
 				r = r[:len(r)-1]
 				mweJ := mwe[j]
@@ -125,6 +149,9 @@ func LLPPrim(g *graph.CSR, opts Options) *Forest {
 			// Fix the nearest neighbor of the fragment, if any.
 			fixedOne := false
 			for !h.Empty() {
+				if step++; cc.Stride(step) {
+					goto cancelled
+				}
 				k, key := h.PopMin()
 				pops++
 				if fixed[k] || key != dist[k] {
@@ -143,13 +170,12 @@ func LLPPrim(g *graph.CSR, opts Options) *Forest {
 			}
 		}
 	}
-	if opts.Metrics != nil {
-		*opts.Metrics = WorkMetrics{
-			HeapPushes: pushes, HeapPops: pops, StalePops: stale,
-			EarlyFixes: early, HeapFixes: heapFixes, Relaxations: relaxations,
-		}
-	}
-	return newForest(g, ids)
+	flush()
+	return newForest(g, ids), nil
+
+cancelled:
+	flush()
+	return newForest(g, ids), interrupted(AlgLLPPrim, cc, len(ids), n-1)
 }
 
 // LLPPrimParallel runs Algorithm 5 with the bag R processed by
@@ -158,12 +184,17 @@ func LLPPrim(g *graph.CSR, opts Options) *Forest {
 // can be explored in parallel", §V.A). Fixing races are resolved with a CAS
 // per vertex, tentative keys with atomic write-min; the heap is touched only
 // in the sequential region between frontier waves, where Q is flushed.
-func LLPPrimParallel(g *graph.CSR, opts Options) *Forest {
+// Cancellation via opts.Ctx is polled between waves and (strided) inside
+// them; a cancelled run returns the partial forest plus a non-nil error.
+func LLPPrimParallel(g *graph.CSR, opts Options) (*Forest, error) {
 	n := g.NumVertices()
 	p := opts.workers()
 	mwe := minWeightEdges(p, g)
 	earlyFix := !opts.NoEarlyFix
 	staging := !opts.NoStaging
+	cc := opts.canceller()
+	col := opts.collector()
+	defer col.Span("llp-prim-par")()
 
 	fixed := make([]uint32, n) // atomic 0/1
 	dist := make([]uint64, n)  // atomic packed keys
@@ -180,17 +211,39 @@ func LLPPrimParallel(g *graph.CSR, opts Options) *Forest {
 
 	frontier := make([]uint32, 0, 1024)
 	var pushes, pops, stale, early, heapFixes int64
+	step := 0 // work-item index for strided cancellation polls in the heap loop
+	flush := func() {
+		col.Count(obs.CtrHeapPush, pushes)
+		col.Count(obs.CtrHeapPop, pops)
+		col.Count(obs.CtrEarlyFix, early)
+		if opts.Metrics != nil {
+			*opts.Metrics = WorkMetrics{
+				HeapPushes: pushes, HeapPops: pops, StalePops: stale,
+				EarlyFixes: early, HeapFixes: heapFixes,
+			}
+		}
+	}
 	for s := 0; s < n; s++ {
 		if atomic.LoadUint32(&fixed[s]) == 1 {
 			continue
+		}
+		if cc.Stride(s) {
+			goto cancelled
 		}
 		fixed[s] = 1
 		frontier = append(frontier[:0], uint32(s))
 		for {
 			for len(frontier) > 0 {
+				if cc.Poll() {
+					goto cancelled
+				}
+				col.Gauge(obs.GaugeFrontier, int64(len(frontier)))
 				f := frontier
 				out := par.ForCollect(p, len(f), 32, func(lo, hi int, out []rec) []rec {
 					for i := lo; i < hi; i++ {
+						if cc.Stride(i) {
+							break
+						}
 						j := f[i]
 						mweJ := mwe[j]
 						alo, ahi := g.ArcRange(j)
@@ -254,6 +307,9 @@ func LLPPrimParallel(g *graph.CSR, opts Options) *Forest {
 			qbuf = qbuf[:0]
 			fixedOne := false
 			for !h.Empty() {
+				if step++; cc.Stride(step) {
+					goto cancelled
+				}
 				k, key := h.PopMin()
 				pops++
 				if fixed[k] == 1 || key != dist[k] {
@@ -272,11 +328,10 @@ func LLPPrimParallel(g *graph.CSR, opts Options) *Forest {
 			}
 		}
 	}
-	if opts.Metrics != nil {
-		*opts.Metrics = WorkMetrics{
-			HeapPushes: pushes, HeapPops: pops, StalePops: stale,
-			EarlyFixes: early, HeapFixes: heapFixes,
-		}
-	}
-	return newForest(g, ids)
+	flush()
+	return newForest(g, ids), nil
+
+cancelled:
+	flush()
+	return newForest(g, ids), interrupted(AlgLLPPrimParallel, cc, len(ids), n-1)
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"llpmst/internal/graph"
+	"llpmst/internal/obs"
 	"llpmst/internal/par"
 	"llpmst/internal/pq"
 	"llpmst/internal/sched"
@@ -22,11 +23,20 @@ import (
 // Compared to LLPPrimParallel (frontier waves), the async bag avoids one
 // barrier per wave at the cost of per-item queue traffic; the ablation
 // benchmark compares the two schedules.
-func LLPPrimAsync(g *graph.CSR, opts Options) *Forest {
+//
+// Cancellation via opts.Ctx is polled inside the scheduler at work-item
+// granularity and in the sequential heap region; a cancelled run returns
+// the partial forest plus a non-nil error. opts.Observer (or a collector
+// on opts.Ctx) receives the scheduler's push/pop/steal counters and queue
+// depth gauge alongside the heap counters.
+func LLPPrimAsync(g *graph.CSR, opts Options) (*Forest, error) {
 	n := g.NumVertices()
 	p := opts.workers()
 	mwe := minWeightEdges(p, g)
 	earlyFix := !opts.NoEarlyFix
+	cc := opts.canceller()
+	col := opts.collector()
+	defer col.Span("llp-prim-async")()
 
 	fixed := make([]uint32, n) // atomic 0/1
 	dist := make([]uint64, n)  // atomic packed keys
@@ -41,7 +51,27 @@ func LLPPrimAsync(g *graph.CSR, opts Options) *Forest {
 	var qCursor atomic.Int64
 
 	h := pq.NewLazyHeap(64)
-	var pushes, pops, stale, early, heapFixes int64
+	var pushes, pops, stale, heapFixes int64
+	step := 0 // work-item index for strided cancellation polls
+	finish := func(cancelled bool) (*Forest, error) {
+		chosen := make([]uint32, idCursor.Load())
+		copy(chosen, ids[:idCursor.Load()])
+		early := idCursor.Load() - heapFixes
+		col.Count(obs.CtrHeapPush, pushes)
+		col.Count(obs.CtrHeapPop, pops)
+		col.Count(obs.CtrEarlyFix, early)
+		if opts.Metrics != nil {
+			*opts.Metrics = WorkMetrics{
+				HeapPushes: pushes, HeapPops: pops, StalePops: stale,
+				EarlyFixes: early, HeapFixes: heapFixes,
+			}
+		}
+		f := newForest(g, chosen)
+		if cancelled {
+			return f, interrupted(AlgLLPPrimAsync, cc, len(chosen), n-1)
+		}
+		return f, nil
+	}
 
 	explore := func(j uint32, push func(uint32)) {
 		mweJ := mwe[j]
@@ -74,10 +104,15 @@ func LLPPrimAsync(g *graph.CSR, opts Options) *Forest {
 		if atomic.LoadUint32(&fixed[s]) == 1 {
 			continue
 		}
+		if cc.Stride(s) {
+			return finish(true)
+		}
 		fixed[s] = 1
 		seed := []uint32{uint32(s)}
 		for {
-			sched.ForEachAsync(p, seed, explore)
+			if err := sched.ForEachAsyncObs(opts.Ctx, p, seed, explore, col); err != nil {
+				return finish(true)
+			}
 			// Quiescent: flush Q into the heap, then fix the fragment's
 			// nearest neighbor.
 			q := qbuf[:qCursor.Load()]
@@ -91,6 +126,9 @@ func LLPPrimAsync(g *graph.CSR, opts Options) *Forest {
 			qCursor.Store(0)
 			fixedOne := false
 			for !h.Empty() {
+				if step++; cc.Stride(step) {
+					return finish(true)
+				}
 				k, key := h.PopMin()
 				pops++
 				if fixed[k] == 1 || key != dist[k] {
@@ -109,14 +147,5 @@ func LLPPrimAsync(g *graph.CSR, opts Options) *Forest {
 			}
 		}
 	}
-	chosen := make([]uint32, idCursor.Load())
-	copy(chosen, ids[:idCursor.Load()])
-	if opts.Metrics != nil {
-		early = idCursor.Load() - heapFixes
-		*opts.Metrics = WorkMetrics{
-			HeapPushes: pushes, HeapPops: pops, StalePops: stale,
-			EarlyFixes: early, HeapFixes: heapFixes,
-		}
-	}
-	return newForest(g, chosen)
+	return finish(false)
 }

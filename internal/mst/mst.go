@@ -11,11 +11,13 @@
 package mst
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
 	"llpmst/internal/graph"
 	"llpmst/internal/llp"
+	"llpmst/internal/obs"
 	"llpmst/internal/par"
 )
 
@@ -147,6 +149,19 @@ type Options struct {
 	// for the run (heap traffic, early fixes, rounds, ...). See WorkMetrics.
 	Metrics *WorkMetrics
 
+	// Ctx, when non-nil, is polled cooperatively by the algorithms: at
+	// phase boundaries and (strided) at work-item granularity in the
+	// parallel inner loops. A cancelled run stops promptly and returns the
+	// partial forest built so far plus an error wrapping ctx.Err(). A nil
+	// Ctx costs nothing. See RunCtx for the usual entry point.
+	Ctx context.Context
+
+	// Observer, when non-nil, receives phase spans and scheduler/algorithm
+	// counters for the run (see internal/obs). When nil, a Collector
+	// carried by Ctx (obs.NewContext) is used, else the free no-op — the
+	// hot paths are instrumented unconditionally at no cost.
+	Observer obs.Collector
+
 	// Seed feeds the randomized algorithms (KKT's sampling coins). Runs are
 	// reproducible for a fixed seed; the produced forest is the same unique
 	// MSF for every seed — randomness only affects the work.
@@ -184,25 +199,31 @@ func Algorithms() []Algorithm {
 }
 
 // Run dispatches to the named algorithm, honoring opts.Metrics for the
-// algorithms whose public helper takes no Options.
+// algorithms whose public helper takes no Options. A pre-cancelled opts.Ctx
+// returns before any work; cancellation granularity beyond that is
+// per-algorithm — the LLP/parallel family polls at work-item granularity,
+// the sequential baselines (Prim, Kruskal, ...) only between whole runs.
 func Run(alg Algorithm, g *graph.CSR, opts Options) (*Forest, error) {
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, fmt.Errorf("mst: %s: %w", alg, err)
+	}
 	switch alg {
 	case AlgPrim:
 		return primIndexed(g, opts.Metrics), nil
 	case AlgPrimLazy:
 		return primLazy(g, opts.Metrics), nil
 	case AlgLLPPrim:
-		return LLPPrim(g, opts), nil
+		return LLPPrim(g, opts)
 	case AlgLLPPrimParallel:
-		return LLPPrimParallel(g, opts), nil
+		return LLPPrimParallel(g, opts)
 	case AlgLLPPrimAsync:
-		return LLPPrimAsync(g, opts), nil
+		return LLPPrimAsync(g, opts)
 	case AlgBoruvka:
 		return boruvka(g, opts.Metrics), nil
 	case AlgParallelBoruvka:
-		return ParallelBoruvka(g, opts), nil
+		return ParallelBoruvka(g, opts)
 	case AlgLLPBoruvka:
-		return LLPBoruvka(g, opts), nil
+		return LLPBoruvka(g, opts)
 	case AlgKruskal:
 		return kruskal(g, opts.Metrics), nil
 	case AlgFilterKruskal:

@@ -194,10 +194,10 @@ func TestLLPPrimAblations(t *testing.T) {
 		{Workers: 4, NoEarlyFix: true},
 		{Workers: 4, NoStaging: true},
 	} {
-		if f := LLPPrim(g, opts); !f.Equal(oracle) {
+		if f := must(LLPPrim(g, opts)); !f.Equal(oracle) {
 			t.Fatalf("sequential ablation %+v broke correctness", opts)
 		}
-		if f := LLPPrimParallel(g, opts); !f.Equal(oracle) {
+		if f := must(LLPPrimParallel(g, opts)); !f.Equal(oracle) {
 			t.Fatalf("parallel ablation %+v broke correctness", opts)
 		}
 	}
@@ -207,7 +207,7 @@ func TestLLPBoruvkaJumpModes(t *testing.T) {
 	g := gen.RoadNetwork(1, 32, 32, 0.3, 31)
 	oracle := Kruskal(g)
 	for _, mode := range []llp.Mode{llp.ModeAsync, llp.ModeRound, llp.ModeSequential} {
-		f := LLPBoruvka(g, Options{Workers: 4, JumpMode: mode})
+		f := must(LLPBoruvka(g, Options{Workers: 4, JumpMode: mode}))
 		if !f.Equal(oracle) {
 			t.Fatalf("jump mode %v broke correctness", mode)
 		}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"llpmst/internal/graph"
+	"llpmst/internal/obs"
 	"llpmst/internal/par"
 	"llpmst/internal/unionfind"
 )
@@ -24,11 +25,20 @@ import (
 // shared by all workers — exactly the costs LLP-Boruvka's rooted-star
 // formulation avoids (no union-find; symmetry breaking plus pointer jumping
 // instead).
-func ParallelBoruvka(g *graph.CSR, opts Options) *Forest {
+//
+// Cancellation via opts.Ctx is polled at every phase boundary and (strided)
+// inside the per-edge phase loops; a cancelled run returns the forest edges
+// chosen in completed rounds plus a non-nil error. Phase-2 winners are only
+// consumed when phase 1 ran to completion, so the partial forest is always
+// a subset of the canonical MSF.
+func ParallelBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
 	p := opts.workers()
 	n := g.NumVertices()
 	m := g.NumEdges()
 	edges := g.Edges()
+	cc := opts.canceller()
+	col := opts.collector()
+	defer col.Span("boruvka-par")()
 
 	uf := unionfind.NewConcurrent(n)
 	comp := make([]uint32, n)
@@ -40,11 +50,22 @@ func ParallelBoruvka(g *graph.CSR, opts Options) *Forest {
 	ids := make([]uint32, 0, n)
 	var rounds int64
 
+	cancelled := false
 	for len(alive) > 0 {
+		if cc.Poll() {
+			cancelled = true
+			break
+		}
 		rounds++
+		col.Count(obs.CtrRounds, 1)
+		col.Gauge(obs.GaugeLiveEdges, int64(len(alive)))
+		roundSpan := col.Span("boruvka-par.round")
 		par.FillKeys(p, best, par.InfKey)
 		// Phase 1: write-min every live cross edge into both components.
 		par.ForEach(p, len(alive), 2048, func(i int) {
+			if cc.Stride(i) {
+				return
+			}
 			id := alive[i]
 			e := &edges[id]
 			cu, cv := comp[e.U], comp[e.V]
@@ -55,10 +76,20 @@ func ParallelBoruvka(g *graph.CSR, opts Options) *Forest {
 			par.WriteMin(&best[cu], key)
 			par.WriteMin(&best[cv], key)
 		})
+		// A cancel inside phase 1 leaves best[] incomplete; phase 2 must not
+		// consume it, or the "winners" need not be MSF edges.
+		if cc.Poll() {
+			cancelled = true
+			roundSpan()
+			break
+		}
 		// Phase 2: per component root, add the winner and unite. comp[]
 		// still holds the pre-union labels, so roots are stable here.
 		won := par.ForCollect(p, n, 2048, func(lo, hi int, out []uint32) []uint32 {
 			for v := lo; v < hi; v++ {
+				if cc.Stride(v) {
+					break
+				}
 				if comp[v] != uint32(v) || best[v] == par.InfKey {
 					continue
 				}
@@ -71,10 +102,18 @@ func ParallelBoruvka(g *graph.CSR, opts Options) *Forest {
 			}
 			return out
 		})
-		if len(won) == 0 {
+		// Winners chosen before a mid-phase-2 cancel are sound (phase 1 was
+		// complete), so they may join the partial result.
+		ids = append(ids, won...)
+		if cc.Poll() {
+			cancelled = true
+			roundSpan()
 			break
 		}
-		ids = append(ids, won...)
+		if len(won) == 0 {
+			roundSpan()
+			break
+		}
 		// Phase 3: relabel and compact.
 		par.ForEach(p, n, 4096, func(v int) { comp[v] = uf.Find(uint32(v)) })
 		alive = par.ForCollect(p, len(alive), 4096, func(lo, hi int, out []uint32) []uint32 {
@@ -87,9 +126,18 @@ func ParallelBoruvka(g *graph.CSR, opts Options) *Forest {
 			}
 			return out
 		})
+		roundSpan()
+		if cc.Poll() {
+			cancelled = true
+			break
+		}
 	}
 	if opts.Metrics != nil {
 		*opts.Metrics = WorkMetrics{Rounds: rounds, Unions: int64(len(ids))}
 	}
-	return newForest(g, ids)
+	f := newForest(g, ids)
+	if cancelled {
+		return f, interrupted(AlgParallelBoruvka, cc, len(ids), n-1)
+	}
+	return f, nil
 }

@@ -1,0 +1,89 @@
+package mst
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"llpmst/internal/graph"
+)
+
+// stressGraph draws one random graph from a seeded morphology family. The
+// families deliberately cover the structural hazards of the parallel
+// algorithms: sparse graphs (deep trees, long pointer-jumping chains),
+// dense graphs (write-min contention), disconnected graphs (per-component
+// restarts), and multigraphs (parallel edges and self-loop-adjacent
+// tie-breaks on packed keys).
+func stressGraph(family string, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var n, m int
+	switch family {
+	case "sparse":
+		n = 50 + rng.Intn(250)
+		m = n + rng.Intn(n/2+1) // barely above a tree
+	case "dense":
+		n = 30 + rng.Intn(90)
+		m = n * (3 + rng.Intn(6))
+	case "disconnected":
+		n = 100 + rng.Intn(200)
+		m = n / 2 // far below connectivity
+	default: // "multi": few vertices, many parallel edges and ties
+		n = 5 + rng.Intn(20)
+		m = n * 10
+	}
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u == v {
+			continue // self-loops are dropped by the builder anyway
+		}
+		var w float32
+		if family == "multi" {
+			w = float32(rng.Intn(4)) // heavy ties: exercises canonical keys
+		} else {
+			w = rng.Float32() * 100
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+	}
+	return graph.MustFromEdges(1, n, edges)
+}
+
+// TestStressDifferentialAllAlgorithms is the differential stress suite: 50
+// seeded random graphs across four morphology families, every algorithm at
+// worker counts {1, 2, GOMAXPROCS}, each run required to produce the exact
+// canonical forest of the Kruskal oracle. Run under -race this doubles as
+// the race-cleanliness proof for the parallel runtime.
+func TestStressDifferentialAllAlgorithms(t *testing.T) {
+	families := []string{"sparse", "dense", "disconnected", "multi"}
+	perFamily := 13 // 4*13 = 52 graphs
+	if testing.Short() {
+		perFamily = 4
+	}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, family := range families {
+		for i := 0; i < perFamily; i++ {
+			seed := int64(1000*i) + int64(len(family)) // deterministic per cell
+			t.Run(fmt.Sprintf("%s/%d", family, i), func(t *testing.T) {
+				g := stressGraph(family, seed)
+				oracle := Kruskal(g)
+				if err := CheckForest(g, oracle); err != nil {
+					t.Fatalf("kruskal oracle invalid: %v", err)
+				}
+				for _, p := range workerCounts {
+					for _, alg := range Algorithms() {
+						f, err := Run(alg, g, Options{Workers: p})
+						if err != nil {
+							t.Fatalf("%s p=%d: %v", alg, p, err)
+						}
+						if !f.Equal(oracle) {
+							t.Errorf("%s p=%d: forest differs from oracle (%d vs %d edges, weight %g vs %g)",
+								alg, p, len(f.EdgeIDs), len(oracle.EdgeIDs), f.Weight, oracle.Weight)
+						}
+					}
+				}
+			})
+		}
+	}
+}

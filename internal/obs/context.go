@@ -1,0 +1,24 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key for a Collector.
+type ctxKey struct{}
+
+// NewContext returns a context carrying col, for call chains (the bench
+// harness, the distributed simulator) where threading an explicit Collector
+// parameter through every layer would be noise.
+func NewContext(ctx context.Context, col Collector) context.Context {
+	return context.WithValue(ctx, ctxKey{}, col)
+}
+
+// FromContext returns the Collector carried by ctx, or Nop when ctx is nil
+// or carries none — callers can always instrument against the result.
+func FromContext(ctx context.Context) Collector {
+	if ctx != nil {
+		if col, ok := ctx.Value(ctxKey{}).(Collector); ok && col != nil {
+			return col
+		}
+	}
+	return Nop{}
+}

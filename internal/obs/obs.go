@@ -1,0 +1,165 @@
+// Package obs is the observability layer of the parallel runtime: named
+// phase timers (spans) and machine-level scheduler/algorithm counters and
+// gauges, behind pluggable Tracer/Collector interfaces.
+//
+// The design constraint is that instrumentation must be free when nobody is
+// listening: algorithms call through a Collector unconditionally, and the
+// no-op implementation (Nop, returned by Or for a nil Collector) costs a
+// dynamic dispatch to an empty method — no allocation, no time syscalls, no
+// atomics. The hot paths therefore never branch on "is tracing enabled";
+// they accumulate worker-local counts and flush once per worker, so even a
+// live Recording collector perturbs the measured run only at quiescence
+// points.
+//
+// Counters and gauges are small enums, not strings, so recording them is an
+// array-indexed atomic add and the zero-allocation property is checkable
+// with testing.AllocsPerRun (see obs_test.go).
+package obs
+
+// Counter identifies a monotonic count. Algorithms add to these through
+// Collector.Count; which counters fire depends on the algorithm (see the
+// constants' comments).
+type Counter uint8
+
+// The defined counters.
+const (
+	// CtrSchedPush counts items pushed into scheduler work queues
+	// (sched.ForEachAsync and friends).
+	CtrSchedPush Counter = iota
+	// CtrSchedPop counts items popped from a worker's own queue.
+	CtrSchedPop
+	// CtrSchedSteal counts successful steal operations (batches, not items).
+	CtrSchedSteal
+	// CtrSchedLevels counts priority levels opened by ForEachOrdered.
+	CtrSchedLevels
+	// CtrRounds counts outer contraction rounds (Boruvka family).
+	CtrRounds
+	// CtrJumpRounds counts LLP pointer-jumping sweeps (LLP-Boruvka).
+	CtrJumpRounds
+	// CtrJumpAdvances counts pointer-jump advance operations (LLP-Boruvka).
+	CtrJumpAdvances
+	// CtrHeapPush counts priority-queue insertions (Prim family).
+	CtrHeapPush
+	// CtrHeapPop counts priority-queue removals (Prim family).
+	CtrHeapPop
+	// CtrEarlyFix counts vertices fixed through a minimum-weight edge
+	// without heap traffic (LLP-Prim's "second way").
+	CtrEarlyFix
+	// CtrGHSPhases counts Boruvka phases of the distributed GHS protocol.
+	CtrGHSPhases
+	// CtrGHSMessages counts messages delivered by the simulated network.
+	CtrGHSMessages
+
+	// NumCounters is the number of defined counters (array sizing).
+	NumCounters
+)
+
+// String names the counter for reports.
+func (c Counter) String() string {
+	switch c {
+	case CtrSchedPush:
+		return "sched.push"
+	case CtrSchedPop:
+		return "sched.pop"
+	case CtrSchedSteal:
+		return "sched.steal"
+	case CtrSchedLevels:
+		return "sched.levels"
+	case CtrRounds:
+		return "rounds"
+	case CtrJumpRounds:
+		return "jump.rounds"
+	case CtrJumpAdvances:
+		return "jump.advances"
+	case CtrHeapPush:
+		return "heap.push"
+	case CtrHeapPop:
+		return "heap.pop"
+	case CtrEarlyFix:
+		return "earlyfix"
+	case CtrGHSPhases:
+		return "ghs.phases"
+	case CtrGHSMessages:
+		return "ghs.messages"
+	}
+	return "counter(?)"
+}
+
+// Gauge identifies an instantaneous level. Collectors are free to keep the
+// last value, the maximum, or a full series; Recording keeps the maximum,
+// the useful summary for capacity questions ("how deep did queues get").
+type Gauge uint8
+
+// The defined gauges.
+const (
+	// GaugeQueueDepth is a scheduler worker's local queue depth.
+	GaugeQueueDepth Gauge = iota
+	// GaugeFrontier is the size of a parallel wave/frontier.
+	GaugeFrontier
+	// GaugeLiveEdges is the surviving edge count entering a contraction
+	// round.
+	GaugeLiveEdges
+
+	// NumGauges is the number of defined gauges (array sizing).
+	NumGauges
+)
+
+// String names the gauge for reports.
+func (g Gauge) String() string {
+	switch g {
+	case GaugeQueueDepth:
+		return "sched.queue_depth"
+	case GaugeFrontier:
+		return "frontier"
+	case GaugeLiveEdges:
+		return "live_edges"
+	}
+	return "gauge(?)"
+}
+
+// Tracer receives named phase spans. Span is called at phase start and the
+// returned func at phase end; implementations timestamp both sides.
+// Span names should be stable literals ("mwe", "contract", ...) so that
+// no-op calls do not allocate.
+type Tracer interface {
+	// Span opens a named phase and returns the closer for it.
+	Span(name string) (end func())
+}
+
+// Collector is a Tracer that additionally receives counters and gauges.
+// Implementations must be safe for concurrent use: scheduler workers flush
+// into one shared Collector.
+type Collector interface {
+	Tracer
+	// Count adds delta (which may be negative for corrections, though the
+	// runtime only emits non-negative deltas) to counter c.
+	Count(c Counter, delta int64)
+	// Gauge reports an observed instantaneous value of g.
+	Gauge(g Gauge, v int64)
+}
+
+// nopEnd is the shared span closer returned by Nop, so Span never
+// allocates.
+var nopEnd = func() {}
+
+// Nop is the free Collector: every method is empty. The zero value is
+// ready to use.
+type Nop struct{}
+
+// Span implements Tracer with a shared, empty closer.
+func (Nop) Span(string) func() { return nopEnd }
+
+// Count implements Collector by discarding the count.
+func (Nop) Count(Counter, int64) {}
+
+// Gauge implements Collector by discarding the value.
+func (Nop) Gauge(Gauge, int64) {}
+
+// Or returns col if non-nil and the Nop collector otherwise, so call sites
+// can instrument unconditionally.
+func Or(col Collector) Collector {
+	if col == nil {
+		return Nop{}
+	}
+	return col
+}

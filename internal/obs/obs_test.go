@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The load-bearing property: instrumenting a hot path against the no-op
+// collector adds zero allocations. Algorithms call through the Collector
+// interface unconditionally, so this is what keeps tracing free when off.
+func TestNopZeroAllocs(t *testing.T) {
+	var col Collector = Nop{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		end := col.Span("phase")
+		col.Count(CtrSchedPush, 1)
+		col.Count(CtrRounds, 3)
+		col.Gauge(GaugeQueueDepth, 17)
+		end()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op collector hot path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestOr(t *testing.T) {
+	if _, ok := Or(nil).(Nop); !ok {
+		t.Fatal("Or(nil) is not Nop")
+	}
+	rec := NewRecording()
+	if Or(rec) != rec {
+		t.Fatal("Or(non-nil) did not pass through")
+	}
+}
+
+func TestRecordingCountersAndGauges(t *testing.T) {
+	rec := NewRecording()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Count(CtrSchedPush, 2)
+				rec.Gauge(GaugeQueueDepth, int64(w*100+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := rec.Counter(CtrSchedPush); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := rec.GaugeMax(GaugeQueueDepth); got != 799 {
+		t.Fatalf("gauge max = %d, want 799", got)
+	}
+	if got := rec.Counter(CtrSchedPop); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+}
+
+func TestRecordingSpansAndTimeline(t *testing.T) {
+	rec := NewRecording()
+	end := rec.Span("outer")
+	inner := rec.Span("inner")
+	time.Sleep(time.Millisecond)
+	inner()
+	end()
+	rec.Count(CtrRounds, 4)
+	rec.Gauge(GaugeLiveEdges, 123)
+
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completion order: inner closes first.
+	if spans[0].Name != "inner" || spans[1].Name != "outer" {
+		t.Fatalf("span order: %v", spans)
+	}
+	if spans[0].Dur <= 0 {
+		t.Fatalf("inner span duration %v, want > 0", spans[0].Dur)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Spans []struct {
+			Name    string  `json:"name"`
+			StartUS float64 `json:"start_us"`
+			DurUS   float64 `json:"dur_us"`
+		} `json:"spans"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges_max"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Timeline order: sorted by start offset, so outer comes first.
+	if len(decoded.Spans) != 2 || decoded.Spans[0].Name != "outer" {
+		t.Fatalf("timeline spans: %+v", decoded.Spans)
+	}
+	if decoded.Counters["rounds"] != 4 {
+		t.Fatalf("timeline counters: %+v", decoded.Counters)
+	}
+	if decoded.Gauges["live_edges"] != 123 {
+		t.Fatalf("timeline gauges: %+v", decoded.Gauges)
+	}
+}
+
+func TestContextCarriesCollector(t *testing.T) {
+	if _, ok := FromContext(nil).(Nop); !ok {
+		t.Fatal("FromContext(nil) is not Nop")
+	}
+	if _, ok := FromContext(context.Background()).(Nop); !ok {
+		t.Fatal("FromContext(plain ctx) is not Nop")
+	}
+	rec := NewRecording()
+	ctx := NewContext(context.Background(), rec)
+	if FromContext(ctx) != rec {
+		t.Fatal("collector did not round-trip through context")
+	}
+}
+
+func TestEnumNames(t *testing.T) {
+	for c := Counter(0); c < NumCounters; c++ {
+		if c.String() == "counter(?)" {
+			t.Fatalf("counter %d has no name", c)
+		}
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		if g.String() == "gauge(?)" {
+			t.Fatalf("gauge %d has no name", g)
+		}
+	}
+}

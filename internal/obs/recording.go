@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recording is a Collector that accumulates counters (atomic adds), keeps
+// per-gauge maxima, and records every span with wall-clock start/duration.
+// It is safe for concurrent use from any number of workers. The zero value
+// is NOT ready; use NewRecording (span timestamps are relative to the
+// recording's origin so timelines start at zero).
+type Recording struct {
+	origin   time.Time
+	counters [NumCounters]atomic.Int64
+	gauges   [NumGauges]atomic.Int64 // maxima
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// SpanRecord is one completed phase: name plus start offset and duration
+// relative to the recording's origin.
+type SpanRecord struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_us"`
+	Dur   time.Duration `json:"dur_us"`
+}
+
+// NewRecording returns an empty recording whose timeline origin is now.
+func NewRecording() *Recording {
+	return &Recording{origin: time.Now()}
+}
+
+// Span implements Tracer: it timestamps the phase open and records the
+// completed span when the returned closer runs.
+func (r *Recording) Span(name string) func() {
+	start := time.Since(r.origin)
+	return func() {
+		end := time.Since(r.origin)
+		r.mu.Lock()
+		r.spans = append(r.spans, SpanRecord{Name: name, Start: start, Dur: end - start})
+		r.mu.Unlock()
+	}
+}
+
+// Count implements Collector with an atomic add.
+func (r *Recording) Count(c Counter, delta int64) {
+	r.counters[c].Add(delta)
+}
+
+// Gauge implements Collector, retaining the maximum observed value.
+func (r *Recording) Gauge(g Gauge, v int64) {
+	for {
+		cur := r.gauges[g].Load()
+		if v <= cur || r.gauges[g].CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Counter returns the accumulated total for c.
+func (r *Recording) Counter(c Counter) int64 { return r.counters[c].Load() }
+
+// GaugeMax returns the maximum value observed for g (0 if never reported).
+func (r *Recording) GaugeMax(g Gauge) int64 { return r.gauges[g].Load() }
+
+// Spans returns a copy of the completed spans in completion order.
+func (r *Recording) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// timelineJSON is the serialized form of WriteTimeline.
+type timelineJSON struct {
+	Spans    []spanJSON       `json:"spans"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges_max"`
+}
+
+type spanJSON struct {
+	Name    string  `json:"name"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+}
+
+// WriteTimeline writes the phase timeline plus counter/gauge summaries as
+// indented JSON: spans sorted by start offset with microsecond start/
+// duration, counters and gauge maxima keyed by their String names (zero
+// entries omitted). This is the payload behind mstbench's -trace-out flag.
+func (r *Recording) WriteTimeline(w io.Writer) error {
+	spans := r.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	out := timelineJSON{
+		Spans:    make([]spanJSON, 0, len(spans)),
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+	}
+	for _, s := range spans {
+		out.Spans = append(out.Spans, spanJSON{
+			Name:    s.Name,
+			StartUS: float64(s.Start) / float64(time.Microsecond),
+			DurUS:   float64(s.Dur) / float64(time.Microsecond),
+		})
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := r.Counter(c); v != 0 {
+			out.Counters[c.String()] = v
+		}
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		if v := r.GaugeMax(g); v != 0 {
+			out.Gauges[g.String()] = v
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Canceller polls a context from hot loops at a cost the loops can afford.
+// Cancellation in this runtime is cooperative: workers never block on the
+// context, they poll it — at work-item granularity in the schedulers,
+// strided every 2^10 items in tight per-edge loops, and at every phase
+// boundary. Once one poll observes cancellation the sticky flag makes every
+// later check a single atomic load, so all workers of a parallel region
+// quiesce within one stride of each other.
+//
+// A Canceller built from a nil context, context.Background(), or any other
+// context that can never be cancelled (Done() == nil) is inert: Active
+// reports false and every check is a nil comparison. The zero value is
+// likewise inert.
+type Canceller struct {
+	ctx     context.Context
+	done    <-chan struct{}
+	stopped atomic.Bool
+}
+
+// strideMask spaces the context polls of Stride: one real poll every 1024
+// items keeps worst-case cancellation latency in the microseconds while the
+// per-item cost stays a mask test.
+const strideMask = 1<<10 - 1
+
+// NewCanceller wraps ctx (which may be nil) for cooperative polling.
+func NewCanceller(ctx context.Context) *Canceller {
+	c := &Canceller{ctx: ctx}
+	if ctx != nil {
+		c.done = ctx.Done()
+	}
+	return c
+}
+
+// Active reports whether cancellation is possible at all. Loops may use it
+// to pick an uninstrumented fast path.
+func (c *Canceller) Active() bool { return c != nil && c.done != nil }
+
+// Poll checks the context now and reports whether the run is cancelled.
+// Intended for phase boundaries and scheduler idle loops.
+func (c *Canceller) Poll() bool {
+	if c == nil || c.done == nil {
+		return false
+	}
+	if c.stopped.Load() {
+		return true
+	}
+	select {
+	case <-c.done:
+		c.stopped.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// Stride is the per-item check for tight loops: a nil test, then a sticky
+// atomic load, and a real context poll only every 1024th item index.
+func (c *Canceller) Stride(i int) bool {
+	if c == nil || c.done == nil {
+		return false
+	}
+	if c.stopped.Load() {
+		return true
+	}
+	if i&strideMask != 0 {
+		return false
+	}
+	return c.Poll()
+}
+
+// Err returns the context's error: non-nil exactly when the context is
+// cancelled or past its deadline. Safe on an inert Canceller.
+func (c *Canceller) Err() error {
+	if c == nil || c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}

@@ -12,13 +12,23 @@
 //   - ForEachOrdered: priority-level-synchronous — the OBIM
 //     (ordered-by-integer-metric) analogue, processing the minimum-priority
 //     level in parallel before moving on.
+//
+// Each has a context-aware variant (ForEachAsyncCtx, ForEachOrderedCtx)
+// that polls for cancellation at work-item granularity and returns
+// context.Context's error when the run is abandoned with work left in the
+// bag, and an observed variant (ForEachAsyncObs, ForEachOrderedObs) that
+// additionally reports scheduler traffic — pushes, pops, steals, queue
+// depth — to an obs.Collector. Workers accumulate counts locally and flush
+// once at exit, so observation does not perturb the schedule.
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"llpmst/internal/obs"
 	"llpmst/internal/par"
 )
 
@@ -28,20 +38,70 @@ import (
 // invocation. Each pushed item is processed exactly once. Returns when all
 // work has drained (quiescence).
 func ForEachAsync[T any](p int, initial []T, process func(item T, push func(T))) {
+	forEachAsync(nil, p, initial, process, obs.Nop{})
+}
+
+// ForEachAsyncCtx is ForEachAsync with cooperative cancellation: every
+// worker polls ctx at work-item granularity (strided in the hot loop, every
+// iteration when idle) and abandons the bag once the context is cancelled.
+// Returns nil when the bag drained to quiescence, and ctx's error when the
+// run was abandoned with items unprocessed. A collector attached to ctx via
+// obs.NewContext is honored.
+func ForEachAsyncCtx[T any](ctx context.Context, p int, initial []T, process func(item T, push func(T))) error {
+	return ForEachAsyncObs(ctx, p, initial, process, obs.FromContext(ctx))
+}
+
+// ForEachAsyncObs is ForEachAsyncCtx reporting scheduler traffic to col:
+// CtrSchedPush/CtrSchedPop item totals (initial items count as pushes),
+// CtrSchedSteal successful steals, and the maximum per-worker queue depth
+// as GaugeQueueDepth. col may be nil.
+func ForEachAsyncObs[T any](ctx context.Context, p int, initial []T, process func(item T, push func(T)), col obs.Collector) error {
+	cc := par.NewCanceller(ctx)
+	if forEachAsync(cc, p, initial, process, obs.Or(col)) {
+		return cc.Err()
+	}
+	return nil
+}
+
+// forEachAsync is the shared engine. It reports whether the run was
+// abandoned before quiescence (always false with an inert canceller).
+func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(item T, push func(T)), col obs.Collector) (aborted bool) {
 	p = par.Workers(p)
 	if p == 1 {
+		// Single worker: a plain LIFO stack. push appends through the
+		// closure-captured slice header, so pushes during processing of the
+		// last item (when the loop just resliced the stack to empty) land in
+		// the same variable the loop condition reads — no work is lost; the
+		// regression test TestForEachAsyncPushDuringLastItem pins this.
+		defer col.Span("sched.async")()
 		stack := make([]T, len(initial))
 		copy(stack, initial)
-		push := func(x T) { stack = append(stack, x) }
-		for len(stack) > 0 {
+		var pushes, pops, depth int64
+		pushes = int64(len(initial))
+		push := func(x T) { pushes++; stack = append(stack, x) }
+		for i := 0; len(stack) > 0; i++ {
+			if cc.Stride(i) {
+				aborted = true
+				break
+			}
+			if l := int64(len(stack)); l > depth {
+				depth = l
+			}
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
+			pops++
 			process(x, push)
 		}
-		return
+		col.Count(obs.CtrSchedPush, pushes)
+		col.Count(obs.CtrSchedPop, pops)
+		col.Gauge(obs.GaugeQueueDepth, depth)
+		return aborted
 	}
+	defer col.Span("sched.async")()
+	col.Count(obs.CtrSchedPush, int64(len(initial)))
 	var pending atomic.Int64
 	pending.Store(int64(len(initial)))
+	var stopped atomic.Bool
 	queues := make([]workQueue[T], p)
 	for i, x := range initial {
 		q := &queues[i%p]
@@ -53,21 +113,46 @@ func ForEachAsync[T any](p int, initial []T, process func(item T, push func(T)))
 		go func(self int) {
 			defer wg.Done()
 			my := &queues[self]
+			var pushes, pops, steals, depth int64
+			defer func() {
+				col.Count(obs.CtrSchedPush, pushes)
+				col.Count(obs.CtrSchedPop, pops)
+				col.Count(obs.CtrSchedSteal, steals)
+				col.Gauge(obs.GaugeQueueDepth, depth)
+			}()
 			push := func(x T) {
 				pending.Add(1)
-				my.push(x)
+				pushes++
+				if l := int64(my.push(x)); l > depth {
+					depth = l
+				}
 			}
-			for {
+			for i := 0; ; i++ {
+				if cc.Stride(i) {
+					stopped.Store(true)
+					return
+				}
 				x, ok := my.pop()
 				if !ok {
 					x, ok = steal(queues, self)
+					if ok {
+						steals++
+					}
 				}
 				if ok {
+					pops++
 					process(x, push)
 					pending.Add(-1)
 					continue
 				}
-				if pending.Load() == 0 {
+				if pending.Load() == 0 || stopped.Load() {
+					return
+				}
+				// Idle: poll the context every spin, not just every stride —
+				// an idle worker must notice a cancelled run promptly even
+				// when the remaining items are hoarded by a stuck sibling.
+				if cc.Poll() {
+					stopped.Store(true)
 					return
 				}
 				runtime.Gosched()
@@ -75,6 +160,8 @@ func ForEachAsync[T any](p int, initial []T, process func(item T, push func(T)))
 		}(w)
 	}
 	wg.Wait()
+	// pending > 0 means items were abandoned in the queues.
+	return pending.Load() > 0
 }
 
 // workQueue is one worker's LIFO queue. The owner pushes and pops at the
@@ -86,10 +173,13 @@ type workQueue[T any] struct {
 	_     [40]byte // pad to a cache line to avoid false sharing
 }
 
-func (q *workQueue[T]) push(x T) {
+// push appends x and returns the resulting queue length (for depth gauges).
+func (q *workQueue[T]) push(x T) int {
 	q.mu.Lock()
 	q.items = append(q.items, x)
+	n := len(q.items)
 	q.mu.Unlock()
+	return n
 }
 
 func (q *workQueue[T]) pop() (T, bool) {
@@ -152,11 +242,39 @@ func steal[T any](queues []workQueue[T], self int) (T, bool) {
 // work. prio must be stable for a given item; push may only be called from
 // within process.
 func ForEachOrdered[T any](p int, initial []T, prio func(T) uint64, process func(item T, push func(T))) {
+	forEachOrdered(nil, p, initial, prio, process, obs.Nop{})
+}
+
+// ForEachOrderedCtx is ForEachOrdered with cooperative cancellation,
+// polled between level batches and (strided) per item. Returns nil on
+// quiescence and ctx's error when the run was abandoned. A collector
+// attached to ctx via obs.NewContext is honored.
+func ForEachOrderedCtx[T any](ctx context.Context, p int, initial []T, prio func(T) uint64, process func(item T, push func(T))) error {
+	return ForEachOrderedObs(ctx, p, initial, prio, process, obs.FromContext(ctx))
+}
+
+// ForEachOrderedObs is ForEachOrderedCtx reporting scheduler traffic to
+// col: CtrSchedLevels priority levels opened, CtrSchedPush/CtrSchedPop item
+// totals, and each level's batch size as GaugeFrontier. col may be nil.
+func ForEachOrderedObs[T any](ctx context.Context, p int, initial []T, prio func(T) uint64, process func(item T, push func(T)), col obs.Collector) error {
+	cc := par.NewCanceller(ctx)
+	if forEachOrdered(cc, p, initial, prio, process, obs.Or(col)) {
+		return cc.Err()
+	}
+	return nil
+}
+
+func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) uint64, process func(item T, push func(T)), col obs.Collector) (aborted bool) {
+	defer col.Span("sched.ordered")()
 	bins := map[uint64][]T{}
 	for _, x := range initial {
 		bins[prio(x)] = append(bins[prio(x)], x)
 	}
+	col.Count(obs.CtrSchedPush, int64(len(initial)))
 	for len(bins) > 0 {
+		if cc.Poll() {
+			return true
+		}
 		// Find the minimum priority level.
 		first := true
 		var cur uint64
@@ -167,19 +285,33 @@ func ForEachOrdered[T any](p int, initial []T, prio func(T) uint64, process func
 		}
 		level := bins[cur]
 		delete(bins, cur)
+		col.Count(obs.CtrSchedLevels, 1)
 		for len(level) > 0 {
+			if cc.Poll() {
+				return true
+			}
+			col.Gauge(obs.GaugeFrontier, int64(len(level)))
 			type pushed struct {
 				pr uint64
 				x  T
 			}
+			var pushes atomic.Int64
 			out := par.ForCollect(p, len(level), 64, func(lo, hi int, out []pushed) []pushed {
+				n := int64(0)
 				for i := lo; i < hi; i++ {
+					if cc.Stride(i) {
+						break
+					}
 					process(level[i], func(x T) {
+						n++
 						out = append(out, pushed{prio(x), x})
 					})
 				}
+				pushes.Add(n)
 				return out
 			})
+			col.Count(obs.CtrSchedPop, int64(len(level)))
+			col.Count(obs.CtrSchedPush, pushes.Load())
 			level = level[:0]
 			for _, u := range out {
 				if u.pr <= cur {
@@ -190,4 +322,5 @@ func ForEachOrdered[T any](p int, initial []T, prio func(T) uint64, process func
 			}
 		}
 	}
+	return false
 }

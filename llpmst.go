@@ -33,6 +33,7 @@
 package llpmst
 
 import (
+	"context"
 	"io"
 	"os"
 	"slices"
@@ -41,6 +42,7 @@ import (
 	"llpmst/internal/graph"
 	"llpmst/internal/llp"
 	"llpmst/internal/mst"
+	"llpmst/internal/obs"
 )
 
 // Edge is one undirected weighted edge: endpoints U, V and a finite,
@@ -106,6 +108,21 @@ func NewGraphWorkers(workers, n int, edges []Edge) (*Graph, error) {
 // algorithm the paper's conclusion recommends for the configured worker
 // count: LLP-Prim for a single worker, LLP-Boruvka otherwise.
 func MinimumSpanningForest(g *Graph, opts Options) *Forest {
+	f, _ := minimumSpanningForest(g, opts)
+	return f
+}
+
+// MinimumSpanningForestCtx is MinimumSpanningForest with cooperative
+// cancellation: ctx is polled throughout the run, and a cancelled run
+// returns promptly with the partial forest built so far (always a subset of
+// the canonical MSF) and an error wrapping ctx.Err(). Test with
+// errors.Is(err, context.Canceled) or context.DeadlineExceeded.
+func MinimumSpanningForestCtx(ctx context.Context, g *Graph, opts Options) (*Forest, error) {
+	opts.Ctx = ctx
+	return minimumSpanningForest(g, opts)
+}
+
+func minimumSpanningForest(g *Graph, opts Options) (*Forest, error) {
 	if opts.Workers == 1 {
 		return mst.LLPPrim(g, opts)
 	}
@@ -117,29 +134,36 @@ func Run(alg Algorithm, g *Graph, opts Options) (*Forest, error) {
 	return mst.Run(alg, g, opts)
 }
 
+// RunCtx is Run with cooperative cancellation (see
+// MinimumSpanningForestCtx for the cancellation contract). The ctx
+// argument takes precedence over opts.Ctx.
+func RunCtx(ctx context.Context, alg Algorithm, g *Graph, opts Options) (*Forest, error) {
+	return mst.RunCtx(ctx, alg, g, opts)
+}
+
 // Prim runs the classical Prim's algorithm (indexed heap, Algorithm 2).
 func Prim(g *Graph) *Forest { return mst.Prim(g) }
 
 // LLPPrim runs the sequential LLP-Prim (Algorithm 5, 1 thread).
-func LLPPrim(g *Graph, opts Options) *Forest { return mst.LLPPrim(g, opts) }
+func LLPPrim(g *Graph, opts Options) *Forest { f, _ := mst.LLPPrim(g, opts); return f }
 
 // LLPPrimParallel runs LLP-Prim with the bag R processed in parallel
 // frontier waves.
-func LLPPrimParallel(g *Graph, opts Options) *Forest { return mst.LLPPrimParallel(g, opts) }
+func LLPPrimParallel(g *Graph, opts Options) *Forest { f, _ := mst.LLPPrimParallel(g, opts); return f }
 
 // LLPPrimAsync runs LLP-Prim with the bag R processed by an asynchronous
 // work-stealing scheduler (the Galois-style schedule the paper's
 // implementation uses).
-func LLPPrimAsync(g *Graph, opts Options) *Forest { return mst.LLPPrimAsync(g, opts) }
+func LLPPrimAsync(g *Graph, opts Options) *Forest { f, _ := mst.LLPPrimAsync(g, opts); return f }
 
 // Boruvka runs the sequential Boruvka's algorithm (Algorithm 3).
 func Boruvka(g *Graph) *Forest { return mst.Boruvka(g) }
 
 // ParallelBoruvka runs the GBBS-style parallel Boruvka baseline.
-func ParallelBoruvka(g *Graph, opts Options) *Forest { return mst.ParallelBoruvka(g, opts) }
+func ParallelBoruvka(g *Graph, opts Options) *Forest { f, _ := mst.ParallelBoruvka(g, opts); return f }
 
 // LLPBoruvka runs LLP-Boruvka (Algorithm 6).
-func LLPBoruvka(g *Graph, opts Options) *Forest { return mst.LLPBoruvka(g, opts) }
+func LLPBoruvka(g *Graph, opts Options) *Forest { f, _ := mst.LLPBoruvka(g, opts); return f }
 
 // Kruskal runs the classical Kruskal's algorithm.
 func Kruskal(g *Graph) *Forest { return mst.Kruskal(g) }
@@ -152,6 +176,40 @@ func KKT(g *Graph, opts Options) *Forest { return mst.KKT(g, opts) }
 
 // FilterKruskal runs the parallel filter-Kruskal variant.
 func FilterKruskal(g *Graph, opts Options) *Forest { return mst.FilterKruskal(g, opts) }
+
+// Observer receives runtime observability events from a run: phase spans,
+// scheduler counters (pushes, pops, steals), contraction-round and
+// pointer-jumping counters, and gauges (queue depth, frontier size, live
+// edges). Set Options.Observer, or attach one to a context with
+// WithObserver. Implementations must be safe for concurrent use; the
+// default (nil) observer costs nothing on the hot paths.
+type Observer = obs.Collector
+
+// ObsCounter and ObsGauge identify the monotonic counters and level gauges
+// reported to an Observer; their String methods give stable names
+// ("sched.push", "rounds", "queue.depth", ...).
+type (
+	ObsCounter = obs.Counter
+	ObsGauge   = obs.Gauge
+)
+
+// RecordingObserver is an Observer that accumulates everything in memory:
+// per-span wall-clock timeline, counter totals, and gauge maxima. Safe for
+// concurrent use; see NewRecordingObserver.
+type RecordingObserver = obs.Recording
+
+// NewRecordingObserver returns an empty RecordingObserver. Query it with
+// Counter/GaugeMax/Spans after the run, or serialize the whole capture with
+// WriteTimeline (the payload behind mstbench -trace-out).
+func NewRecordingObserver() *RecordingObserver { return obs.NewRecording() }
+
+// WithObserver returns a context carrying col. Runs that receive the
+// context (RunCtx, MinimumSpanningForestCtx, or Options.Ctx) report to col
+// without needing Options.Observer set — useful when the context already
+// flows through the call stack.
+func WithObserver(ctx context.Context, col Observer) context.Context {
+	return obs.NewContext(ctx, col)
+}
 
 // IncrementalMSF maintains a minimum spanning forest under online edge
 // insertions; see NewIncrementalMSF.
