@@ -8,7 +8,8 @@
 //	mstbench -exp fig4 -low 4 -high 32
 //	mstbench -exp all -csv results.csv    # also dump machine-readable rows
 //
-// Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, all.
+// Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, dist,
+// chaos (also via -chaos, seeded by -chaos-seed), all.
 // Scales: test (~1k vertices), s (~65k), m (~260k), l (~1M).
 package main
 
@@ -41,19 +42,21 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mstbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|dist|all")
-		scale    = fs.String("scale", "s", "dataset scale: test|s|m|l")
-		trials   = fs.Int("trials", 3, "trials per cell (best time is reported)")
-		threads  = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
-		low      = fs.Int("low", 4, "low worker count for fig4")
-		high     = fs.Int("high", 32, "high worker count for fig4")
-		workers  = fs.Int("workers", 8, "worker count for sizesweep and ablation")
-		csvPath  = fs.String("csv", "", "also write timing rows as CSV to this path")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
-		memProf  = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
-		timeout  = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit); a timed-out run still reports completed rows")
-		traceOut = fs.String("trace-out", "", "write the runtime phase timeline (spans, counters, gauge maxima) as JSON to this path")
-		pprofSrv = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		exp       = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|dist|chaos|all")
+		scale     = fs.String("scale", "s", "dataset scale: test|s|m|l")
+		trials    = fs.Int("trials", 3, "trials per cell (best time is reported)")
+		threads   = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
+		low       = fs.Int("low", 4, "low worker count for fig4")
+		high      = fs.Int("high", 32, "high worker count for fig4")
+		workers   = fs.Int("workers", 8, "worker count for sizesweep and ablation")
+		csvPath   = fs.String("csv", "", "also write timing rows as CSV to this path")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
+		memProf   = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
+		timeout   = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit); a timed-out run still reports completed rows")
+		traceOut  = fs.String("trace-out", "", "write the runtime phase timeline (spans, counters, gauge maxima) as JSON to this path")
+		pprofSrv  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		chaos     = fs.Bool("chaos", false, "also run the distributed protocol over a lossy network (drop=0.2 dup=0.1 reorder) and report recovery costs")
+		chaosSeed = fs.Int64("chaos-seed", 1, "fault-injection seed for -chaos (identical seeds reproduce identical runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,6 +173,25 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return out, nil
 		}},
+	}
+	if *chaos || *exp == "chaos" {
+		steps = append(steps, struct {
+			name string
+			f    func() ([]bench.Result, error)
+		}{"chaos", func() ([]bench.Result, error) {
+			rows, err := bench.ChaosCtx(ctx, stdout, sc, *chaosSeed)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]bench.Result, 0, len(rows))
+			for _, r := range rows {
+				out = append(out, bench.Result{
+					Experiment: "chaos", Dataset: r.Dataset, Algorithm: "ghs-chaos",
+					Edges: r.Edges, Speedup: r.RoundFactor,
+				})
+			}
+			return out, nil
+		}})
 	}
 	for _, s := range steps {
 		if err := step(s.name, s.f); err != nil {

@@ -42,6 +42,22 @@ func TestVerifyEveryAlgorithmPair(t *testing.T) {
 	}
 }
 
+// The distributed protocol's elected forest must pass the same cross-check
+// and cycle-property certificate as the shared-memory algorithms; the
+// command must exit cleanly (run returns nil) exactly when it does.
+func TestVerifyGHS(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-graph", path, "-alg", "ghs", "-against", "kruskal"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ghs simulation:", "identical edge sets", "certificate: minimal"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestVerifyErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

@@ -1,0 +1,56 @@
+package dist
+
+// Fabric is the message-passing substrate the GHS driver runs over. Two
+// implementations exist: the perfect *Network (exactly-once, next-round,
+// in-order delivery) and the lossy *FaultyNetwork (drop/duplicate/delay/
+// reorder plus node crashes, masked by a reliable transport). The protocol
+// handlers are identical over both; only the driver's quiescence test
+// consults the fabric's extra methods.
+type Fabric interface {
+	// Send queues a message over arc a for delivery in a later round.
+	Send(a int64, kind MsgKind, x, y uint64)
+	// Deliver advances one round and returns how many protocol-visible
+	// messages became readable (transport frames — acks, duplicates — do
+	// not count).
+	Deliver() int
+	// Inbox returns node v's messages for the current round.
+	Inbox(v uint32) []Message
+	// Quiet reports whether a Deliver() == 0 round is conclusive: no
+	// unacknowledged traffic is outstanding and no crashed node is
+	// scheduled to restart. The perfect network is always quiet.
+	Quiet() bool
+	// Alive reports whether node v can act this round.
+	Alive(v uint32) bool
+	// Kick asks the fabric to retransmit all unacknowledged traffic on the
+	// next round, overriding backoff — the driver's watchdog action for a
+	// stalled sub-phase.
+	Kick()
+	// NewlyDead returns nodes that have crashed permanently (crash-stop)
+	// since the last call, each reported exactly once.
+	NewlyDead() []uint32
+	// Drop removes node v from the fabric: pending and future traffic to
+	// and from v is discarded. The driver calls it for every vertex of a
+	// component doomed by a crash-stop, so that quiescence stays reachable.
+	Drop(v uint32)
+	// Counters returns the rounds executed and protocol messages delivered.
+	Counters() (rounds int, delivered int64)
+}
+
+// Quiet implements Fabric: the perfect network has no outstanding traffic
+// beyond its outboxes, which Deliver always drains.
+func (nw *Network) Quiet() bool { return true }
+
+// Alive implements Fabric: nodes never fail on the perfect network.
+func (nw *Network) Alive(uint32) bool { return true }
+
+// Kick implements Fabric as a no-op: nothing is ever retransmitted.
+func (nw *Network) Kick() {}
+
+// NewlyDead implements Fabric: no crashes on the perfect network.
+func (nw *Network) NewlyDead() []uint32 { return nil }
+
+// Drop implements Fabric as a no-op (never called: NewlyDead is empty).
+func (nw *Network) Drop(uint32) {}
+
+// Counters implements Fabric.
+func (nw *Network) Counters() (int, int64) { return nw.Rounds, nw.Sent }

@@ -1,0 +1,340 @@
+package dist
+
+import (
+	"llpmst/internal/fault"
+	"llpmst/internal/graph"
+)
+
+// FaultyNetwork is a lossy message fabric: every transmission consults a
+// seeded fault.Injector (drop, duplicate, delay, reorder; node crashes) and
+// a reliable transport masks the damage so the GHS handlers above it stay
+// oblivious:
+//
+//   - every protocol message gets a per-directed-arc sequence number and is
+//     held by the sender until acknowledged;
+//   - receivers acknowledge every arrival and deduplicate by sequence
+//     number (a contiguous low-water mark plus a sparse set for
+//     out-of-order arrivals), so duplicates and retransmissions deliver
+//     exactly once to the protocol;
+//   - unacknowledged frames are retransmitted on a round-based timeout with
+//     exponential backoff (Kick overrides the backoff, the driver's
+//     watchdog action);
+//   - frames addressed to a node that is down (crash-restart interval) wait
+//     in flight and deliver after the restart; acks are ordinary
+//     transmissions and subject to the same faults.
+//
+// Quiet() tells the driver when a silent round is conclusive: no
+// unacknowledged frame is outstanding and no crashed node will restart.
+// Crash-stop nodes never ack, so the driver dooms their components (Drop)
+// to make quiescence reachable again.
+//
+// The fabric is single-threaded by design: the injector's RNG is consumed
+// in deterministic (arc, round) order, making whole chaos runs replayable
+// from the plan seed.
+type FaultyNetwork struct {
+	G       *graph.CSR
+	inj     *fault.Injector
+	reverse []int64
+
+	round   int
+	seqNext []uint32 // next sequence number per sender arc
+
+	// Receiver-side dedup, indexed by the sender arc (unique per direction):
+	// everything below contig[a] was accepted; seen[a] holds out-of-order
+	// accepted sequence numbers >= contig[a].
+	contig []uint32
+	seen   []map[uint32]struct{}
+
+	// Sender-side reliability: unacked frames per sender arc.
+	pending   [][]pendingFrame
+	pendCount int
+
+	flights []flight // transmissions scheduled for future delivery
+	spare   []flight // ping-pong buffer for Deliver's flight scan
+	inbox   [][]Message
+	dropped []bool // nodes removed by Drop (doomed components)
+
+	Rounds      int   // rounds executed
+	Sent        int64 // protocol messages delivered (exactly-once)
+	Retransmits int64 // transport retransmissions
+}
+
+// pendingFrame is an unacknowledged protocol message awaiting its ack.
+type pendingFrame struct {
+	seq       uint32
+	kind      MsgKind
+	a, b      uint64
+	nextRetry int
+	backoff   int
+}
+
+// flight is one transmission in the air: a data frame or an ack, due at
+// deliverAt. arc is the sender-side arc it travels over.
+type flight struct {
+	deliverAt int
+	arc       int64
+	seq       uint32
+	kind      MsgKind
+	a, b      uint64
+	ack       bool
+}
+
+// Transport tuning: the ack round-trip over a clean fabric is 2 rounds, so
+// the first retransmission waits rtoInitial rounds and backs off
+// exponentially up to rtoMax.
+const (
+	rtoInitial = 4
+	rtoMax     = 64
+)
+
+// NewFaultyNetwork builds the lossy fabric over g, injecting the faults of
+// inj.
+func NewFaultyNetwork(g *graph.CSR, inj *fault.Injector) *FaultyNetwork {
+	n := g.NumVertices()
+	na := g.NumArcs()
+	return &FaultyNetwork{
+		G:       g,
+		inj:     inj,
+		reverse: pairArcs(g),
+		seqNext: make([]uint32, na),
+		contig:  make([]uint32, na),
+		seen:    make([]map[uint32]struct{}, na),
+		pending: make([][]pendingFrame, na),
+		inbox:   make([][]Message, n),
+		dropped: make([]bool, n),
+	}
+}
+
+// pairArcs computes the dual-arc table: reverse[a] is the arc of the same
+// undirected edge in the opposite direction.
+func pairArcs(g *graph.CSR) []int64 {
+	reverse := make([]int64, g.NumArcs())
+	first := make([]int64, g.NumEdges())
+	for i := range first {
+		first[i] = -1
+	}
+	n := g.NumVertices()
+	for v := uint32(0); int(v) < n; v++ {
+		lo, hi := g.ArcRange(v)
+		for a := lo; a < hi; a++ {
+			eid := g.ArcEdgeID(a)
+			if first[eid] < 0 {
+				first[eid] = a
+			} else {
+				reverse[a] = first[eid]
+				reverse[first[eid]] = a
+			}
+		}
+	}
+	return reverse
+}
+
+// Send implements Fabric: the message is assigned the next sequence number
+// of arc a, parked for retransmission, and transmitted once now.
+func (fn *FaultyNetwork) Send(a int64, kind MsgKind, x, y uint64) {
+	src := fn.G.Target(fn.reverse[a])
+	if fn.dropped[src] || fn.dropped[fn.G.Target(a)] {
+		return
+	}
+	seq := fn.seqNext[a]
+	fn.seqNext[a]++
+	fn.pending[a] = append(fn.pending[a], pendingFrame{
+		seq: seq, kind: kind, a: x, b: y,
+		nextRetry: fn.round + rtoInitial, backoff: rtoInitial,
+	})
+	fn.pendCount++
+	fn.transmit(flight{arc: a, seq: seq, kind: kind, a: x, b: y})
+}
+
+// transmit rolls the injector's dice for one frame and schedules the
+// surviving copies. fl.deliverAt is filled in here.
+func (fn *FaultyNetwork) transmit(fl flight) {
+	drop, dup, delay := fn.inj.Transmit(fl.arc)
+	if drop {
+		return
+	}
+	fl.deliverAt = fn.round + 1 + delay
+	fn.flights = append(fn.flights, fl)
+	if dup {
+		fn.flights = append(fn.flights, fl)
+	}
+}
+
+// Deliver implements Fabric: retransmit overdue frames, advance one round,
+// move due flights into inboxes (deduplicating and acknowledging), and
+// return how many protocol messages were newly delivered.
+func (fn *FaultyNetwork) Deliver() int {
+	fn.round++
+	fn.Rounds = fn.round
+
+	// Retransmission scan, in deterministic arc order.
+	for a := range fn.pending {
+		for i := range fn.pending[a] {
+			p := &fn.pending[a][i]
+			if p.nextRetry > fn.round {
+				continue
+			}
+			fn.Retransmits++
+			fn.transmit(flight{arc: int64(a), seq: p.seq, kind: p.kind, a: p.a, b: p.b})
+			if p.backoff < rtoMax {
+				p.backoff *= 2
+			}
+			p.nextRetry = fn.round + p.backoff
+		}
+	}
+
+	for v := range fn.inbox {
+		fn.inbox[v] = fn.inbox[v][:0]
+	}
+	delivered := 0
+	// Scan into the spare buffer: processing a frame can transmit fresh
+	// acks, which append to fn.flights — so fn.flights must not alias the
+	// slice being iterated.
+	old := fn.flights
+	fn.flights = fn.spare[:0]
+	for _, fl := range old {
+		dst := fn.G.Target(fl.arc)
+		src := fn.G.Target(fn.reverse[fl.arc])
+		if fn.dropped[dst] || fn.dropped[src] {
+			continue // doomed endpoints: discard
+		}
+		if fl.deliverAt > fn.round {
+			fn.flights = append(fn.flights, fl)
+			continue
+		}
+		if !fn.inj.Alive(dst, fn.round) {
+			// The receiver is down: hold the frame and try again next
+			// round (it survives a crash-restart interval this way).
+			fl.deliverAt = fn.round + 1
+			fn.flights = append(fn.flights, fl)
+			continue
+		}
+		if fl.ack {
+			fn.handleAck(fl)
+			continue
+		}
+		if fn.accept(fl) {
+			fn.inbox[dst] = append(fn.inbox[dst], Message{
+				Arc: fn.reverse[fl.arc], Kind: fl.kind, A: fl.a, B: fl.b,
+			})
+			delivered++
+		}
+		// Acknowledge every arrival — duplicates too, in case the first
+		// ack was lost. The ack travels the reverse arc and is itself
+		// subject to faults (but never retransmitted: reliability lives
+		// with the data frame).
+		fn.transmit(flight{arc: fn.reverse[fl.arc], seq: fl.seq, ack: true})
+	}
+	fn.spare = old[:0]
+
+	if fn.inj.Reordering() {
+		for v := range fn.inbox {
+			box := fn.inbox[v]
+			fn.inj.Shuffle(len(box), func(i, j int) { box[i], box[j] = box[j], box[i] })
+		}
+	}
+	fn.Sent += int64(delivered)
+	return delivered
+}
+
+// accept deduplicates an arriving data frame by (arc, seq). It reports
+// whether the frame is new (deliver to the protocol) as opposed to a
+// duplicate (suppress, but still acknowledge).
+func (fn *FaultyNetwork) accept(fl flight) bool {
+	a := fl.arc
+	if fl.seq < fn.contig[a] {
+		return false
+	}
+	if _, dup := fn.seen[a][fl.seq]; dup {
+		return false
+	}
+	if fl.seq == fn.contig[a] {
+		fn.contig[a]++
+		for {
+			if _, ok := fn.seen[a][fn.contig[a]]; !ok {
+				break
+			}
+			delete(fn.seen[a], fn.contig[a])
+			fn.contig[a]++
+		}
+		return true
+	}
+	if fn.seen[a] == nil {
+		fn.seen[a] = make(map[uint32]struct{})
+	}
+	fn.seen[a][fl.seq] = struct{}{}
+	return true
+}
+
+// handleAck retires the pending frame the ack names. The ack traveled over
+// the receiver's arc, so the data frame's sender arc is its reverse.
+func (fn *FaultyNetwork) handleAck(fl flight) {
+	a := fn.reverse[fl.arc]
+	list := fn.pending[a]
+	for i := range list {
+		if list[i].seq == fl.seq {
+			list[i] = list[len(list)-1]
+			fn.pending[a] = list[:len(list)-1]
+			fn.pendCount--
+			return
+		}
+	}
+}
+
+// Inbox implements Fabric.
+func (fn *FaultyNetwork) Inbox(v uint32) []Message { return fn.inbox[v] }
+
+// Quiet implements Fabric: a silent round is conclusive only when every
+// data frame has been acknowledged and no crashed node is scheduled to
+// restart (a revived node produces and consumes messages, so quiescence
+// before its restart would be premature — this is load-bearing for e.g. a
+// convergecast leaf that is down with no traffic addressed to it).
+func (fn *FaultyNetwork) Quiet() bool {
+	return fn.pendCount == 0 && !fn.inj.RestartPending(fn.round)
+}
+
+// Alive implements Fabric.
+func (fn *FaultyNetwork) Alive(v uint32) bool {
+	return !fn.dropped[v] && fn.inj.Alive(v, fn.round)
+}
+
+// Kick implements Fabric: every unacked frame becomes due on the next
+// round, overriding backoff.
+func (fn *FaultyNetwork) Kick() {
+	for a := range fn.pending {
+		for i := range fn.pending[a] {
+			fn.pending[a][i].nextRetry = fn.round
+		}
+	}
+}
+
+// NewlyDead implements Fabric.
+func (fn *FaultyNetwork) NewlyDead() []uint32 { return fn.inj.NewlyDead(fn.round) }
+
+// Drop implements Fabric: v's pending traffic is purged (in-flight frames
+// touching v are discarded lazily in Deliver) and future sends to or from v
+// are ignored.
+func (fn *FaultyNetwork) Drop(v uint32) {
+	if fn.dropped[v] {
+		return
+	}
+	fn.dropped[v] = true
+	lo, hi := fn.G.ArcRange(v)
+	for a := lo; a < hi; a++ {
+		for _, dir := range [2]int64{a, fn.reverse[a]} {
+			if k := len(fn.pending[dir]); k > 0 {
+				fn.pendCount -= k
+				fn.pending[dir] = fn.pending[dir][:0]
+			}
+		}
+	}
+}
+
+// Counters implements Fabric.
+func (fn *FaultyNetwork) Counters() (int, int64) { return fn.Rounds, fn.Sent }
+
+// FaultStats returns the injector's fault counts alongside the transport's
+// retransmissions.
+func (fn *FaultyNetwork) FaultStats() (stats fault.Stats, retransmits int64) {
+	return fn.inj.Stats(), fn.Retransmits
+}

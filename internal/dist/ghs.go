@@ -3,7 +3,9 @@ package dist
 import (
 	"context"
 	"fmt"
+	"sort"
 
+	"llpmst/internal/fault"
 	"llpmst/internal/graph"
 	"llpmst/internal/obs"
 	"llpmst/internal/par"
@@ -43,8 +45,58 @@ func MSF(g *graph.CSR) ([]uint32, SimStats, error) {
 // MSF, since an edge is only chosen after its fragment's convergecast
 // finished — plus a non-nil error wrapping ctx.Err().
 func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
+	return runGHS(ctx, g, NewNetwork(g))
+}
+
+// RunGHSFaulty is RunGHS over a lossy network: every transmission is
+// subject to plan's drop/duplicate/delay/reorder probabilities and crash
+// schedule, masked by FaultyNetwork's reliable transport (sequence numbers,
+// acks, retransmission with backoff). Under any fault schedule that
+// eventually delivers retransmissions and contains no crash-stop, the run
+// elects exactly the canonical MSF — identical to the fault-free run, just
+// over more rounds.
+//
+// Crash-restart intervals are omission faults (the node neither sends nor
+// receives while down, state intact) and are fully masked: sub-phases wait
+// for scheduled restarts. A crash-stop makes the dead node's entire
+// connected component unreachable; the driver dooms that component (its
+// nodes stop electing — a doomed fragment cannot be completed soundly) and
+// the run returns a *PartitionError naming the dead and stranded vertices
+// alongside the sound partial forest. The healthy components still elect
+// exactly their canonical MSF restriction.
+//
+// The run is deterministic: identical graph + plan (seed included) gives a
+// byte-identical forest and SimStats. A collector on ctx additionally
+// receives the ghs.retransmits and fault.dropped/duplicated/delayed
+// counters.
+func RunGHSFaulty(ctx context.Context, g *graph.CSR, plan fault.Plan) ([]uint32, SimStats, error) {
+	fn := NewFaultyNetwork(g, fault.New(plan))
+	ids, st, err := runGHS(ctx, g, fn)
+	fs, retransmits := fn.FaultStats()
+	st.Retransmits = retransmits
+	st.Dropped = fs.Dropped
+	st.Duplicated = fs.Duplicated
+	st.Delayed = fs.Delayed
+	col := obs.FromContext(ctx)
+	col.Count(obs.CtrGHSRetransmits, retransmits)
+	col.Count(obs.CtrFaultDropped, fs.Dropped)
+	col.Count(obs.CtrFaultDuplicated, fs.Duplicated)
+	col.Count(obs.CtrFaultDelayed, fs.Delayed)
+	return ids, st, err
+}
+
+// Watchdog tuning for runSubPhase: after kickEvery consecutive silent
+// rounds that are not conclusive (unacked traffic or pending restarts), the
+// driver kicks the fabric into immediate retransmission; after stallLimit
+// such rounds it declares the run stalled (a fault schedule that never
+// delivers, e.g. drop probability 1 on a needed arc).
+const (
+	kickEvery  = 8
+	stallLimit = 1 << 20
+)
+
+func runGHS(ctx context.Context, g *graph.CSR, fab Fabric) ([]uint32, SimStats, error) {
 	n := g.NumVertices()
-	nw := NewNetwork(g)
 	cc := par.NewCanceller(ctx)
 	col := obs.FromContext(ctx)
 	defer col.Span("ghs")()
@@ -79,23 +131,75 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 		nodes[v] = nodeState{frag: uint32(v), parentArc: -1, active: true}
 	}
 
+	// Partition bookkeeping: crash-stop nodes and the components they doom.
+	// A fragment containing a permanently dead node can never complete its
+	// convergecast, and recomputing an MSF of the surviving subgraph would
+	// be unsound (MSF(G − dead) need not be a subset of MSF(G)), so the
+	// whole component stops electing: its prior elections used complete
+	// convergecast information and stand.
+	var dead []uint32
+	doomed := make([]bool, n)
+	var comp []uint32 // lazy component labels of g
+	doomNewlyDead := func() {
+		for _, v := range fab.NewlyDead() {
+			dead = append(dead, v)
+			if comp == nil {
+				comp = components(g)
+			}
+			cv := comp[v]
+			for w := uint32(0); int(w) < n; w++ {
+				if comp[w] == cv && !doomed[w] {
+					doomed[w] = true
+					nodes[w].active = false
+					fab.Drop(w)
+				}
+			}
+		}
+	}
+
 	// runSubPhase drives handler rounds to quiescence: handler is invoked
-	// for every node each round (with that round's inbox) and must be
-	// idempotent across rounds via its own guards. Returns true when
-	// interrupted by ctx; rounds are atomic (a started round always delivers
-	// its sends), so node state stays consistent across an interruption.
+	// for every live node each round (with that round's inbox) and must be
+	// idempotent across rounds via its own guards. A round is conclusive
+	// only when nothing was delivered AND the fabric is quiet (no unacked
+	// traffic, no pending restart) — on a lossy fabric, silence alone just
+	// means retransmissions are backing off, so the watchdog kicks them and
+	// eventually declares a stall. Returns true when interrupted by ctx;
+	// rounds are atomic (a started round always delivers its sends), so
+	// node state stays consistent across an interruption.
+	stalled := false
 	runSubPhase := func(handler func(v uint32)) bool {
+		idle := 0
 		for {
 			if cc.Poll() {
 				return true
 			}
+			doomNewlyDead()
 			for v := uint32(0); int(v) < n; v++ {
-				handler(v)
+				if fab.Alive(v) {
+					handler(v)
+				}
 			}
-			if nw.Deliver() == 0 {
+			if fab.Deliver() > 0 {
+				idle = 0
+				continue
+			}
+			if fab.Quiet() {
+				return false
+			}
+			idle++
+			if idle%kickEvery == 0 {
+				fab.Kick()
+			}
+			if idle > stallLimit {
+				stalled = true
 				return false
 			}
 		}
+	}
+	finishStats := func(phase int) SimStats {
+		rounds, sent := fab.Counters()
+		col.Count(obs.CtrGHSMessages, sent)
+		return SimStats{Phases: phase, Rounds: rounds, Messages: sent}
 	}
 
 	maxPhases := 2
@@ -116,25 +220,32 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 			phaseSpan()
 			return nil, SimStats{}, fmt.Errorf("dist: protocol exceeded %d phases; protocol bug", maxPhases)
 		}
-		// ---- (1) fragment-id exchange (one round) ----
-		for v := uint32(0); int(v) < n; v++ {
-			if !nodes[v].active {
-				continue
+		// ---- (1) fragment-id exchange ----
+		// Handler-driven so that a lossy fabric can finish the exchange
+		// with retransmissions: every active node announces its fragment id
+		// once; the sub-phase ends only when every announcement has been
+		// delivered and acknowledged, so nbrFrag is globally current.
+		fragSent := make([]bool, n)
+		aborted := runSubPhase(func(v uint32) {
+			st := &nodes[v]
+			if st.active && !fragSent[v] {
+				fragSent[v] = true
+				lo, hi := g.ArcRange(v)
+				for a := lo; a < hi; a++ {
+					fab.Send(a, MsgFrag, uint64(st.frag), 0)
+				}
 			}
-			lo, hi := g.ArcRange(v)
-			for a := lo; a < hi; a++ {
-				nw.Send(a, MsgFrag, uint64(nodes[v].frag), 0)
-			}
-		}
-		nw.Deliver()
-		for v := uint32(0); int(v) < n; v++ {
-			for _, m := range nw.Inbox(v) {
+			for _, m := range fab.Inbox(v) {
 				if m.Kind == MsgFrag {
 					nbrFrag[m.Arc] = uint32(m.A)
 				}
 			}
+		})
+		if aborted || stalled {
+			cancelled = aborted
+			phaseSpan()
+			break
 		}
-		nw.Deliver() // clear
 
 		// ---- (2) local minima + convergecast ----
 		for v := uint32(0); int(v) < n; v++ {
@@ -164,12 +275,12 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 			}
 			st.acc = st.localBest
 		}
-		aborted := runSubPhase(func(v uint32) {
+		aborted = runSubPhase(func(v uint32) {
 			st := &nodes[v]
 			if !st.active {
 				return
 			}
-			for _, m := range nw.Inbox(v) {
+			for _, m := range fab.Inbox(v) {
 				if m.Kind == MsgReport {
 					if m.A < st.acc {
 						st.acc = m.A
@@ -182,15 +293,15 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 				if st.parentArc >= 0 {
 					// parentArc is this node's own arc toward its parent, so
 					// sending on it delivers upward.
-					nw.Send(st.parentArc, MsgReport, st.acc, 0)
+					fab.Send(st.parentArc, MsgReport, st.acc, 0)
 				} else {
 					st.winner = st.acc // root learned the fragment MWOE
 					st.hasWinner = true
 				}
 			}
 		})
-		if aborted {
-			cancelled = true
+		if aborted || stalled {
+			cancelled = aborted
 			phaseSpan()
 			break
 		}
@@ -207,7 +318,7 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 				// branch may already include connect edges added below,
 				// which lead into foreign fragments.
 				if branch[a] && a != st.parentArc && nbrFrag[a] == st.frag {
-					nw.Send(a, MsgWinner, key, 0)
+					fab.Send(a, MsgWinner, key, 0)
 				}
 			}
 			if key == par.InfKey {
@@ -218,7 +329,7 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 			for a := lo; a < hi; a++ {
 				if nbrFrag[a] != st.frag && g.ArcKey(a) == key {
 					st.connectArc = a
-					nw.Send(a, MsgConnect, uint64(st.frag), uint64(v))
+					fab.Send(a, MsgConnect, uint64(st.frag), uint64(v))
 					if !chosen[g.ArcEdgeID(a)] {
 						chosen[g.ArcEdgeID(a)] = true
 						result = append(result, g.ArcEdgeID(a))
@@ -236,7 +347,7 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 				// No return: same-round CONNECTs from neighbor fragments
 				// must still be consumed below.
 			}
-			for _, m := range nw.Inbox(v) {
+			for _, m := range fab.Inbox(v) {
 				switch m.Kind {
 				case MsgWinner:
 					if !started[v] {
@@ -249,10 +360,10 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 				}
 			}
 		})
-		if aborted {
+		if aborted || stalled {
 			// Edges already elected are fragment MWOEs (cut property: always
 			// in the MSF), so the partial result stays sound.
-			cancelled = true
+			cancelled = aborted
 			phaseSpan()
 			break
 		}
@@ -286,11 +397,11 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 				lo, hi := g.ArcRange(v)
 				for a := lo; a < hi; a++ {
 					if branch[a] {
-						nw.Send(a, MsgNewFrag, uint64(newID), 0)
+						fab.Send(a, MsgNewFrag, uint64(newID), 0)
 					}
 				}
 			}
-			for _, m := range nw.Inbox(v) {
+			for _, m := range fab.Inbox(v) {
 				if m.Kind != MsgNewFrag {
 					continue
 				}
@@ -301,14 +412,14 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 					lo, hi := g.ArcRange(v)
 					for a := lo; a < hi; a++ {
 						if branch[a] && a != m.Arc {
-							nw.Send(a, MsgNewFrag, m.A, 0)
+							fab.Send(a, MsgNewFrag, m.A, 0)
 						}
 					}
 				}
 			}
 		})
-		if aborted {
-			cancelled = true
+		if aborted || stalled {
+			cancelled = aborted
 			phaseSpan()
 			break
 		}
@@ -341,11 +452,11 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 				lo, hi := g.ArcRange(v)
 				for a := lo; a < hi; a++ {
 					if branch[a] {
-						nw.Send(a, MsgOrient, 0, 0)
+						fab.Send(a, MsgOrient, 0, 0)
 					}
 				}
 			}
-			for _, m := range nw.Inbox(v) {
+			for _, m := range fab.Inbox(v) {
 				if m.Kind != MsgOrient {
 					continue
 				}
@@ -354,14 +465,14 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 					lo, hi := g.ArcRange(v)
 					for a := lo; a < hi; a++ {
 						if branch[a] && a != m.Arc {
-							nw.Send(a, MsgOrient, 0, 0)
+							fab.Send(a, MsgOrient, 0, 0)
 						}
 					}
 				}
 			}
 		})
-		if aborted {
-			cancelled = true
+		if aborted || stalled {
+			cancelled = aborted
 			phaseSpan()
 			break
 		}
@@ -371,18 +482,74 @@ func RunGHS(ctx context.Context, g *graph.CSR) ([]uint32, SimStats, error) {
 		}
 		phaseSpan()
 	}
-	col.Count(obs.CtrGHSMessages, nw.Sent)
-	st := SimStats{Phases: phase, Rounds: nw.Rounds, Messages: nw.Sent}
+	st := finishStats(phase)
 	if cancelled {
 		return result, st, fmt.Errorf("dist: ghs interrupted after %d phases with %d edges elected: %w",
 			phase, len(result), cc.Err())
 	}
+	if stalled {
+		return result, st, fmt.Errorf("dist: ghs stalled after %d rounds with %d edges elected: "+
+			"the fault schedule never delivers some retransmission", st.Rounds, len(result))
+	}
+	if len(dead) > 0 {
+		var stranded []uint32
+		isDead := make(map[uint32]bool, len(dead))
+		for _, v := range dead {
+			isDead[v] = true
+		}
+		for v := uint32(0); int(v) < n; v++ {
+			if doomed[v] && !isDead[v] {
+				stranded = append(stranded, v)
+			}
+		}
+		sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+		elected := make([]uint32, len(result))
+		copy(elected, result)
+		return result, st, &PartitionError{Dead: dead, Stranded: stranded, Elected: elected}
+	}
 	return result, st, nil
 }
 
-// SimStats reports the distributed protocol's costs.
+// components labels the connected components of g by BFS: comp[v] is the
+// smallest vertex id of v's component.
+func components(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	comp := make([]uint32, n)
+	for v := range comp {
+		comp[v] = uint32(n) // unvisited
+	}
+	queue := make([]uint32, 0, 1024)
+	for s := uint32(0); int(s) < n; s++ {
+		if comp[s] != uint32(n) {
+			continue
+		}
+		comp[s] = s
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			lo, hi := g.ArcRange(v)
+			for a := lo; a < hi; a++ {
+				if t := g.Target(a); comp[t] == uint32(n) {
+					comp[t] = s
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// SimStats reports the distributed protocol's costs. The struct is
+// comparable (==), which the determinism tests use: identical seed and
+// fault plan must reproduce identical stats.
 type SimStats struct {
 	Phases   int   // Boruvka phases
 	Rounds   int   // synchronous message rounds
-	Messages int64 // total messages delivered
+	Messages int64 // total protocol messages delivered (exactly-once)
+
+	// Fault-run extras (zero on a perfect network).
+	Retransmits int64 // transport retransmissions of unacked messages
+	Dropped     int64 // transmissions lost by the injector
+	Duplicated  int64 // transmissions duplicated by the injector
+	Delayed     int64 // transmissions delayed by the injector
 }

@@ -59,30 +59,12 @@ const (
 // NewNetwork builds the message fabric over g.
 func NewNetwork(g *graph.CSR) *Network {
 	n := g.NumVertices()
-	nw := &Network{
+	return &Network{
 		G:       g,
-		reverse: make([]int64, g.NumArcs()),
+		reverse: pairArcs(g),
 		inbox:   make([][]Message, n),
 		outbox:  make([][]Message, n),
 	}
-	// Pair up the two arcs of every edge.
-	first := make([]int64, g.NumEdges())
-	for i := range first {
-		first[i] = -1
-	}
-	for v := uint32(0); int(v) < n; v++ {
-		lo, hi := g.ArcRange(v)
-		for a := lo; a < hi; a++ {
-			eid := g.ArcEdgeID(a)
-			if first[eid] < 0 {
-				first[eid] = a
-			} else {
-				nw.reverse[a] = first[eid]
-				nw.reverse[first[eid]] = a
-			}
-		}
-	}
-	return nw
 }
 
 // Send queues a message over arc a (from Source-of-a to Target-of-a) for

@@ -1,0 +1,34 @@
+package dist
+
+import "fmt"
+
+// PartitionError reports that crash-stop failures made part of the graph
+// permanently unreachable mid-protocol. The run still returns a sound
+// partial forest: every edge in Elected was a fragment minimum-weight
+// outgoing edge chosen from a completed convergecast, so by the cut
+// property it belongs to the canonical MSF of the original graph. The
+// healthy components (those containing no dead node) finish their exact
+// MSF restriction; the doomed components keep only the edges they elected
+// before the crash.
+//
+// Note the stranded set is the rest of each dead node's entire connected
+// component, not just vertices separated from some root: the minimum
+// spanning forest of the surviving subgraph need not be a subset of the
+// original MSF, so no sound election can continue anywhere a crash-stop
+// occurred.
+type PartitionError struct {
+	// Dead lists the crash-stop nodes, ascending.
+	Dead []uint32
+	// Stranded lists the live vertices doomed alongside them (same
+	// components, minus Dead), ascending.
+	Stranded []uint32
+	// Elected is the sound partial forest at the time the run ended — the
+	// same edge ids the accompanying result slice carries.
+	Elected []uint32
+}
+
+// Error implements error.
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("dist: network partitioned: %d node(s) crashed, stranding %d more; %d sound forest edge(s) elected",
+		len(e.Dead), len(e.Stranded), len(e.Elected))
+}

@@ -86,3 +86,31 @@ func FuzzReadMETIS(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadLLPG fuzzes the binary (.llpg) loader: arbitrary bytes must never
+// panic or allocate unboundedly, and any accepted graph must validate.
+func FuzzReadLLPG(f *testing.F) {
+	var buf bytes.Buffer
+	g := MustFromEdges(1, 3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2.5}})
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2]) // truncated edge list
+	f.Add(good[:4])           // header only
+	f.Add([]byte{})
+	f.Add([]byte("not a graph at all, definitely not magic"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := ReadBinary(1, bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}

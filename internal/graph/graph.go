@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"llpmst/internal/par"
@@ -143,7 +144,8 @@ func FromEdges(p, n int, edges []Edge, opts ...BuildOption) (*CSR, error) {
 	// Validate endpoints and drop self-loops.
 	bad := par.CountTrue(p, len(edges), func(i int) bool {
 		e := edges[i]
-		return int(e.U) >= n || int(e.V) >= n || e.W < 0 || e.W != e.W
+		return int(e.U) >= n || int(e.V) >= n || e.W < 0 || e.W != e.W ||
+			math.IsInf(float64(e.W), 0)
 	})
 	if bad > 0 {
 		return nil, fmt.Errorf("graph: %d edges with out-of-range endpoints or invalid weights (n=%d)", bad, n)

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -53,9 +54,15 @@ func (g *CSR) Connected() bool {
 	return c == 1
 }
 
-// Validate performs internal consistency checks on the CSR structure and
-// returns the first problem found, or nil. Intended for tests and for
-// checking graphs loaded from files.
+// Validate performs internal consistency checks on g and returns the first
+// problem found, or nil: out-of-range arc endpoints, asymmetric CSR arcs
+// (every undirected edge must appear as exactly two dual arcs), and
+// non-finite or negative weights are all rejected. Every file loader
+// (ReadDIMACS, ReadMatrixMarket, ReadMETIS, ReadBinary) runs it before
+// returning, so a parsed graph is structurally trustworthy.
+func Validate(g *CSR) error { return g.Validate() }
+
+// Validate is the method form of the package-level Validate.
 func (g *CSR) Validate() error {
 	if len(g.offsets) != g.n+1 {
 		return fmt.Errorf("graph: offsets length %d, want n+1=%d", len(g.offsets), g.n+1)
@@ -108,7 +115,7 @@ func (g *CSR) Validate() error {
 		if e.U == e.V {
 			return fmt.Errorf("graph: edge %d is a self-loop (%d,%d)", id, e.U, e.V)
 		}
-		if e.W < 0 || e.W != e.W {
+		if e.W < 0 || e.W != e.W || math.IsInf(float64(e.W), 0) {
 			return fmt.Errorf("graph: edge %d has invalid weight %v", id, e.W)
 		}
 	}

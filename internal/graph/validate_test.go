@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFromEdgesRejectsNonFiniteWeights(t *testing.T) {
+	for _, w := range []float32{float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN())} {
+		_, err := FromEdges(1, 2, []Edge{{U: 0, V: 1, W: w}})
+		if err == nil {
+			t.Fatalf("FromEdges accepted weight %v", w)
+		}
+	}
+}
+
+func TestValidatePackageFunc(t *testing.T) {
+	g := MustFromEdges(1, 3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}})
+	if err := Validate(g); err != nil {
+		t.Fatalf("Validate on a good graph: %v", err)
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	fresh := func() *CSR {
+		return MustFromEdges(1, 3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}})
+	}
+
+	g := fresh()
+	g.targets[0] = 99
+	if err := Validate(g); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range target not caught: %v", err)
+	}
+
+	// Asymmetric arcs: relabel one arc of edge 0 as edge 1, so edge 0
+	// appears once and edge 1 three times.
+	g = fresh()
+	for a := range g.eids {
+		if g.eids[a] == 0 {
+			g.eids[a] = 1
+			break
+		}
+	}
+	if err := Validate(g); err == nil {
+		t.Fatal("asymmetric arcs not caught")
+	}
+
+	// Non-finite weight, kept consistent across edge and its arcs so the
+	// finiteness check (not the consistency check) fires.
+	g = fresh()
+	inf := float32(math.Inf(1))
+	g.edges[0].W = inf
+	for a := range g.eids {
+		if g.eids[a] == 0 {
+			g.weights[a] = inf
+		}
+	}
+	if err := Validate(g); err == nil || !strings.Contains(err.Error(), "invalid weight") {
+		t.Fatalf("non-finite weight not caught: %v", err)
+	}
+}
+
+// Loaders must reject files whose parsed edges are invalid — here a DIMACS
+// arc with an infinite weight.
+func TestReadDIMACSRejectsNonFinite(t *testing.T) {
+	src := "p sp 2 1\na 1 2 inf\n"
+	if _, err := ReadDIMACS(1, strings.NewReader(src)); err == nil {
+		t.Fatal("ReadDIMACS accepted an infinite weight")
+	}
+}

@@ -22,6 +22,43 @@ import (
 // aborts first), but it is of course not spanning. Callers distinguish the
 // cases by the error: nil error means the complete canonical MSF.
 
+// Panic protocol, mirroring the cancellation protocol.
+//
+// The parallel runtime (internal/par, internal/sched) recovers worker
+// panics, drains the remaining workers, and re-raises the first panic as a
+// *par.PanicError on the algorithm goroutine (or returns it as an error
+// from the scheduler's Obs/Ctx entry points). Each of the five parallel
+// algorithms converts that into an ordinary error with recoverPanic: the
+// caller gets the partial forest built so far plus an error wrapping the
+// *par.PanicError (reachable via errors.As), and the process survives.
+//
+// The partial forest is sound for the same reason as under cancellation:
+// edges enter ids either individually justified (CAS-won minimum-weight
+// edges, heap-popped minimum cut edges) or in batches consumed only after
+// the phase that produced them completed — and the runtime re-raises a
+// phase's panic before its results are assigned.
+
+// panicked wraps a recovered worker panic with the algorithm name and how
+// far the run got, preserving errors.As(err, **par.PanicError) through %w.
+func panicked(alg Algorithm, pe *par.PanicError, have, want int) error {
+	return fmt.Errorf("mst: %s aborted by worker panic with %d/%d forest edges chosen: %w", alg, have, want, pe)
+}
+
+// recoverPanic is the deferred panic-to-error conversion shared by the
+// parallel algorithms. It must be the algorithm's first defer (so that it
+// also catches panics raised by later-registered defers, e.g. a span end),
+// and f/err must point at the algorithm's named results. ids points at the
+// slice of individually sound edge choices accumulated so far.
+func recoverPanic(alg Algorithm, g *graph.CSR, ids *[]uint32, want int, f **Forest, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	pe := par.AsPanicError(r, -1)
+	*f = newForest(g, *ids)
+	*err = panicked(alg, pe, len(*ids), want)
+}
+
 // interrupted wraps a cancellation error with the algorithm name and how
 // far the run got, preserving errors.Is(err, context.Canceled /
 // DeadlineExceeded) through %w.

@@ -41,10 +41,15 @@ type cedge struct {
 // cancelled run returns the forest edges chosen so far plus a non-nil
 // error. Parent choices are only consumed when the preceding mwe phase ran
 // to completion, so the partial forest is always a subset of the canonical
-// MSF.
-func LLPBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
+// MSF. A worker panic, re-raised by the par runtime after all workers have
+// joined (and before the panicking phase's results are assigned), is
+// converted into a *par.PanicError under the same partial-forest contract
+// (see recoverPanic).
+func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 	p := opts.workers()
 	n := g.NumVertices()
+	ids := make([]uint32, 0, n)
+	defer recoverPanic(AlgLLPBoruvka, g, &ids, n-1, &f, &err)
 	m := g.NumEdges()
 	cc := opts.canceller()
 	col := opts.collector()
@@ -65,7 +70,6 @@ func LLPBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
 	newID := make([]uint32, n)
 
 	nv := n
-	ids := make([]uint32, 0, n)
 	var rounds, jumpRounds, jumpAdvances int64
 	cancelled := false
 	for len(edges) > 0 {
@@ -192,7 +196,7 @@ func LLPBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
 			Rounds: rounds, JumpRounds: jumpRounds, JumpAdvances: jumpAdvances,
 		}
 	}
-	f := newForest(g, ids)
+	f = newForest(g, ids)
 	if cancelled {
 		return f, interrupted(AlgLLPBoruvka, cc, len(ids), n-1)
 	}

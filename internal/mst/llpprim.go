@@ -40,9 +40,12 @@ import (
 // Disconnected inputs are handled by restarting from each unvisited vertex,
 // producing the minimum spanning forest. Cancellation via opts.Ctx is
 // polled once per explored vertex; a cancelled run returns the partial
-// forest plus a non-nil error.
-func LLPPrim(g *graph.CSR, opts Options) (*Forest, error) {
+// forest plus a non-nil error, and a panic (e.g. from an Observer) is
+// converted into a *par.PanicError the same way (see recoverPanic).
+func LLPPrim(g *graph.CSR, opts Options) (f *Forest, err error) {
 	n := g.NumVertices()
+	ids := make([]uint32, 0, n)
+	defer recoverPanic(AlgLLPPrim, g, &ids, n-1, &f, &err)
 	mwe := minWeightEdges(1, g)
 	earlyFix := !opts.NoEarlyFix
 	staging := !opts.NoStaging
@@ -59,7 +62,6 @@ func LLPPrim(g *graph.CSR, opts Options) (*Forest, error) {
 	var r []uint32 // the bag R of fixed, unexplored vertices
 	var q []uint32 // the staging set Q
 	inQ := make([]bool, n)
-	ids := make([]uint32, 0, n)
 	var pushes, pops, stale, early, heapFixes, relaxations int64
 	step := 0 // work-item index for strided cancellation polls
 	flush := func() {
@@ -185,9 +187,14 @@ cancelled:
 // per vertex, tentative keys with atomic write-min; the heap is touched only
 // in the sequential region between frontier waves, where Q is flushed.
 // Cancellation via opts.Ctx is polled between waves and (strided) inside
-// them; a cancelled run returns the partial forest plus a non-nil error.
-func LLPPrimParallel(g *graph.CSR, opts Options) (*Forest, error) {
+// them; a cancelled run returns the partial forest plus a non-nil error. A
+// worker panic, re-raised by the par runtime after all workers have joined,
+// is converted into a *par.PanicError with the same partial-forest contract
+// (see recoverPanic).
+func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 	n := g.NumVertices()
+	ids := make([]uint32, 0, n)
+	defer recoverPanic(AlgLLPPrimParallel, g, &ids, n-1, &f, &err)
 	p := opts.workers()
 	mwe := minWeightEdges(p, g)
 	earlyFix := !opts.NoEarlyFix
@@ -201,7 +208,6 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (*Forest, error) {
 	par.FillKeys(p, dist, par.InfKey)
 	inQ := make([]uint32, n) // atomic 0/1
 	h := pq.NewLazyHeap(64)
-	ids := make([]uint32, 0, n)
 	var qbuf []uint32
 
 	// rec carries one frontier-expansion outcome: eid == qMark flags a Q

@@ -1,6 +1,7 @@
 package mst
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"llpmst/internal/graph"
@@ -29,9 +30,34 @@ import (
 // the partial forest plus a non-nil error. opts.Observer (or a collector
 // on opts.Ctx) receives the scheduler's push/pop/steal counters and queue
 // depth gauge alongside the heap counters.
-func LLPPrimAsync(g *graph.CSR, opts Options) (*Forest, error) {
+//
+// A worker panic, returned by the scheduler as a *par.PanicError after all
+// workers have joined, is converted into an error with the same
+// partial-forest contract: every id written through the atomic cursor is an
+// individually sound MSF edge (a CAS-won minimum-weight edge or a
+// heap-popped minimum cut edge), so the snapshot taken after the join is a
+// subset of the canonical MSF.
+func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 	n := g.NumVertices()
 	p := opts.workers()
+
+	// Concurrent accumulators: chosen tree edges and the staging set Q,
+	// claimed by atomic cursor into preallocated arrays.
+	ids := make([]uint32, n) // at most n-1 tree edges
+	var idCursor atomic.Int64
+	qbuf := make([]uint32, n)
+	var qCursor atomic.Int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		pe := par.AsPanicError(r, -1)
+		chosen := append([]uint32(nil), ids[:idCursor.Load()]...)
+		f = newForest(g, chosen)
+		err = panicked(AlgLLPPrimAsync, pe, len(chosen), n-1)
+	}()
+
 	mwe := minWeightEdges(p, g)
 	earlyFix := !opts.NoEarlyFix
 	cc := opts.canceller()
@@ -42,13 +68,6 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (*Forest, error) {
 	dist := make([]uint64, n)  // atomic packed keys
 	par.FillKeys(p, dist, par.InfKey)
 	inQ := make([]uint32, n) // atomic 0/1
-
-	// Concurrent accumulators: chosen tree edges and the staging set Q,
-	// claimed by atomic cursor into preallocated arrays.
-	ids := make([]uint32, n) // at most n-1 tree edges
-	var idCursor atomic.Int64
-	qbuf := make([]uint32, n)
-	var qCursor atomic.Int64
 
 	h := pq.NewLazyHeap(64)
 	var pushes, pops, stale, heapFixes int64
@@ -110,7 +129,14 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (*Forest, error) {
 		fixed[s] = 1
 		seed := []uint32{uint32(s)}
 		for {
-			if err := sched.ForEachAsyncObs(opts.Ctx, p, seed, explore, col); err != nil {
+			if serr := sched.ForEachAsyncObs(opts.Ctx, p, seed, explore, col); serr != nil {
+				// A worker panic (already drained and boxed by the scheduler)
+				// funnels through the deferred recover above, so there is a
+				// single conversion path; anything else is cancellation.
+				var pe *par.PanicError
+				if errors.As(serr, &pe) {
+					panic(pe)
+				}
 				return finish(true)
 			}
 			// Quiescent: flush Q into the heap, then fix the fragment's

@@ -36,6 +36,13 @@ type Forest struct {
 	Trees int
 }
 
+// ForestFromEdgeIDs materializes a Forest from a raw edge id list (e.g. the
+// ids a distributed GHS run elects), leaving the caller's slice untouched.
+// The ids are trusted to form a forest; use CheckForest to verify.
+func ForestFromEdgeIDs(g *graph.CSR, ids []uint32) *Forest {
+	return newForest(g, slices.Clone(ids))
+}
+
 // newForest canonicalizes a raw edge id list into a Forest.
 func newForest(g *graph.CSR, ids []uint32) *Forest {
 	slices.Sort(ids)

@@ -30,10 +30,15 @@ import (
 // inside the per-edge phase loops; a cancelled run returns the forest edges
 // chosen in completed rounds plus a non-nil error. Phase-2 winners are only
 // consumed when phase 1 ran to completion, so the partial forest is always
-// a subset of the canonical MSF.
-func ParallelBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
+// a subset of the canonical MSF. A worker panic, re-raised by the par
+// runtime after all workers have joined (and before the panicking phase's
+// results are assigned), is converted into a *par.PanicError under the same
+// partial-forest contract (see recoverPanic).
+func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 	p := opts.workers()
 	n := g.NumVertices()
+	ids := make([]uint32, 0, n)
+	defer recoverPanic(AlgParallelBoruvka, g, &ids, n-1, &f, &err)
 	m := g.NumEdges()
 	edges := g.Edges()
 	cc := opts.canceller()
@@ -47,7 +52,6 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
 	inT := make([]uint32, m) // atomic 0/1
 	alive := make([]uint32, m)
 	par.ForEach(p, m, 8192, func(i int) { alive[i] = uint32(i) })
-	ids := make([]uint32, 0, n)
 	var rounds int64
 
 	cancelled := false
@@ -135,7 +139,7 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (*Forest, error) {
 	if opts.Metrics != nil {
 		*opts.Metrics = WorkMetrics{Rounds: rounds, Unions: int64(len(ids))}
 	}
-	f := newForest(g, ids)
+	f = newForest(g, ids)
 	if cancelled {
 		return f, interrupted(AlgParallelBoruvka, cc, len(ids), n-1)
 	}

@@ -49,6 +49,18 @@ const (
 	CtrGHSPhases
 	// CtrGHSMessages counts messages delivered by the simulated network.
 	CtrGHSMessages
+	// CtrGHSRetransmits counts transport retransmissions of unacked
+	// messages on a lossy network (dist.FaultyNetwork).
+	CtrGHSRetransmits
+	// CtrFaultDropped counts messages dropped by the fault injector.
+	CtrFaultDropped
+	// CtrFaultDuplicated counts messages duplicated by the fault injector.
+	CtrFaultDuplicated
+	// CtrFaultDelayed counts messages delayed by the fault injector.
+	CtrFaultDelayed
+	// CtrSchedPanics counts worker panics recovered by the schedulers and
+	// converted into PanicError results.
+	CtrSchedPanics
 
 	// NumCounters is the number of defined counters (array sizing).
 	NumCounters
@@ -81,6 +93,16 @@ func (c Counter) String() string {
 		return "ghs.phases"
 	case CtrGHSMessages:
 		return "ghs.messages"
+	case CtrGHSRetransmits:
+		return "ghs.retransmits"
+	case CtrFaultDropped:
+		return "fault.dropped"
+	case CtrFaultDuplicated:
+		return "fault.duplicated"
+	case CtrFaultDelayed:
+		return "fault.delayed"
+	case CtrSchedPanics:
+		return "sched.panics"
 	}
 	return "counter(?)"
 }

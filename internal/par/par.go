@@ -51,11 +51,14 @@ func For(p, n, grain int, body func(lo, hi int)) {
 		p = max
 	}
 	var next atomic.Int64
+	var panics PanicBox
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func() {
+			cur := -1
 			defer wg.Done()
+			defer func() { panics.Capture(recover(), cur) }()
 			for {
 				lo := int(next.Add(int64(grain))) - grain
 				if lo >= n {
@@ -65,11 +68,16 @@ func For(p, n, grain int, body func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
+				cur = lo
 				body(lo, hi)
 			}
 		}()
 	}
 	wg.Wait()
+	// A worker panic is re-raised here, on the caller, only after every
+	// worker has exited (a panicking worker stops; its unclaimed chunks are
+	// still processed by the survivors, so non-panicking work completes).
+	panics.Rethrow()
 }
 
 // ForEach runs body(i) for every i in [0, n) using p workers. Convenience
@@ -92,15 +100,18 @@ func Do(p int, thunks ...func()) {
 		}
 		return
 	}
+	var panics PanicBox
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, p)
-	for _, t := range thunks {
+	for i, t := range thunks {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(f func()) {
+		go func(i int, f func()) {
 			defer func() { <-sem; wg.Done() }()
+			defer func() { panics.Capture(recover(), i) }()
 			f()
-		}(t)
+		}(i, t)
 	}
 	wg.Wait()
+	panics.Rethrow()
 }

@@ -37,8 +37,17 @@ import (
 // item and a push function that may only be called from within that process
 // invocation. Each pushed item is processed exactly once. Returns when all
 // work has drained (quiescence).
+//
+// A panic in process stops the run: the first panic is captured as a
+// *par.PanicError, every other worker exits cleanly at its next item
+// boundary, and the PanicError is re-raised here once all workers have
+// joined — so even a crashing caller never leaks goroutines. Use the
+// Ctx/Obs variants to receive the panic as an ordinary error instead.
 func ForEachAsync[T any](p int, initial []T, process func(item T, push func(T))) {
-	forEachAsync(nil, p, initial, process, obs.Nop{})
+	_, pe := forEachAsync(nil, p, initial, process, obs.Nop{})
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // ForEachAsyncCtx is ForEachAsync with cooperative cancellation: every
@@ -55,18 +64,29 @@ func ForEachAsyncCtx[T any](ctx context.Context, p int, initial []T, process fun
 // CtrSchedPush/CtrSchedPop item totals (initial items count as pushes),
 // CtrSchedSteal successful steals, and the maximum per-worker queue depth
 // as GaugeQueueDepth. col may be nil.
+//
+// A panic in process is recovered (reported as CtrSchedPanics), the
+// remaining workers exit at their next item boundary, and the first panic
+// is returned as a *par.PanicError once all workers have joined. A run that
+// both panicked and was cancelled reports the panic.
 func ForEachAsyncObs[T any](ctx context.Context, p int, initial []T, process func(item T, push func(T)), col obs.Collector) error {
 	cc := par.NewCanceller(ctx)
-	if forEachAsync(cc, p, initial, process, obs.Or(col)) {
+	aborted, pe := forEachAsync(cc, p, initial, process, obs.Or(col))
+	if pe != nil {
+		return pe
+	}
+	if aborted {
 		return cc.Err()
 	}
 	return nil
 }
 
 // forEachAsync is the shared engine. It reports whether the run was
-// abandoned before quiescence (always false with an inert canceller).
-func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(item T, push func(T)), col obs.Collector) (aborted bool) {
+// abandoned before quiescence (always false with an inert canceller and no
+// panic) and the first worker panic, if any.
+func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(item T, push func(T)), col obs.Collector) (aborted bool, perr *par.PanicError) {
 	p = par.Workers(p)
+	var panics par.PanicBox
 	if p == 1 {
 		// Single worker: a plain LIFO stack. push appends through the
 		// closure-captured slice header, so pushes during processing of the
@@ -79,6 +99,16 @@ func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(ite
 		var pushes, pops, depth int64
 		pushes = int64(len(initial))
 		push := func(x T) { pushes++; stack = append(stack, x) }
+		runOne := func(i int, x T) (panicked bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics.Capture(r, i)
+					panicked = true
+				}
+			}()
+			process(x, push)
+			return false
+		}
 		for i := 0; len(stack) > 0; i++ {
 			if cc.Stride(i) {
 				aborted = true
@@ -90,12 +120,16 @@ func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(ite
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			pops++
-			process(x, push)
+			if runOne(i, x) {
+				aborted = len(stack) > 0
+				break
+			}
 		}
 		col.Count(obs.CtrSchedPush, pushes)
 		col.Count(obs.CtrSchedPop, pops)
+		col.Count(obs.CtrSchedPanics, int64(panics.Count()))
 		col.Gauge(obs.GaugeQueueDepth, depth)
-		return aborted
+		return aborted, panics.Err()
 	}
 	defer col.Span("sched.async")()
 	col.Count(obs.CtrSchedPush, int64(len(initial)))
@@ -112,9 +146,22 @@ func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(ite
 	for w := 0; w < p; w++ {
 		go func(self int) {
 			defer wg.Done()
+			// Registered before the flush defer below, so it runs after it:
+			// a panic raised by the flush itself (col is arbitrary user code)
+			// is boxed too instead of killing the process.
+			defer func() { panics.Capture(recover(), -1) }()
 			my := &queues[self]
 			var pushes, pops, steals, depth int64
+			items := 0
 			defer func() {
+				// Innermost-registered defers run first, so a panicking
+				// process unwinds through this recovery before the counter
+				// flush below — the flush always happens, and the worker
+				// exits cleanly either way (no goroutine is ever leaked).
+				if r := recover(); r != nil {
+					panics.Capture(r, items-1)
+					stopped.Store(true)
+				}
 				col.Count(obs.CtrSchedPush, pushes)
 				col.Count(obs.CtrSchedPop, pops)
 				col.Count(obs.CtrSchedSteal, steals)
@@ -128,6 +175,12 @@ func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(ite
 				}
 			}
 			for i := 0; ; i++ {
+				// A sibling's panic (or a cancel observed by a sibling) stops
+				// this worker at its next item boundary: mid-item state is
+				// never torn, the current process call always completes.
+				if stopped.Load() {
+					return
+				}
 				if cc.Stride(i) {
 					stopped.Store(true)
 					return
@@ -141,6 +194,7 @@ func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(ite
 				}
 				if ok {
 					pops++
+					items++
 					process(x, push)
 					pending.Add(-1)
 					continue
@@ -160,8 +214,11 @@ func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(ite
 		}(w)
 	}
 	wg.Wait()
+	if n := panics.Count(); n > 0 {
+		col.Count(obs.CtrSchedPanics, int64(n))
+	}
 	// pending > 0 means items were abandoned in the queues.
-	return pending.Load() > 0
+	return pending.Load() > 0, panics.Err()
 }
 
 // workQueue is one worker's LIFO queue. The owner pushes and pops at the
@@ -241,8 +298,14 @@ func steal[T any](queues []workQueue[T], self int) (T, bool) {
 // priority-guided algorithms (Dijkstra-like relaxations) do near-minimal
 // work. prio must be stable for a given item; push may only be called from
 // within process.
+//
+// Worker panics follow the ForEachAsync contract: the first one is re-raised
+// here as a *par.PanicError after every worker has joined.
 func ForEachOrdered[T any](p int, initial []T, prio func(T) uint64, process func(item T, push func(T))) {
-	forEachOrdered(nil, p, initial, prio, process, obs.Nop{})
+	_, pe := forEachOrdered(nil, p, initial, prio, process, obs.Nop{})
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // ForEachOrderedCtx is ForEachOrdered with cooperative cancellation,
@@ -256,16 +319,34 @@ func ForEachOrderedCtx[T any](ctx context.Context, p int, initial []T, prio func
 // ForEachOrderedObs is ForEachOrderedCtx reporting scheduler traffic to
 // col: CtrSchedLevels priority levels opened, CtrSchedPush/CtrSchedPop item
 // totals, and each level's batch size as GaugeFrontier. col may be nil.
+//
+// A panic in process is recovered (reported as CtrSchedPanics) and returned
+// as a *par.PanicError once all workers have joined; a run that both
+// panicked and was cancelled reports the panic.
 func ForEachOrderedObs[T any](ctx context.Context, p int, initial []T, prio func(T) uint64, process func(item T, push func(T)), col obs.Collector) error {
 	cc := par.NewCanceller(ctx)
-	if forEachOrdered(cc, p, initial, prio, process, obs.Or(col)) {
+	aborted, pe := forEachOrdered(cc, p, initial, prio, process, obs.Or(col))
+	if pe != nil {
+		return pe
+	}
+	if aborted {
 		return cc.Err()
 	}
 	return nil
 }
 
-func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) uint64, process func(item T, push func(T)), col obs.Collector) (aborted bool) {
+func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) uint64, process func(item T, push func(T)), col obs.Collector) (aborted bool, perr *par.PanicError) {
 	defer col.Span("sched.ordered")()
+	// The level batches run through par.ForCollect, which re-raises a worker
+	// panic on this goroutine only after all its workers have joined; catch
+	// it here so the Obs/Ctx variants can hand it back as an error.
+	defer func() {
+		if r := recover(); r != nil {
+			perr = par.AsPanicError(r, -1)
+			col.Count(obs.CtrSchedPanics, 1)
+			aborted = true
+		}
+	}()
 	bins := map[uint64][]T{}
 	for _, x := range initial {
 		bins[prio(x)] = append(bins[prio(x)], x)
@@ -273,7 +354,7 @@ func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) u
 	col.Count(obs.CtrSchedPush, int64(len(initial)))
 	for len(bins) > 0 {
 		if cc.Poll() {
-			return true
+			return true, nil
 		}
 		// Find the minimum priority level.
 		first := true
@@ -288,7 +369,7 @@ func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) u
 		col.Count(obs.CtrSchedLevels, 1)
 		for len(level) > 0 {
 			if cc.Poll() {
-				return true
+				return true, nil
 			}
 			col.Gauge(obs.GaugeFrontier, int64(len(level)))
 			type pushed struct {
@@ -322,5 +403,5 @@ func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) u
 			}
 		}
 	}
-	return false
+	return false, nil
 }

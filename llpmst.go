@@ -39,10 +39,12 @@ import (
 	"slices"
 
 	"llpmst/internal/dist"
+	"llpmst/internal/fault"
 	"llpmst/internal/graph"
 	"llpmst/internal/llp"
 	"llpmst/internal/mst"
 	"llpmst/internal/obs"
+	"llpmst/internal/par"
 )
 
 // Edge is one undirected weighted edge: endpoints U, V and a finite,
@@ -237,6 +239,50 @@ func DistributedMSF(g *Graph) ([]uint32, DistSimStats, error) {
 	}
 	slices.Sort(ids)
 	return ids, stats, nil
+}
+
+// FaultPlan schedules what goes wrong on a faulty distributed run: per-arc
+// message drop/duplicate/delay/reorder probabilities (FaultProbs) and node
+// crash schedules (FaultCrash). The zero plan injects nothing. Identical
+// plans (seed included) reproduce identical runs.
+type (
+	FaultPlan  = fault.Plan
+	FaultProbs = fault.Probs
+	FaultCrash = fault.Crash
+)
+
+// PartitionError is returned by DistributedMSFFaulty when crash-stop
+// failures make part of the graph permanently unreachable. It names the
+// dead nodes, the live vertices stranded with them, and the sound partial
+// forest elected before the partition.
+type PartitionError = dist.PartitionError
+
+// PanicError is the typed error a worker panic inside the parallel runtime
+// is converted to: it carries the panic value, the work-item index, and the
+// captured stack. Algorithms that hit one still return a sound partial
+// forest alongside an error wrapping the PanicError.
+type PanicError = par.PanicError
+
+// DistributedMSFFaulty is DistributedMSF over a lossy network driven by
+// plan: messages drop, duplicate, arrive late or reordered, and nodes crash
+// per the schedule, while a reliable transport (sequence numbers, acks,
+// retransmission with backoff) masks the damage. Any schedule that
+// eventually delivers retransmissions and has no permanent crash yields
+// exactly the canonical MSF. Permanent crashes partition the run: the
+// result is a sound partial forest and the error unwraps to a
+// *PartitionError. DistSimStats additionally reports retransmissions and
+// injected fault counts.
+func DistributedMSFFaulty(g *Graph, plan FaultPlan) ([]uint32, DistSimStats, error) {
+	ids, stats, err := dist.RunGHSFaulty(context.Background(), g, plan)
+	slices.Sort(ids)
+	return ids, stats, err
+}
+
+// ForestFromEdgeIDs materializes a Forest from raw edge ids, e.g. the ids a
+// distributed run elects. The ids are trusted to form a forest; use
+// CheckForest to verify.
+func ForestFromEdgeIDs(g *Graph, ids []uint32) *Forest {
+	return mst.ForestFromEdgeIDs(g, ids)
 }
 
 // CheckForest verifies structural validity of a forest (acyclic, spanning,
