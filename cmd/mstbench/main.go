@@ -7,9 +7,10 @@
 //	mstbench -exp fig3 -scale m -trials 5 # Fig. 3 on ~260k-vertex graphs
 //	mstbench -exp fig4 -low 4 -high 32
 //	mstbench -exp all -csv results.csv    # also dump machine-readable rows
+//	mstbench -exp perf -json-out .        # snapshot BENCH_perf.json for the trajectory
 //
-// Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, dist,
-// chaos (also via -chaos, seeded by -chaos-seed), all.
+// Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, perf,
+// dist, chaos (also via -chaos, seeded by -chaos-seed), all.
 // Scales: test (~1k vertices), s (~65k), m (~260k), l (~1M).
 package main
 
@@ -42,7 +43,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mstbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|dist|chaos|all")
+		exp       = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|perf|dist|chaos|all")
 		scale     = fs.String("scale", "s", "dataset scale: test|s|m|l")
 		trials    = fs.Int("trials", 3, "trials per cell (best time is reported)")
 		threads   = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
@@ -50,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		high      = fs.Int("high", 32, "high worker count for fig4")
 		workers   = fs.Int("workers", 8, "worker count for sizesweep and ablation")
 		csvPath   = fs.String("csv", "", "also write timing rows as CSV to this path")
+		jsonOut   = fs.String("json-out", "", "also write one machine-readable BENCH_<experiment>.json per executed experiment into this directory")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
 		memProf   = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
 		timeout   = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit); a timed-out run still reports completed rows")
@@ -146,6 +148,7 @@ func run(args []string, stdout io.Writer) error {
 		{"fig4", func() ([]bench.Result, error) { return bench.Fig4Ctx(ctx, stdout, sc, *trials, *low, *high) }},
 		{"sizesweep", func() ([]bench.Result, error) { return bench.SizeSweepCtx(ctx, stdout, sc, *trials, *workers) }},
 		{"ablation", func() ([]bench.Result, error) { return bench.AblationCtx(ctx, stdout, sc, *trials, *workers) }},
+		{"perf", func() ([]bench.Result, error) { return bench.PerfCtx(ctx, stdout, sc, *trials) }},
 		{"dist", func() ([]bench.Result, error) {
 			rows, err := bench.DistributedCtx(ctx, stdout, sc)
 			if err != nil {
@@ -212,6 +215,15 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nwrote %d rows to %s\n", len(all), *csvPath)
+	}
+	if *jsonOut != "" {
+		paths, err := bench.WriteJSONReports(*jsonOut, all)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Fprintf(stdout, "wrote %s\n", p)
+		}
 	}
 	if rec != nil {
 		f, err := os.Create(*traceOut)

@@ -4,6 +4,8 @@ package llpmst_test
 // (the Output comments are verified by `go test`).
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"llpmst"
@@ -44,6 +46,59 @@ func ExampleRun() {
 	// prim 16
 	// kruskal 16
 	// kkt 16
+}
+
+func ExampleMinimumSpanningForestCtx() {
+	g := paperGraph()
+
+	// A live context: the run completes and returns the full forest.
+	f, err := llpmst.MinimumSpanningForestCtx(context.Background(), g, llpmst.Options{})
+	fmt.Println(f.Weight, err)
+
+	// A cancelled context: the run returns promptly with an error wrapping
+	// context.Canceled and a partial forest — always a subset of the
+	// canonical MSF, so every edge in it is safe to use.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := llpmst.MinimumSpanningForestCtx(ctx, g, llpmst.Options{})
+	fmt.Println(errors.Is(err, context.Canceled), len(partial.EdgeIDs) <= 4)
+	// Output:
+	// 16 <nil>
+	// true true
+}
+
+func ExampleOptions_observer() {
+	// A RecordingObserver captures the run's telemetry: phase spans,
+	// scheduler counters, contraction rounds, gauge maxima.
+	rec := llpmst.NewRecordingObserver()
+	f, err := llpmst.Run(llpmst.AlgLLPBoruvka, paperGraph(), llpmst.Options{
+		Workers:  2,
+		Observer: rec,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(f.Weight)
+	fmt.Println(len(rec.Spans()) > 0)
+	// Output:
+	// 16
+	// true
+}
+
+func ExampleOptions_workspace() {
+	// A server answering repeated MSF queries reuses one Workspace: scratch
+	// buffers grow to the largest graph seen and are then recycled, so
+	// second-and-later runs allocate O(1) memory (just the returned Forest).
+	// One Workspace serves one run at a time — keep one per goroutine.
+	ws := llpmst.NewWorkspace()
+	g := paperGraph()
+	var total float64
+	for i := 0; i < 3; i++ {
+		f := llpmst.LLPPrim(g, llpmst.Options{Workers: 1, Workspace: ws})
+		total += f.Weight
+	}
+	fmt.Println(total)
+	// Output: 48
 }
 
 func ExampleVerifyMinimum() {

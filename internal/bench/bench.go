@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -156,18 +157,23 @@ func cachedBuild(sc Scale, d Dataset) *graph.CSR {
 	return g
 }
 
-// Result is one measured cell of a table or figure.
+// Result is one measured cell of a table or figure. The json tags define the
+// schema of the BENCH_<experiment>.json trajectory files (see
+// WriteJSONReports); renaming a tag is a schema change for every committed
+// snapshot.
 type Result struct {
-	Experiment string
-	Dataset    string
-	Algorithm  string
-	Workers    int
-	Millis     float64 // best-of-trials wall time
-	MedianMs   float64 // median trial
-	StddevMs   float64 // sample standard deviation across trials
-	Speedup    float64 // vs the row's declared baseline (0 if n/a)
-	Edges      int     // forest edges, as a sanity check
-	Weight     float64 // forest weight, as a sanity check
+	Experiment  string  `json:"experiment"`
+	Dataset     string  `json:"dataset"`
+	Algorithm   string  `json:"algorithm"`
+	Workers     int     `json:"workers"`
+	Millis      float64 `json:"best_ms"`       // best-of-trials wall time
+	MedianMs    float64 `json:"median_ms"`     // median trial
+	StddevMs    float64 `json:"stddev_ms"`     // sample standard deviation across trials
+	Speedup     float64 `json:"speedup"`       // vs the row's declared baseline (0 if n/a)
+	Edges       int     `json:"edges"`         // forest edges, as a sanity check
+	Weight      float64 `json:"weight"`        // forest weight, as a sanity check
+	AllocsPerOp int64   `json:"allocs_per_op"` // min-of-trials heap allocations per run
+	BytesPerOp  int64   `json:"bytes_per_op"`  // min-of-trials heap bytes per run
 }
 
 // Measure runs the algorithm `trials` times and returns the best wall time,
@@ -187,27 +193,45 @@ func MeasureCtx(ctx context.Context, g *graph.CSR, alg mst.Algorithm, opts mst.O
 	opts.Ctx = ctx
 	var sample Sample
 	var forest *mst.Forest
+	var minAllocs, minBytes int64
 	for t := 0; t < trials; t++ {
+		// Mallocs/TotalAlloc deltas around the run give allocs/op and
+		// bytes/op; the minimum across trials is the steady state (the first
+		// trial pays any workspace growth). ReadMemStats sits outside the
+		// timed region.
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		f, err := mst.Run(alg, g, opts)
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return Result{}, err
 		}
 		sample.Add(elapsed)
 		forest = f
+		allocs := int64(after.Mallocs - before.Mallocs)
+		bytes := int64(after.TotalAlloc - before.TotalAlloc)
+		if t == 0 || allocs < minAllocs {
+			minAllocs = allocs
+		}
+		if t == 0 || bytes < minBytes {
+			minBytes = bytes
+		}
 	}
 	if err := mst.CheckForest(g, forest); err != nil {
 		return Result{}, fmt.Errorf("bench: %s produced an invalid forest: %w", alg, err)
 	}
 	return Result{
-		Algorithm: string(alg),
-		Workers:   opts.Workers,
-		Millis:    sample.Min(),
-		MedianMs:  sample.Median(),
-		StddevMs:  sample.Stddev(),
-		Edges:     len(forest.EdgeIDs),
-		Weight:    forest.Weight,
+		Algorithm:   string(alg),
+		Workers:     opts.Workers,
+		Millis:      sample.Min(),
+		MedianMs:    sample.Median(),
+		StddevMs:    sample.Stddev(),
+		Edges:       len(forest.EdgeIDs),
+		Weight:      forest.Weight,
+		AllocsPerOp: minAllocs,
+		BytesPerOp:  minBytes,
 	}, nil
 }
 

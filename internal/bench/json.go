@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Report is the schema of one BENCH_<experiment>.json file: the environment
+// the rows were measured in plus every Result of that experiment. Absolute
+// times are host-dependent; committed snapshots are compared against runs on
+// the same host (or read for their machine-independent columns: allocs/op,
+// speedup ratios, edge counts).
+type Report struct {
+	Experiment string   `json:"experiment"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Rows       []Result `json:"rows"`
+}
+
+// WriteJSONReports groups rows by experiment and writes one
+// BENCH_<experiment>.json per group into dir, returning the paths written.
+// Rows inside a report keep their measurement order (the order experiments
+// emit is already presentation order); groups are written in sorted name
+// order so repeated invocations are deterministic.
+func WriteJSONReports(dir string, rows []Result) ([]string, error) {
+	byExp := map[string][]Result{}
+	for _, r := range rows {
+		byExp[r.Experiment] = append(byExp[r.Experiment], r)
+	}
+	names := make([]string, 0, len(byExp))
+	for name := range byExp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var paths []string
+	for _, name := range names {
+		rep := Report{
+			Experiment: name,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			Rows:       byExp[name],
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return paths, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", name))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

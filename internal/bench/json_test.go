@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestWriteJSONReports(t *testing.T) {
+	dir := t.TempDir()
+	rows := []Result{
+		{Experiment: "perf", Dataset: "road", Algorithm: "prim", Workers: 1, Millis: 1.5, Speedup: 1, AllocsPerOp: 8},
+		{Experiment: "perf", Dataset: "road", Algorithm: "llp-prim", Workers: 1, Millis: 1.0, Speedup: 1.5, AllocsPerOp: 4},
+		{Experiment: "scaling", Dataset: "rmat", Algorithm: "llp-boruvka", Workers: 4, Millis: 2.0},
+	}
+	paths, err := WriteJSONReports(dir, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d files, want 2 (one per experiment)", len(paths))
+	}
+	// Sorted by experiment name, named BENCH_<experiment>.json.
+	if filepath.Base(paths[0]) != "BENCH_perf.json" || filepath.Base(paths[1]) != "BENCH_scaling.json" {
+		t.Fatalf("paths = %v", paths)
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_perf.json is not valid JSON: %v", err)
+	}
+	if rep.Experiment != "perf" || len(rep.Rows) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.GoVersion != runtime.Version() || rep.GOMAXPROCS < 1 {
+		t.Fatalf("environment header missing: %+v", rep)
+	}
+	if rep.Rows[1].Algorithm != "llp-prim" || rep.Rows[1].AllocsPerOp != 4 {
+		t.Fatalf("row round-trip mismatch: %+v", rep.Rows[1])
+	}
+	if raw[len(raw)-1] != '\n' {
+		t.Fatal("report file must end with a newline")
+	}
+}
+
+func TestWriteJSONReportsEmpty(t *testing.T) {
+	paths, err := WriteJSONReports(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("wrote %d files for empty rows", len(paths))
+	}
+}

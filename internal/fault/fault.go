@@ -1,18 +1,3 @@
-// Package fault provides seeded, deterministic fault injection for the
-// simulated distributed network (internal/dist). A Plan describes what can
-// go wrong — per-arc message drop/duplicate/delay probabilities, round-level
-// reordering, and crash schedules (crash-stop and crash-restart) — and an
-// Injector turns the plan into a reproducible stream of fault decisions: the
-// same seed and the same sequence of queries always yield the same faults,
-// which is what makes chaos runs byte-for-byte replayable (the determinism
-// tests in internal/dist pin this).
-//
-// The injector is intentionally passive: it only answers questions ("should
-// this transmission drop?", "is this node alive at round r?"). The faulty
-// network fabric (dist.FaultyNetwork) owns all protocol consequences —
-// retransmission, deduplication, component dooming. The injector is not
-// safe for concurrent use; the simulation driver is single-threaded, which
-// is also what keeps the decision stream deterministic.
 package fault
 
 import (

@@ -110,22 +110,26 @@ func Async(workers int, pred Predicate) Stats {
 	n := pred.N()
 	var st Stats
 	var advances atomic.Int64
+	var advanced atomic.Bool
+	// One sweep closure for the whole fixpoint loop, so repeated sweeps
+	// (and repeated Async calls per contraction round) allocate nothing.
+	sweep := func(lo, hi int) {
+		local := int64(0)
+		for j := lo; j < hi; j++ {
+			if pred.Forbidden(j) {
+				pred.Advance(j)
+				local++
+			}
+		}
+		if local > 0 {
+			advances.Add(local)
+			advanced.Store(true)
+		}
+	}
 	for {
 		st.Rounds++
-		var advanced atomic.Bool
-		par.For(workers, n, 512, func(lo, hi int) {
-			local := int64(0)
-			for j := lo; j < hi; j++ {
-				if pred.Forbidden(j) {
-					pred.Advance(j)
-					local++
-				}
-			}
-			if local > 0 {
-				advances.Add(local)
-				advanced.Store(true)
-			}
-		})
+		advanced.Store(false)
+		par.For(workers, n, 512, sweep)
 		if !advanced.Load() {
 			st.Advances = advances.Load()
 			return st

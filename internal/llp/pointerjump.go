@@ -27,6 +27,11 @@ func NewPointerJump(parent []uint32) *PointerJump {
 	return &PointerJump{parent: parent}
 }
 
+// Reset points the instance at a new parent array, so one PointerJump (and
+// its interface boxing) can be reused across contraction rounds instead of
+// allocating a fresh instance per round (see mst.Workspace).
+func (p *PointerJump) Reset(parent []uint32) { p.parent = parent }
+
 // N implements Predicate.
 func (p *PointerJump) N() int { return len(p.parent) }
 

@@ -3,6 +3,7 @@ package mst
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"llpmst/internal/graph"
 	"llpmst/internal/obs"
@@ -45,17 +46,20 @@ func panicked(alg Algorithm, pe *par.PanicError, have, want int) error {
 }
 
 // recoverPanic is the deferred panic-to-error conversion shared by the
-// parallel algorithms. It must be the algorithm's first defer (so that it
-// also catches panics raised by later-registered defers, e.g. a span end),
-// and f/err must point at the algorithm's named results. ids points at the
-// slice of individually sound edge choices accumulated so far.
+// parallel algorithms. It must be registered before any defer that can
+// panic (e.g. a span end) — only the workspace release defer, which must
+// outlive it because ids points into workspace memory, comes earlier.
+// f/err must point at the algorithm's named results. ids points at the
+// slice of individually sound edge choices accumulated so far; it is
+// cloned, never retained, so the forest stays valid after the workspace is
+// reused.
 func recoverPanic(alg Algorithm, g *graph.CSR, ids *[]uint32, want int, f **Forest, err *error) {
 	r := recover()
 	if r == nil {
 		return
 	}
 	pe := par.AsPanicError(r, -1)
-	*f = newForest(g, *ids)
+	*f = newForest(g, slices.Clone(*ids))
 	*err = panicked(alg, pe, len(*ids), want)
 }
 

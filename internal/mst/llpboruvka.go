@@ -1,6 +1,8 @@
 package mst
 
 import (
+	"slices"
+
 	"llpmst/internal/graph"
 	"llpmst/internal/llp"
 	"llpmst/internal/obs"
@@ -48,26 +50,95 @@ type cedge struct {
 func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 	p := opts.workers()
 	n := g.NumVertices()
-	ids := make([]uint32, 0, n)
+	ws, release := opts.workspace()
+	defer release()
+	ids := ws.idsBuf(n)[:0]
 	defer recoverPanic(AlgLLPBoruvka, g, &ids, n-1, &f, &err)
 	m := g.NumEdges()
 	cc := opts.canceller()
 	col := opts.collector()
 	defer col.Span("llp-boruvka")()
 
-	edges := make([]cedge, m)
+	edges := ws.cedgesBuf(m)
 	par.ForEach(p, m, 4096, func(i int) {
 		e := g.Edge(uint32(i))
 		edges[i] = cedge{u: e.U, v: e.V, key: par.PackKey(e.W, uint32(i))}
 	})
-	spare := make([]cedge, m) // ping-pong buffer for contraction
+	spare := ws.cspareBuf(m) // ping-pong buffer for contraction
 
-	// Vertex-indexed scratch, allocated once at full size and re-sliced as
+	// Vertex-indexed scratch, acquired once at full size and re-sliced as
 	// the contracted graph shrinks.
-	best := make([]uint64, n)
-	bestIdx := make([]int32, n)
-	G := make([]uint32, n)
-	newID := make([]uint32, n)
+	best := ws.keysBuf(n)
+	bestIdx := ws.vIdxBuf(n)
+	G := ws.vertsABuf(n)
+	newID := ws.vertsBBuf(n)
+	rootsBuf := ws.vertsCBuf(n)
+	counters := ws.countersBuf(p)
+
+	// Per-round slices and the phase bodies reading them, hoisted out of the
+	// round loop (the bodies capture the variables by reference) so
+	// steady-state rounds allocate nothing.
+	var (
+		bst   []uint64
+		bidx  []int32
+		gv    []uint32
+		nid   []uint32
+		roots []uint32
+	)
+	mweBody := func(i int) {
+		if cc.Stride(i) {
+			return
+		}
+		e := &edges[i]
+		par.WriteMin(&bst[e.u], e.key)
+		par.WriteMin(&bst[e.v], e.key)
+	}
+	bidxClear := func(v int) { bidx[v] = -1 }
+	winnerBody := func(i int) {
+		e := &edges[i]
+		if bst[e.u] == e.key {
+			bidx[e.u] = int32(i)
+		}
+		if bst[e.v] == e.key {
+			bidx[e.v] = int32(i)
+		}
+	}
+	parentBody := func(lo, hi int, out []uint32) []uint32 {
+		for v := lo; v < hi; v++ {
+			if cc.Stride(v) {
+				break
+			}
+			bi := bidx[v]
+			if bi < 0 {
+				gv[v] = uint32(v) // isolated in the contracted graph
+				continue
+			}
+			e := &edges[bi]
+			w := e.u
+			if w == uint32(v) {
+				w = e.v
+			}
+			mutual := bidx[w] == bi
+			if mutual && uint32(v) < w {
+				gv[v] = uint32(v) // paper's tie-break: v roots itself
+			} else {
+				gv[v] = w
+			}
+			if !mutual || uint32(v) < w {
+				out = append(out, par.KeyID(e.key))
+			}
+		}
+		return out
+	}
+	isRoot := func(v int) bool { return gv[v] == uint32(v) }
+	nidScatter := func(i int) { nid[roots[i]] = uint32(i) }
+	contractEdge := func(e cedge) (cedge, bool) {
+		gu, gw := gv[e.u], gv[e.v]
+		if gu == gw {
+			return cedge{}, false
+		}
+		return cedge{u: nid[gu], v: nid[gw], key: e.key}, true
+	}
 
 	nv := n
 	var rounds, jumpRounds, jumpAdvances int64
@@ -82,29 +153,14 @@ func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 		col.Gauge(obs.GaugeLiveEdges, int64(len(edges)))
 		// Phase 1: mwe per current vertex.
 		mweSpan := col.Span("llp-boruvka.mwe")
-		bst := best[:nv]
+		bst = best[:nv]
 		par.FillKeys(p, bst, par.InfKey)
-		par.ForEach(p, len(edges), 2048, func(i int) {
-			if cc.Stride(i) {
-				return
-			}
-			e := &edges[i]
-			par.WriteMin(&bst[e.u], e.key)
-			par.WriteMin(&bst[e.v], e.key)
-		})
+		par.ForEach(p, len(edges), 2048, mweBody)
 		// Winner pass: bestIdx[v] = index (into edges) of v's mwe. Keys are
 		// unique, so each cell has exactly one writer — no atomics needed.
-		bidx := bestIdx[:nv]
-		par.ForEach(p, nv, 8192, func(v int) { bidx[v] = -1 })
-		par.ForEach(p, len(edges), 2048, func(i int) {
-			e := &edges[i]
-			if bst[e.u] == e.key {
-				bidx[e.u] = int32(i)
-			}
-			if bst[e.v] == e.key {
-				bidx[e.v] = int32(i)
-			}
-		})
+		bidx = bestIdx[:nv]
+		par.ForEach(p, nv, 8192, bidxClear)
+		par.ForEach(p, len(edges), 2048, winnerBody)
 		mweSpan()
 		// A cancel inside phase 1 leaves bst/bidx incomplete; the parent
 		// phase must not consume them, or its choices need not be MSF edges.
@@ -116,45 +172,20 @@ func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 		// chosen edge exactly once (mutual pairs: the smaller endpoint
 		// reports; non-mutual: the choosing endpoint reports).
 		parentSpan := col.Span("llp-boruvka.parents")
-		gv := G[:nv]
-		chosen := par.ForCollect(p, nv, 2048, func(lo, hi int, out []uint32) []uint32 {
-			for v := lo; v < hi; v++ {
-				if cc.Stride(v) {
-					break
-				}
-				bi := bidx[v]
-				if bi < 0 {
-					gv[v] = uint32(v) // isolated in the contracted graph
-					continue
-				}
-				e := &edges[bi]
-				w := e.u
-				if w == uint32(v) {
-					w = e.v
-				}
-				mutual := bidx[w] == bi
-				if mutual && uint32(v) < w {
-					gv[v] = uint32(v) // paper's tie-break: v roots itself
-				} else {
-					gv[v] = w
-				}
-				if !mutual || uint32(v) < w {
-					out = append(out, par.KeyID(e.key))
-				}
-			}
-			return out
-		})
+		gv = G[:nv]
+		chosen := par.ForCollectInto(p, nv, 2048, ws.picks, parentBody)
 		parentSpan()
 		// Choices made before a mid-parent-phase cancel are sound (the mwe
 		// phase was complete), so they may join the partial result.
 		ids = append(ids, chosen...)
+		ws.picks = chosen[:0] // keep grown capacity for the next round
 		if cc.Poll() {
 			cancelled = true
 			break
 		}
 		// Phase 3: rooted trees -> rooted stars via LLP pointer jumping.
 		jumpSpan := col.Span("llp-boruvka.jump")
-		jst, jumpErr := llp.StarsCtx(opts.Ctx, opts.JumpMode, p, gv)
+		jst, jumpErr := llp.RunCtx(opts.Ctx, opts.JumpMode, p, ws.jumpBuf(gv))
 		jumpSpan()
 		jumpRounds += int64(jst.Rounds)
 		jumpAdvances += jst.Advances
@@ -167,25 +198,13 @@ func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 			break
 		}
 		// Phase 4: contract. Star roots become next round's vertices;
-		// surviving cross edges are relabelled into the spare buffer.
+		// surviving cross edges are relabelled into the spare buffer via
+		// per-worker chunk counts + prefix sum (see par.FilterMapInto).
 		contractSpan := col.Span("llp-boruvka.contract")
-		roots := par.PackIndex(p, nv, func(v int) bool { return gv[v] == uint32(v) })
-		nid := newID[:nv]
-		par.ForEach(p, len(roots), 8192, func(i int) { nid[roots[i]] = uint32(i) })
-		offsets := par.CountingScan(p, len(edges), func(i int) int64 {
-			if gv[edges[i].u] != gv[edges[i].v] {
-				return 1
-			}
-			return 0
-		})
-		dst := spare[:offsets[len(edges)]]
-		par.ForEach(p, len(edges), 4096, func(i int) {
-			e := &edges[i]
-			gu, gw := gv[e.u], gv[e.v]
-			if gu != gw {
-				dst[offsets[i]] = cedge{u: nid[gu], v: nid[gw], key: e.key}
-			}
-		})
+		roots = par.PackIndexInto(p, nv, rootsBuf, counters, isRoot)
+		nid = newID[:nv]
+		par.ForEach(p, len(roots), 8192, nidScatter)
+		dst := par.FilterMapInto(p, spare, edges, counters, contractEdge)
 		spare = edges[:cap(edges)]
 		edges = dst
 		nv = len(roots)
@@ -196,7 +215,7 @@ func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 			Rounds: rounds, JumpRounds: jumpRounds, JumpAdvances: jumpAdvances,
 		}
 	}
-	f = newForest(g, ids)
+	f = newForest(g, slices.Clone(ids))
 	if cancelled {
 		return f, interrupted(AlgLLPBoruvka, cc, len(ids), n-1)
 	}

@@ -1,13 +1,21 @@
 package mst
 
 import (
+	"slices"
 	"sync/atomic"
 
 	"llpmst/internal/graph"
 	"llpmst/internal/obs"
 	"llpmst/internal/par"
-	"llpmst/internal/pq"
 )
+
+// waveRec carries one frontier-expansion outcome of LLPPrimParallel:
+// eid == qMark flags a Q candidate, anything else a newly fixed vertex and
+// its tree edge.
+type waveRec struct{ v, eid uint32 }
+
+// qMark is the waveRec.eid sentinel for "staged for Q, not fixed".
+const qMark = ^uint32(0)
 
 // LLP-Prim (Algorithm 5, "early fixing"). The state vector G of the LLP
 // formulation (Algorithm 4) — each vertex's currently proposed parent edge —
@@ -44,7 +52,9 @@ import (
 // converted into a *par.PanicError the same way (see recoverPanic).
 func LLPPrim(g *graph.CSR, opts Options) (f *Forest, err error) {
 	n := g.NumVertices()
-	ids := make([]uint32, 0, n)
+	ws, release := opts.workspace()
+	defer release()
+	ids := ws.idsBuf(n)[:0]
 	defer recoverPanic(AlgLLPPrim, g, &ids, n-1, &f, &err)
 	mwe := minWeightEdges(1, g)
 	earlyFix := !opts.NoEarlyFix
@@ -53,15 +63,17 @@ func LLPPrim(g *graph.CSR, opts Options) (f *Forest, err error) {
 	col := opts.collector()
 	defer col.Span("llp-prim")()
 
-	fixed := make([]bool, n)
-	dist := make([]uint64, n)
+	fixed := ws.boolsABuf(n)
+	clear(fixed)
+	dist := ws.keysBuf(n)
 	for i := range dist {
 		dist[i] = par.InfKey
 	}
-	h := pq.NewLazyHeap(64)
-	var r []uint32 // the bag R of fixed, unexplored vertices
-	var q []uint32 // the staging set Q
-	inQ := make([]bool, n)
+	h := ws.heapBuf()
+	r := ws.bagBuf(n)[:0]   // the bag R of fixed, unexplored vertices
+	q := ws.stageBuf(n)[:0] // the staging set Q
+	inQ := ws.boolsBBuf(n)
+	clear(inQ)
 	var pushes, pops, stale, early, heapFixes, relaxations int64
 	step := 0 // work-item index for strided cancellation polls
 	flush := func() {
@@ -173,11 +185,11 @@ func LLPPrim(g *graph.CSR, opts Options) (f *Forest, err error) {
 		}
 	}
 	flush()
-	return newForest(g, ids), nil
+	return newForest(g, slices.Clone(ids)), nil
 
 cancelled:
 	flush()
-	return newForest(g, ids), interrupted(AlgLLPPrim, cc, len(ids), n-1)
+	return newForest(g, slices.Clone(ids)), interrupted(AlgLLPPrim, cc, len(ids), n-1)
 }
 
 // LLPPrimParallel runs Algorithm 5 with the bag R processed by
@@ -193,7 +205,9 @@ cancelled:
 // (see recoverPanic).
 func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 	n := g.NumVertices()
-	ids := make([]uint32, 0, n)
+	ws, release := opts.workspace()
+	defer release()
+	ids := ws.idsBuf(n)[:0]
 	defer recoverPanic(AlgLLPPrimParallel, g, &ids, n-1, &f, &err)
 	p := opts.workers()
 	mwe := minWeightEdges(p, g)
@@ -203,19 +217,60 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 	col := opts.collector()
 	defer col.Span("llp-prim-par")()
 
-	fixed := make([]uint32, n) // atomic 0/1
-	dist := make([]uint64, n)  // atomic packed keys
+	fixed := ws.flagsABuf(n) // atomic 0/1
+	par.Fill(p, fixed, 0)
+	dist := ws.keysBuf(n) // atomic packed keys
 	par.FillKeys(p, dist, par.InfKey)
-	inQ := make([]uint32, n) // atomic 0/1
-	h := pq.NewLazyHeap(64)
-	var qbuf []uint32
+	inQ := ws.flagsBBuf(n) // atomic 0/1
+	par.Fill(p, inQ, 0)
+	h := ws.heapBuf()
+	qbuf := ws.stageBuf(n)[:0]
 
-	// rec carries one frontier-expansion outcome: eid == qMark flags a Q
-	// candidate, anything else a newly fixed vertex and its tree edge.
-	const qMark = ^uint32(0)
-	type rec struct{ v, eid uint32 }
-
-	frontier := make([]uint32, 0, 1024)
+	frontier := ws.bagBuf(n)[:0]
+	// The wave body is hoisted out of the round loop (capturing the current
+	// wave through the variable) so steady-state rounds allocate nothing.
+	var wave []uint32
+	waveBody := func(lo, hi int, out []waveRec) []waveRec {
+		for i := lo; i < hi; i++ {
+			if cc.Stride(i) {
+				break
+			}
+			j := wave[i]
+			mweJ := mwe[j]
+			alo, ahi := g.ArcRange(j)
+			for a := alo; a < ahi; a++ {
+				k := g.Target(a)
+				if atomic.LoadUint32(&fixed[k]) == 1 {
+					continue
+				}
+				key := g.ArcKey(a)
+				if earlyFix && key == mweJ {
+					if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
+						out = append(out, waveRec{k, g.ArcEdgeID(a)})
+					}
+					continue
+				}
+				// Early fix via k's own mwe (the paper's other half of "this
+				// edge could be the minimum weight edge for z or for k").
+				if earlyFix && key == mwe[k] {
+					if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
+						out = append(out, waveRec{k, g.ArcEdgeID(a)})
+					}
+					continue
+				}
+				if par.WriteMin(&dist[k], key) {
+					if !staging {
+						// Ablation: no dedup — every improvement becomes a
+						// heap push, re-creating the churn Q avoids.
+						out = append(out, waveRec{k, qMark})
+					} else if atomic.CompareAndSwapUint32(&inQ[k], 0, 1) {
+						out = append(out, waveRec{k, qMark})
+					}
+				}
+			}
+		}
+		return out
+	}
 	var pushes, pops, stale, early, heapFixes int64
 	step := 0 // work-item index for strided cancellation polls in the heap loop
 	flush := func() {
@@ -244,50 +299,9 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 					goto cancelled
 				}
 				col.Gauge(obs.GaugeFrontier, int64(len(frontier)))
-				f := frontier
-				out := par.ForCollect(p, len(f), 32, func(lo, hi int, out []rec) []rec {
-					for i := lo; i < hi; i++ {
-						if cc.Stride(i) {
-							break
-						}
-						j := f[i]
-						mweJ := mwe[j]
-						alo, ahi := g.ArcRange(j)
-						for a := alo; a < ahi; a++ {
-							k := g.Target(a)
-							if atomic.LoadUint32(&fixed[k]) == 1 {
-								continue
-							}
-							key := g.ArcKey(a)
-							if earlyFix && key == mweJ {
-								if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
-									out = append(out, rec{k, g.ArcEdgeID(a)})
-								}
-								continue
-							}
-							// Early fix via k's own mwe (the paper's other
-							// half of "this edge could be the minimum
-							// weight edge for z or for k").
-							if earlyFix && key == mwe[k] {
-								if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
-									out = append(out, rec{k, g.ArcEdgeID(a)})
-								}
-								continue
-							}
-							if par.WriteMin(&dist[k], key) {
-								if !staging {
-									// Ablation: no dedup — every improvement
-									// becomes a heap push, re-creating the
-									// churn Q avoids.
-									out = append(out, rec{k, qMark})
-								} else if atomic.CompareAndSwapUint32(&inQ[k], 0, 1) {
-									out = append(out, rec{k, qMark})
-								}
-							}
-						}
-					}
-					return out
-				})
+				wave = frontier
+				out := par.ForCollectInto(p, len(wave), 32, ws.recs, waveBody)
+				ws.recs = out[:0] // keep grown capacity for the next wave
 				frontier = frontier[:0]
 				for _, r := range out {
 					if r.eid == qMark {
@@ -335,9 +349,9 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 		}
 	}
 	flush()
-	return newForest(g, ids), nil
+	return newForest(g, slices.Clone(ids)), nil
 
 cancelled:
 	flush()
-	return newForest(g, ids), interrupted(AlgLLPPrimParallel, cc, len(ids), n-1)
+	return newForest(g, slices.Clone(ids)), interrupted(AlgLLPPrimParallel, cc, len(ids), n-1)
 }

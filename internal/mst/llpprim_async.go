@@ -2,13 +2,12 @@ package mst
 
 import (
 	"errors"
+	"slices"
 	"sync/atomic"
 
 	"llpmst/internal/graph"
 	"llpmst/internal/obs"
 	"llpmst/internal/par"
-	"llpmst/internal/pq"
-	"llpmst/internal/sched"
 )
 
 // LLPPrimAsync is Algorithm 5 with the bag R scheduled by the Galois-style
@@ -40,12 +39,14 @@ import (
 func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 	n := g.NumVertices()
 	p := opts.workers()
+	ws, release := opts.workspace()
+	defer release()
 
 	// Concurrent accumulators: chosen tree edges and the staging set Q,
 	// claimed by atomic cursor into preallocated arrays.
-	ids := make([]uint32, n) // at most n-1 tree edges
+	ids := ws.idsBuf(n) // at most n-1 tree edges
 	var idCursor atomic.Int64
-	qbuf := make([]uint32, n)
+	qbuf := ws.stageBuf(n)
 	var qCursor atomic.Int64
 	defer func() {
 		r := recover()
@@ -53,7 +54,7 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 			return
 		}
 		pe := par.AsPanicError(r, -1)
-		chosen := append([]uint32(nil), ids[:idCursor.Load()]...)
+		chosen := slices.Clone(ids[:idCursor.Load()])
 		f = newForest(g, chosen)
 		err = panicked(AlgLLPPrimAsync, pe, len(chosen), n-1)
 	}()
@@ -64,17 +65,19 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 	col := opts.collector()
 	defer col.Span("llp-prim-async")()
 
-	fixed := make([]uint32, n) // atomic 0/1
-	dist := make([]uint64, n)  // atomic packed keys
+	fixed := ws.flagsABuf(n) // atomic 0/1
+	par.Fill(p, fixed, 0)
+	dist := ws.keysBuf(n) // atomic packed keys
 	par.FillKeys(p, dist, par.InfKey)
-	inQ := make([]uint32, n) // atomic 0/1
+	inQ := ws.flagsBBuf(n) // atomic 0/1
+	par.Fill(p, inQ, 0)
 
-	h := pq.NewLazyHeap(64)
+	h := ws.heapBuf()
+	bag := ws.asyncBagBuf()
 	var pushes, pops, stale, heapFixes int64
 	step := 0 // work-item index for strided cancellation polls
 	finish := func(cancelled bool) (*Forest, error) {
-		chosen := make([]uint32, idCursor.Load())
-		copy(chosen, ids[:idCursor.Load()])
+		chosen := slices.Clone(ids[:idCursor.Load()])
 		early := idCursor.Load() - heapFixes
 		col.Count(obs.CtrHeapPush, pushes)
 		col.Count(obs.CtrHeapPop, pops)
@@ -127,9 +130,10 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 			return finish(true)
 		}
 		fixed[s] = 1
-		seed := []uint32{uint32(s)}
+		seed := ws.bagBuf(1)
+		seed[0] = uint32(s)
 		for {
-			if serr := sched.ForEachAsyncObs(opts.Ctx, p, seed, explore, col); serr != nil {
+			if serr := bag.ForEachObs(opts.Ctx, p, seed, explore, col); serr != nil {
 				// A worker panic (already drained and boxed by the scheduler)
 				// funnels through the deferred recover above, so there is a
 				// single conversion path; anything else is cancellation.

@@ -173,6 +173,16 @@ type Options struct {
 	// reproducible for a fixed seed; the produced forest is the same unique
 	// MSF for every seed — randomness only affects the work.
 	Seed int64
+
+	// Workspace, when non-nil, supplies all O(n+m) scratch state of the
+	// parallel algorithms from a reusable arena instead of fresh
+	// allocations, so a caller running repeated queries reaches O(1)
+	// steady-state allocations per run (see Workspace). When nil, scratch
+	// is drawn from an internal sync.Pool — still reused across calls
+	// process-wide, and safe for any number of concurrent runs. A
+	// Workspace serves one run at a time; sharing it across simultaneous
+	// runs panics.
+	Workspace *Workspace
 }
 
 func (o Options) workers() int { return par.Workers(o.Workers) }

@@ -1,12 +1,12 @@
 package mst
 
 import (
+	"slices"
 	"sync/atomic"
 
 	"llpmst/internal/graph"
 	"llpmst/internal/obs"
 	"llpmst/internal/par"
-	"llpmst/internal/unionfind"
 )
 
 // ParallelBoruvka is the GBBS-style parallel Boruvka baseline the paper
@@ -37,7 +37,9 @@ import (
 func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 	p := opts.workers()
 	n := g.NumVertices()
-	ids := make([]uint32, 0, n)
+	ws, release := opts.workspace()
+	defer release()
+	ids := ws.idsBuf(n)[:0]
 	defer recoverPanic(AlgParallelBoruvka, g, &ids, n-1, &f, &err)
 	m := g.NumEdges()
 	edges := g.Edges()
@@ -45,14 +47,56 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 	col := opts.collector()
 	defer col.Span("boruvka-par")()
 
-	uf := unionfind.NewConcurrent(n)
-	comp := make([]uint32, n)
+	uf := ws.ufBuf(n)
+	comp := ws.flagsABuf(n)
 	par.ForEach(p, n, 8192, func(v int) { comp[v] = uint32(v) })
-	best := make([]uint64, n)
-	inT := make([]uint32, m) // atomic 0/1
-	alive := make([]uint32, m)
+	best := ws.keysBuf(n)
+	inT := ws.eFlagsBuf(m) // atomic 0/1
+	par.Fill(p, inT, 0)
+	alive := ws.eIDsBuf(m)
 	par.ForEach(p, m, 8192, func(i int) { alive[i] = uint32(i) })
+	spareIDs := ws.eSpareBuf(m) // compaction ping-pong target
+	counters := ws.countersBuf(p)
 	var rounds int64
+
+	// Phase bodies are hoisted out of the round loop (alive is captured by
+	// reference) so steady-state rounds allocate nothing.
+	writeMinBody := func(i int) {
+		if cc.Stride(i) {
+			return
+		}
+		id := alive[i]
+		e := &edges[id]
+		cu, cv := comp[e.U], comp[e.V]
+		if cu == cv {
+			return
+		}
+		key := par.PackKey(e.W, id)
+		par.WriteMin(&best[cu], key)
+		par.WriteMin(&best[cv], key)
+	}
+	winnerBody := func(lo, hi int, out []uint32) []uint32 {
+		for v := lo; v < hi; v++ {
+			if cc.Stride(v) {
+				break
+			}
+			if comp[v] != uint32(v) || best[v] == par.InfKey {
+				continue
+			}
+			id := par.KeyID(best[v])
+			e := &edges[id]
+			uf.Union(e.U, e.V)
+			if atomic.CompareAndSwapUint32(&inT[id], 0, 1) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	relabelBody := func(v int) { comp[v] = uf.Find(uint32(v)) }
+	keepCross := func(id uint32) bool {
+		e := &edges[id]
+		return comp[e.U] != comp[e.V]
+	}
 
 	cancelled := false
 	for len(alive) > 0 {
@@ -66,20 +110,7 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 		roundSpan := col.Span("boruvka-par.round")
 		par.FillKeys(p, best, par.InfKey)
 		// Phase 1: write-min every live cross edge into both components.
-		par.ForEach(p, len(alive), 2048, func(i int) {
-			if cc.Stride(i) {
-				return
-			}
-			id := alive[i]
-			e := &edges[id]
-			cu, cv := comp[e.U], comp[e.V]
-			if cu == cv {
-				return
-			}
-			key := par.PackKey(e.W, id)
-			par.WriteMin(&best[cu], key)
-			par.WriteMin(&best[cv], key)
-		})
+		par.ForEach(p, len(alive), 2048, writeMinBody)
 		// A cancel inside phase 1 leaves best[] incomplete; phase 2 must not
 		// consume it, or the "winners" need not be MSF edges.
 		if cc.Poll() {
@@ -89,26 +120,11 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 		}
 		// Phase 2: per component root, add the winner and unite. comp[]
 		// still holds the pre-union labels, so roots are stable here.
-		won := par.ForCollect(p, n, 2048, func(lo, hi int, out []uint32) []uint32 {
-			for v := lo; v < hi; v++ {
-				if cc.Stride(v) {
-					break
-				}
-				if comp[v] != uint32(v) || best[v] == par.InfKey {
-					continue
-				}
-				id := par.KeyID(best[v])
-				e := &edges[id]
-				uf.Union(e.U, e.V)
-				if atomic.CompareAndSwapUint32(&inT[id], 0, 1) {
-					out = append(out, id)
-				}
-			}
-			return out
-		})
+		won := par.ForCollectInto(p, n, 2048, ws.picks, winnerBody)
 		// Winners chosen before a mid-phase-2 cancel are sound (phase 1 was
 		// complete), so they may join the partial result.
 		ids = append(ids, won...)
+		ws.picks = won[:0] // keep grown capacity for the next round
 		if cc.Poll() {
 			cancelled = true
 			roundSpan()
@@ -118,18 +134,13 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 			roundSpan()
 			break
 		}
-		// Phase 3: relabel and compact.
-		par.ForEach(p, n, 4096, func(v int) { comp[v] = uf.Find(uint32(v)) })
-		alive = par.ForCollect(p, len(alive), 4096, func(lo, hi int, out []uint32) []uint32 {
-			for i := lo; i < hi; i++ {
-				id := alive[i]
-				e := &edges[id]
-				if comp[e.U] != comp[e.V] {
-					out = append(out, id)
-				}
-			}
-			return out
-		})
+		// Phase 3: relabel, then compact the live edge array into the spare
+		// buffer via per-worker chunk counts + prefix sum (no channel or
+		// atomic-append contention; see par.FilterInto) and ping-pong.
+		par.ForEach(p, n, 4096, relabelBody)
+		kept := par.FilterInto(p, spareIDs, alive, counters, keepCross)
+		spareIDs = alive[:cap(alive)]
+		alive = kept
 		roundSpan()
 		if cc.Poll() {
 			cancelled = true
@@ -139,7 +150,7 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 	if opts.Metrics != nil {
 		*opts.Metrics = WorkMetrics{Rounds: rounds, Unions: int64(len(ids))}
 	}
-	f = newForest(g, ids)
+	f = newForest(g, slices.Clone(ids))
 	if cancelled {
 		return f, interrupted(AlgParallelBoruvka, cc, len(ids), n-1)
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package mst
+
+// raceEnabled gates workspace buffer poisoning; in normal builds acquiring
+// a workspace touches nothing, keeping reuse O(1).
+const raceEnabled = false

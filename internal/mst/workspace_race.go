@@ -1,0 +1,8 @@
+//go:build race
+
+package mst
+
+// raceEnabled gates workspace buffer poisoning: under `go test -race`,
+// acquiring a workspace first fills its buffers with junk so stale-state
+// bugs surface deterministically in the race suite.
+const raceEnabled = true

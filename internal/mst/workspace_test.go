@@ -1,0 +1,176 @@
+package mst
+
+import (
+	"fmt"
+	"testing"
+
+	"llpmst/internal/graph"
+)
+
+// parallelAlgs are the algorithms that draw scratch from Options.Workspace.
+var parallelAlgs = []Algorithm{
+	AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync, AlgParallelBoruvka, AlgLLPBoruvka,
+}
+
+// TestWorkspaceReuseDifferential reuses ONE workspace across every parallel
+// algorithm, worker count, and a spread of stress graphs of varying shape
+// and size, requiring each run to reproduce the Kruskal oracle exactly. This
+// is the correctness half of the workspace contract: buffers grown by one
+// graph and dirtied by one algorithm must not leak state into the next run
+// (the race suite additionally poisons buffers on every acquire).
+func TestWorkspaceReuseDifferential(t *testing.T) {
+	ws := NewWorkspace()
+	families := []string{"sparse", "dense", "disconnected", "multi"}
+	perFamily := 6
+	if testing.Short() {
+		perFamily = 2
+	}
+	type kept struct {
+		name   string
+		forest *Forest
+		oracle *Forest
+	}
+	var all []kept
+	for _, family := range families {
+		for i := 0; i < perFamily; i++ {
+			g := stressGraph(family, int64(2000*i)+int64(len(family)))
+			oracle := Kruskal(g)
+			for _, p := range []int{1, 2} {
+				for _, alg := range parallelAlgs {
+					f, err := Run(alg, g, Options{Workers: p, Workspace: ws})
+					if err != nil {
+						t.Fatalf("%s/%d %s p=%d: %v", family, i, alg, p, err)
+					}
+					if !f.Equal(oracle) {
+						t.Fatalf("%s/%d %s p=%d: forest differs from oracle (%d vs %d edges)",
+							family, i, alg, p, len(f.EdgeIDs), len(oracle.EdgeIDs))
+					}
+					all = append(all, kept{fmt.Sprintf("%s/%d/%s/p=%d", family, i, alg, p), f, oracle})
+				}
+			}
+		}
+	}
+	// Forests must not alias workspace memory: every forest returned above
+	// must still match its oracle after all the later runs reused the arena.
+	for _, k := range all {
+		if !k.forest.Equal(k.oracle) {
+			t.Fatalf("%s: forest mutated by later workspace reuse", k.name)
+		}
+	}
+}
+
+// TestWorkspaceSteadyStateAllocs pins the tentpole's quantitative promise:
+// with a warm reused Workspace, each algorithm's per-call allocations are a
+// small constant (the returned Forest, its cloned edge-id slice, and a few
+// O(rounds) driver constants) — independent of n and m.
+func TestWorkspaceSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	g := stressGraph("sparse", 42)
+	// Bounds are ~2x the measured steady state (see BENCH_perf.json), so
+	// they catch a regression to per-element allocation without flaking on
+	// a round or two of variance. llp-boruvka's bound is largest because
+	// its pointer-jumping driver allocates O(log n) small constants per
+	// contraction round.
+	bounds := map[Algorithm]float64{
+		AlgLLPPrim:         8,
+		AlgLLPPrimParallel: 12,
+		AlgLLPPrimAsync:    16,
+		AlgParallelBoruvka: 32,
+		AlgLLPBoruvka:      96,
+	}
+	for _, alg := range parallelAlgs {
+		t.Run(string(alg), func(t *testing.T) {
+			ws := NewWorkspace()
+			opts := Options{Workers: 1, Workspace: ws}
+			// First call grows the arena and is allowed to allocate freely.
+			warm := must(Run(alg, g, opts))
+			oracle := Kruskal(g)
+			if !warm.Equal(oracle) {
+				t.Fatalf("warm-up forest differs from oracle")
+			}
+			var sink *Forest
+			n := testing.AllocsPerRun(10, func() {
+				sink = must(Run(alg, g, opts))
+			})
+			if n > bounds[alg] {
+				t.Errorf("steady-state allocs/run = %v, want <= %v", n, bounds[alg])
+			}
+			if !sink.Equal(oracle) {
+				t.Fatalf("steady-state forest differs from oracle")
+			}
+		})
+	}
+}
+
+// TestWorkspaceConcurrentUsePanics: sharing one workspace across two
+// simultaneous runs must fail loudly, not corrupt both runs.
+func TestWorkspaceConcurrentUsePanics(t *testing.T) {
+	g := stressGraph("sparse", 7)
+	ws := NewWorkspace()
+	ws.acquire() // simulate a run in flight
+	defer ws.release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second run on a busy workspace did not panic")
+		}
+	}()
+	_, _ = Run(AlgLLPPrim, g, Options{Workers: 1, Workspace: ws})
+}
+
+// TestWorkspaceDoubleReleasePanics: releasing an idle workspace is a bug in
+// the runtime's defer discipline and must be loud.
+func TestWorkspaceDoubleReleasePanics(t *testing.T) {
+	ws := NewWorkspace()
+	ws.acquire()
+	ws.release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	ws.release()
+}
+
+// TestWorkspacePoolDefault: with Options.Workspace nil the algorithms draw
+// from the internal pool; repeated runs stay correct (the pooled arenas are
+// dirtied by every prior run) and the workspace-using algorithms agree with
+// the oracle.
+func TestWorkspacePoolDefault(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		g := stressGraph("dense", int64(i))
+		oracle := Kruskal(g)
+		for _, alg := range parallelAlgs {
+			f, err := Run(alg, g, Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("iter %d %s: %v", i, alg, err)
+			}
+			if !f.Equal(oracle) {
+				t.Fatalf("iter %d %s: forest differs from oracle", i, alg)
+			}
+		}
+	}
+}
+
+// TestWorkspaceGrowShrinkGrow: a workspace sized by a large graph must
+// still produce correct results on a smaller one (stale tail state beyond
+// the resliced length must be invisible), and vice versa.
+func TestWorkspaceGrowShrinkGrow(t *testing.T) {
+	ws := NewWorkspace()
+	big := stressGraph("dense", 11)
+	small := stressGraph("multi", 12)
+	sequence := []*graph.CSR{big, small, big, small}
+	for round, g := range sequence {
+		oracle := Kruskal(g)
+		for _, alg := range parallelAlgs {
+			f, err := Run(alg, g, Options{Workers: 1, Workspace: ws})
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, alg, err)
+			}
+			if !f.Equal(oracle) {
+				t.Fatalf("round %d %s: forest differs after resize", round, alg)
+			}
+		}
+	}
+}

@@ -1,19 +1,3 @@
-// Package obs is the observability layer of the parallel runtime: named
-// phase timers (spans) and machine-level scheduler/algorithm counters and
-// gauges, behind pluggable Tracer/Collector interfaces.
-//
-// The design constraint is that instrumentation must be free when nobody is
-// listening: algorithms call through a Collector unconditionally, and the
-// no-op implementation (Nop, returned by Or for a nil Collector) costs a
-// dynamic dispatch to an empty method — no allocation, no time syscalls, no
-// atomics. The hot paths therefore never branch on "is tracing enabled";
-// they accumulate worker-local counts and flush once per worker, so even a
-// live Recording collector perturbs the measured run only at quiescence
-// points.
-//
-// Counters and gauges are small enums, not strings, so recording them is an
-// array-indexed atomic add and the zero-allocation property is checkable
-// with testing.AllocsPerRun (see obs_test.go).
 package obs
 
 // Counter identifies a monotonic count. Algorithms add to these through

@@ -80,10 +80,4 @@ func WriteMinU32(addr *uint32, val uint32) bool {
 }
 
 // FillKeys sets every element of s to k, in parallel with p workers.
-func FillKeys(p int, s []uint64, k uint64) {
-	For(p, len(s), 8192, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s[i] = k
-		}
-	})
-}
+func FillKeys(p int, s []uint64, k uint64) { Fill(p, s, k) }

@@ -28,13 +28,25 @@ type Canceller struct {
 // per-item cost stays a mask test.
 const strideMask = 1<<10 - 1
 
+// inert is the shared Canceller for contexts that can never be cancelled.
+// It is never mutated (Poll exits before touching stopped when done is
+// nil), so sharing one instance across all uncancellable runs is safe and
+// keeps NewCanceller allocation-free on the common nil-context path.
+var inert Canceller
+
 // NewCanceller wraps ctx (which may be nil) for cooperative polling.
+// Uncancellable contexts (nil, context.Background(), any Done() == nil)
+// share a single inert instance, so building a Canceller costs nothing
+// unless cancellation is actually possible.
 func NewCanceller(ctx context.Context) *Canceller {
-	c := &Canceller{ctx: ctx}
-	if ctx != nil {
-		c.done = ctx.Done()
+	if ctx == nil {
+		return &inert
 	}
-	return c
+	done := ctx.Done()
+	if done == nil {
+		return &inert
+	}
+	return &Canceller{ctx: ctx, done: done}
 }
 
 // Active reports whether cancellation is possible at all. Loops may use it

@@ -5,15 +5,27 @@ package par
 // concatenates all buffers into one slice. Chunk order within the result is
 // unspecified (parallel frontier expansion does not need it).
 func ForCollect[T any](p, n, grain int, body func(lo, hi int, out []T) []T) []T {
+	return ForCollectInto(p, n, grain, nil, body)
+}
+
+// ForCollectInto is ForCollect accumulating into buf's storage: the
+// sequential fast path (one worker, or the whole range below the grain)
+// appends into buf[:0] directly, and the parallel path concatenates the
+// per-chunk buffers into buf when its capacity suffices. A caller that
+// keeps the returned slice's capacity for the next call (ws pattern:
+// buf = ForCollectInto(p, n, g, buf, body)[:0] ... ) reaches zero
+// steady-state allocations on the sequential path. buf's contents are
+// overwritten; it must not alias anything body reads.
+func ForCollectInto[T any](p, n, grain int, buf []T, body func(lo, hi int, out []T) []T) []T {
 	if n <= 0 {
-		return nil
+		return buf[:0]
 	}
 	p = Workers(p)
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
 	if p == 1 || n <= grain {
-		return body(0, n, nil)
+		return body(0, n, buf[:0])
 	}
 	nchunks := (n + grain - 1) / grain
 	results := make(chan []T, nchunks)
@@ -27,7 +39,10 @@ func ForCollect[T any](p, n, grain int, body func(lo, hi int, out []T) []T) []T 
 		bufs = append(bufs, b)
 		total += len(b)
 	}
-	out := make([]T, 0, total)
+	out := buf[:0]
+	if cap(out) < total {
+		out = make([]T, 0, total)
+	}
 	for _, b := range bufs {
 		out = append(out, b...)
 	}

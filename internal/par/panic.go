@@ -90,6 +90,15 @@ func (b *PanicBox) Capture(r any, item int) {
 	b.mu.Unlock()
 }
 
+// Reset clears the box for reuse. Call only between parallel regions, never
+// while workers may still Capture.
+func (b *PanicBox) Reset() {
+	b.mu.Lock()
+	b.first = nil
+	b.extra = 0
+	b.mu.Unlock()
+}
+
 // Err returns the recorded panic, nil if none. Call only after the region's
 // workers have joined.
 func (b *PanicBox) Err() *PanicError {

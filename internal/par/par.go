@@ -1,13 +1,3 @@
-// Package par provides the shared-memory parallel runtime used by every
-// algorithm in this repository. It is the Go substitute for the Galois and
-// GBBS C++ runtimes the paper builds on: dynamically load-balanced parallel
-// loops, parallel prefix sums, parallel sorting, parallel reductions, an
-// unordered work bag, and atomic-minimum updates on packed (weight, id) keys.
-//
-// All entry points take an explicit worker count p. p <= 0 means
-// runtime.GOMAXPROCS(0). Every function degrades to a plain sequential loop
-// when p == 1 or when the input is below the grain size, so single-threaded
-// callers pay no synchronization cost.
 package par
 
 import (
@@ -81,8 +71,22 @@ func For(p, n, grain int, body func(lo, hi int)) {
 }
 
 // ForEach runs body(i) for every i in [0, n) using p workers. Convenience
-// wrapper over For for element-wise loops.
+// wrapper over For for element-wise loops. The sequential cases loop inline
+// rather than going through For, so they allocate nothing (no wrapper
+// closure) — algorithms calling ForEach once per round rely on this.
 func ForEach(p, n, grain int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if Workers(p) == 1 || n <= grain {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
 	For(p, n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)

@@ -1,0 +1,7 @@
+//go:build race
+
+package par
+
+// raceTestEnabled gates allocation-count assertions, which the race
+// detector's instrumentation can perturb.
+const raceTestEnabled = true

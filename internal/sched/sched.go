@@ -1,25 +1,3 @@
-// Package sched provides Galois-style data-driven schedulers: workers pull
-// items from a concurrent work bag, process them, and push newly discovered
-// work back, until global quiescence. The paper's LLP-Prim runs on exactly
-// this kind of runtime ("We use the Galois Library as our underlying runtime
-// framework", §VII) — its R set is an unordered bag whose elements "can be
-// explored in parallel" in any order.
-//
-// Two schedulers are provided:
-//
-//   - ForEachAsync: unordered, per-worker LIFO queues with work stealing —
-//     the Galois do_all/for_each analogue.
-//   - ForEachOrdered: priority-level-synchronous — the OBIM
-//     (ordered-by-integer-metric) analogue, processing the minimum-priority
-//     level in parallel before moving on.
-//
-// Each has a context-aware variant (ForEachAsyncCtx, ForEachOrderedCtx)
-// that polls for cancellation at work-item granularity and returns
-// context.Context's error when the run is abandoned with work left in the
-// bag, and an observed variant (ForEachAsyncObs, ForEachOrderedObs) that
-// additionally reports scheduler traffic — pushes, pops, steals, queue
-// depth — to an obs.Collector. Workers accumulate counts locally and flush
-// once at exit, so observation does not perturb the schedule.
 package sched
 
 import (
@@ -44,7 +22,8 @@ import (
 // joined — so even a crashing caller never leaks goroutines. Use the
 // Ctx/Obs variants to receive the panic as an ordinary error instead.
 func ForEachAsync[T any](p int, initial []T, process func(item T, push func(T))) {
-	_, pe := forEachAsync(nil, p, initial, process, obs.Nop{})
+	var bag Bag[T]
+	_, pe := forEachAsync(&bag, nil, p, initial, process, obs.Nop{})
 	if pe != nil {
 		panic(pe)
 	}
@@ -70,8 +49,37 @@ func ForEachAsyncCtx[T any](ctx context.Context, p int, initial []T, process fun
 // is returned as a *par.PanicError once all workers have joined. A run that
 // both panicked and was cancelled reports the panic.
 func ForEachAsyncObs[T any](ctx context.Context, p int, initial []T, process func(item T, push func(T)), col obs.Collector) error {
+	var bag Bag[T]
+	return bag.ForEachObs(ctx, p, initial, process, col)
+}
+
+// Bag is a reusable arena for the async scheduler: the single-worker stack
+// and the per-worker steal queues live here and keep their capacity across
+// runs, so a caller that drives the scheduler repeatedly (LLP-Prim's bag R
+// restarts once per heap fix; mst.Workspace holds one Bag for exactly this)
+// pays no per-run queue allocations after the first. The zero value is
+// ready to use. A Bag serves one run at a time; the package-level
+// ForEachAsync* entry points use a fresh Bag per call and stay safe for
+// concurrent use.
+type Bag[T any] struct {
+	stack  []T
+	queues []workQueue[T]
+
+	// Single-worker run state. Living in the Bag (rather than as locals that
+	// escape into per-run closures) makes repeated single-worker runs
+	// allocation-free: push and runOne are built once and read the current
+	// run's process/panics through the receiver.
+	process func(item T, push func(T))
+	push    func(T)
+	runOne  func(i int, x T) bool
+	pushes  int64
+	panics  par.PanicBox
+}
+
+// ForEachObs is ForEachAsyncObs drawing scheduler storage from the bag.
+func (b *Bag[T]) ForEachObs(ctx context.Context, p int, initial []T, process func(item T, push func(T)), col obs.Collector) error {
 	cc := par.NewCanceller(ctx)
-	aborted, pe := forEachAsync(cc, p, initial, process, obs.Or(col))
+	aborted, pe := forEachAsync(b, cc, p, initial, process, obs.Or(col))
 	if pe != nil {
 		return pe
 	}
@@ -81,62 +89,82 @@ func ForEachAsyncObs[T any](ctx context.Context, p int, initial []T, process fun
 	return nil
 }
 
-// forEachAsync is the shared engine. It reports whether the run was
-// abandoned before quiescence (always false with an inert canceller and no
-// panic) and the first worker panic, if any.
-func forEachAsync[T any](cc *par.Canceller, p int, initial []T, process func(item T, push func(T)), col obs.Collector) (aborted bool, perr *par.PanicError) {
-	p = par.Workers(p)
-	var panics par.PanicBox
-	if p == 1 {
-		// Single worker: a plain LIFO stack. push appends through the
-		// closure-captured slice header, so pushes during processing of the
-		// last item (when the loop just resliced the stack to empty) land in
-		// the same variable the loop condition reads — no work is lost; the
-		// regression test TestForEachAsyncPushDuringLastItem pins this.
-		defer col.Span("sched.async")()
-		stack := make([]T, len(initial))
-		copy(stack, initial)
-		var pushes, pops, depth int64
-		pushes = int64(len(initial))
-		push := func(x T) { pushes++; stack = append(stack, x) }
-		runOne := func(i int, x T) (panicked bool) {
+// runSingle is the single-worker engine: a plain LIFO stack, no goroutines.
+// push appends through the shared b.stack header, so pushes during
+// processing of the last item (when the loop just resliced the stack to
+// empty) land in the same field the loop condition reads — no work is lost;
+// the regression test TestForEachAsyncPushDuringLastItem pins this. All run
+// state lives in Bag fields, so a warm Bag runs without allocating.
+func (b *Bag[T]) runSingle(cc *par.Canceller, initial []T, process func(item T, push func(T)), col obs.Collector) (aborted bool, perr *par.PanicError) {
+	defer col.Span("sched.async")()
+	b.panics.Reset()
+	b.process = process
+	if b.push == nil {
+		b.push = func(x T) { b.pushes++; b.stack = append(b.stack, x) }
+		b.runOne = func(i int, x T) (panicked bool) {
 			defer func() {
 				if r := recover(); r != nil {
-					panics.Capture(r, i)
+					b.panics.Capture(r, i)
 					panicked = true
 				}
 			}()
-			process(x, push)
+			b.process(x, b.push)
 			return false
 		}
-		for i := 0; len(stack) > 0; i++ {
-			if cc.Stride(i) {
-				aborted = true
-				break
-			}
-			if l := int64(len(stack)); l > depth {
-				depth = l
-			}
-			x := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			pops++
-			if runOne(i, x) {
-				aborted = len(stack) > 0
-				break
-			}
-		}
-		col.Count(obs.CtrSchedPush, pushes)
-		col.Count(obs.CtrSchedPop, pops)
-		col.Count(obs.CtrSchedPanics, int64(panics.Count()))
-		col.Gauge(obs.GaugeQueueDepth, depth)
-		return aborted, panics.Err()
 	}
+	b.stack = append(b.stack[:0], initial...)
+	b.pushes = int64(len(initial))
+	var pops, depth int64
+	// Return the (possibly grown) storage to the bag and drop the process
+	// reference however this run ends, so the next run starts clean.
+	defer func() { b.stack = b.stack[:0]; b.process = nil }()
+	for i := 0; len(b.stack) > 0; i++ {
+		if cc.Stride(i) {
+			aborted = true
+			break
+		}
+		if l := int64(len(b.stack)); l > depth {
+			depth = l
+		}
+		x := b.stack[len(b.stack)-1]
+		b.stack = b.stack[:len(b.stack)-1]
+		pops++
+		if b.runOne(i, x) {
+			aborted = len(b.stack) > 0
+			break
+		}
+	}
+	col.Count(obs.CtrSchedPush, b.pushes)
+	col.Count(obs.CtrSchedPop, pops)
+	col.Count(obs.CtrSchedPanics, int64(b.panics.Count()))
+	col.Gauge(obs.GaugeQueueDepth, depth)
+	return aborted, b.panics.Err()
+}
+
+// forEachAsync is the shared engine. It reports whether the run was
+// abandoned before quiescence (always false with an inert canceller and no
+// panic) and the first worker panic, if any.
+func forEachAsync[T any](b *Bag[T], cc *par.Canceller, p int, initial []T, process func(item T, push func(T)), col obs.Collector) (aborted bool, perr *par.PanicError) {
+	p = par.Workers(p)
+	if p == 1 {
+		return b.runSingle(cc, initial, process, col)
+	}
+	var panics par.PanicBox
 	defer col.Span("sched.async")()
 	col.Count(obs.CtrSchedPush, int64(len(initial)))
 	var pending atomic.Int64
 	pending.Store(int64(len(initial)))
 	var stopped atomic.Bool
-	queues := make([]workQueue[T], p)
+	if cap(b.queues) < p {
+		b.queues = make([]workQueue[T], p)
+	}
+	queues := b.queues[:p]
+	for i := range queues {
+		// Reused queues may hold items abandoned by a cancelled run; this
+		// run must start empty (capacity is kept).
+		clear(queues[i].items)
+		queues[i].items = queues[i].items[:0]
+	}
 	for i, x := range initial {
 		q := &queues[i%p]
 		q.items = append(q.items, x)

@@ -93,3 +93,16 @@ func (c *Concurrent) Count() int {
 
 // Len returns the number of elements.
 func (c *Concurrent) Len() int { return len(c.parent) }
+
+// Reset returns the structure to n singleton sets, reusing storage when it
+// is large enough. Must not race with any other method; reusing one
+// Concurrent across runs this way keeps repeated queries allocation-free.
+func (c *Concurrent) Reset(n int) {
+	if cap(c.parent) < n {
+		c.parent = make([]atomic.Uint32, n)
+	}
+	c.parent = c.parent[:n]
+	for i := range c.parent {
+		c.parent[i].Store(uint32(i))
+	}
+}

@@ -186,6 +186,40 @@ func TestConcurrentLen(t *testing.T) {
 	}
 }
 
+func TestConcurrentReset(t *testing.T) {
+	c := NewConcurrent(8)
+	c.Union(0, 1)
+	c.Union(2, 3)
+
+	// Reset to the same size: all prior merges forgotten.
+	c.Reset(8)
+	if c.Count() != 8 || c.Same(0, 1) || c.Same(2, 3) {
+		t.Fatal("Reset(8) did not restore singletons")
+	}
+
+	// Shrink: reuses storage, still singletons.
+	c.Reset(3)
+	if c.Len() != 3 || c.Count() != 3 {
+		t.Fatalf("after Reset(3): Len=%d Count=%d", c.Len(), c.Count())
+	}
+
+	// Grow past capacity: fresh storage, correct semantics.
+	c.Reset(100)
+	if c.Len() != 100 || c.Count() != 100 {
+		t.Fatalf("after Reset(100): Len=%d Count=%d", c.Len(), c.Count())
+	}
+	c.Union(50, 99)
+	if !c.Same(50, 99) || c.Same(0, 50) {
+		t.Fatal("union after grow Reset broken")
+	}
+
+	// A shrink Reset within capacity must not allocate.
+	c.Reset(100)
+	if n := testing.AllocsPerRun(20, func() { c.Reset(64) }); n != 0 {
+		t.Fatalf("Reset within capacity allocated %v times per run", n)
+	}
+}
+
 func BenchmarkUFUnionFind(b *testing.B) {
 	const n = 1 << 16
 	rng := rand.New(rand.NewSource(1))

@@ -75,6 +75,14 @@ type Algorithm = mst.Algorithm
 // fewer heap operations than Prim.
 type WorkMetrics = mst.WorkMetrics
 
+// Workspace is a reusable arena for the parallel algorithms' O(n+m) scratch
+// state. Set Options.Workspace to reach O(1) steady-state allocations across
+// repeated runs; one Workspace serves one run at a time. See mst.Workspace.
+type Workspace = mst.Workspace
+
+// NewWorkspace returns an empty Workspace; buffers grow lazily on first use.
+func NewWorkspace() *Workspace { return mst.NewWorkspace() }
+
 // The implemented algorithms (see Run).
 const (
 	AlgPrim            = mst.AlgPrim
