@@ -10,7 +10,7 @@
 //	mstbench -exp perf -json-out .        # snapshot BENCH_perf.json for the trajectory
 //
 // Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, perf,
-// dist, chaos (also via -chaos, seeded by -chaos-seed), all.
+// conv, dist, chaos (also via -chaos, seeded by -chaos-seed), all.
 // Scales: test (~1k vertices), s (~65k), m (~260k), l (~1M).
 package main
 
@@ -43,7 +43,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mstbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|perf|dist|chaos|all")
+		exp       = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|perf|conv|dist|chaos|all")
 		scale     = fs.String("scale", "s", "dataset scale: test|s|m|l")
 		trials    = fs.Int("trials", 3, "trials per cell (best time is reported)")
 		threads   = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
@@ -56,7 +56,9 @@ func run(args []string, stdout io.Writer) error {
 		memProf   = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
 		timeout   = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit); a timed-out run still reports completed rows")
 		traceOut  = fs.String("trace-out", "", "write the runtime phase timeline (spans, counters, gauge maxima) as JSON to this path")
-		pprofSrv  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		chromeOut = fs.String("chrome-trace", "", "write a Chrome Trace Event JSON (load in Perfetto/chrome://tracing; one track per worker, round markers) to this path")
+		roundCSV  = fs.String("round-csv", "", "write the per-round convergence series (counter deltas and gauge samples per round) as CSV to this path")
+		pprofSrv  = fs.String("pprof", "", "serve net/http/pprof plus live /metrics (Prometheus) and /progress (JSON) on this address (e.g. localhost:6060) for the duration of the run")
 		chaos     = fs.Bool("chaos", false, "also run the distributed protocol over a lossy network (drop=0.2 dup=0.1 reorder) and report recovery costs")
 		chaosSeed = fs.Int64("chaos-seed", 1, "fault-injection seed for -chaos (identical seeds reproduce identical runs)")
 	)
@@ -72,13 +74,47 @@ func run(args []string, stdout io.Writer) error {
 	var rec *obs.Recording
 	if *traceOut != "" {
 		rec = obs.NewRecording()
-		ctx = obs.NewContext(ctx, rec)
+	}
+	// The flight recorder powers the event-level exports (-chrome-trace,
+	// -round-csv) and the live /metrics + /progress endpoints; it is only
+	// constructed when one of those consumers is active, so plain runs keep
+	// the free Nop collector.
+	var flight *obs.FlightRecorder
+	if *chromeOut != "" || *roundCSV != "" || *pprofSrv != "" {
+		flight = obs.NewFlightRecorder(0, 0)
+	}
+	var col obs.Collector
+	switch {
+	case rec != nil && flight != nil:
+		col = obs.Tee(rec, flight)
+	case rec != nil:
+		col = rec
+	case flight != nil:
+		col = flight
+	}
+	if col != nil {
+		ctx = obs.NewContext(ctx, col)
 	}
 	if *pprofSrv != "" {
-		srv := &http.Server{Addr: *pprofSrv}
+		// A private mux (not http.DefaultServeMux directly) so repeated runs
+		// in one process never double-register handlers; pprof's handlers
+		// live on the default mux and are reached through the fallthrough.
+		mux := http.NewServeMux()
+		if flight != nil {
+			mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				flight.WritePrometheus(w)
+			})
+			mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				flight.WriteProgress(w)
+			})
+		}
+		mux.Handle("/", http.DefaultServeMux)
+		srv := &http.Server{Addr: *pprofSrv, Handler: mux}
 		go srv.ListenAndServe()
 		defer srv.Close()
-		fmt.Fprintf(stdout, "pprof: serving http://%s/debug/pprof/\n", *pprofSrv)
+		fmt.Fprintf(stdout, "pprof: serving http://%s/debug/pprof/ (+ /metrics, /progress)\n", *pprofSrv)
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -149,6 +185,7 @@ func run(args []string, stdout io.Writer) error {
 		{"sizesweep", func() ([]bench.Result, error) { return bench.SizeSweepCtx(ctx, stdout, sc, *trials, *workers) }},
 		{"ablation", func() ([]bench.Result, error) { return bench.AblationCtx(ctx, stdout, sc, *trials, *workers) }},
 		{"perf", func() ([]bench.Result, error) { return bench.PerfCtx(ctx, stdout, sc, *trials) }},
+		{"conv", func() ([]bench.Result, error) { return bench.ConvergenceCtx(ctx, stdout, sc, *workers) }},
 		{"dist", func() ([]bench.Result, error) {
 			rows, err := bench.DistributedCtx(ctx, stdout, sc)
 			if err != nil {
@@ -239,7 +276,35 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %d spans to %s\n", len(rec.Spans()), *traceOut)
 	}
+	if flight != nil {
+		if *chromeOut != "" {
+			if err := writeTo(*chromeOut, flight.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote chrome trace (%d events, %d dropped) to %s\n",
+				flight.Recorded(), flight.Dropped(), *chromeOut)
+		}
+		if *roundCSV != "" {
+			if err := writeTo(*roundCSV, flight.WriteRoundCSV); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %d round segments to %s\n", len(flight.RoundSeries()), *roundCSV)
+		}
+	}
 	return nil
+}
+
+// writeTo streams one exporter into a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(path string, rows []bench.Result) error {

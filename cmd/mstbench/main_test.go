@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,6 +52,62 @@ func TestRunCSVExport(t *testing.T) {
 	}
 	if records[0][0] != "experiment" || records[1][0] != "fig2" {
 		t.Fatalf("CSV content wrong: %v", records[:2])
+	}
+}
+
+func TestRunConvergenceArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	rounds := filepath.Join(dir, "rounds.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "conv", "-scale", "test", "-trials", "1",
+		"-chrome-trace", trace, "-round-csv", rounds}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Convergence") {
+		t.Fatalf("no convergence table rendered:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		phases[ev.Ph]++
+	}
+	for _, ph := range []string{"M", "X", "i"} {
+		if phases[ph] == 0 {
+			t.Errorf("chrome trace has no %q events (%v)", ph, phases)
+		}
+	}
+
+	f, err := os.Open(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("round CSV has %d records, want header + rows", len(records))
+	}
+	header := strings.Join(records[0], ",")
+	for _, col := range []string{"round", "start_ms", "dur_ms"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("round CSV header %q missing %q", header, col)
+		}
 	}
 }
 

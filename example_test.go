@@ -85,6 +85,35 @@ func ExampleOptions_observer() {
 	// true
 }
 
+func ExampleNewFlightRecorder() {
+	// A FlightRecorder streams a run's events into per-worker ring buffers
+	// at zero allocation cost; afterwards it answers convergence questions
+	// (how fast did the live edge set shrink?) and latency questions (what
+	// was p95 of the mwe phase?), and can export the whole capture as a
+	// Chrome trace or Prometheus text.
+	rec := llpmst.NewFlightRecorder(2, 0)
+	f, err := llpmst.MinimumSpanningForestCtx(context.Background(), paperGraph(), llpmst.Options{
+		Workers:  2, // >1 worker selects LLP-Boruvka
+		Observer: rec,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(f.Weight)
+	for _, rs := range rec.RoundSeries() {
+		live, _ := rs.Gauge(llpmst.GaugeLiveEdges)
+		fmt.Printf("round %d: %d live edges, %d contraction\n",
+			rs.Round, live, rs.Counter(llpmst.CtrRounds))
+	}
+	mwe, ok := rec.SpanSummary("llp-boruvka.mwe")
+	fmt.Println(ok, mwe.Count == 2, mwe.P95 > 0)
+	// Output:
+	// 16
+	// round 1: 7 live edges, 1 contraction
+	// round 2: 3 live edges, 1 contraction
+	// true true true
+}
+
 func ExampleOptions_workspace() {
 	// A server answering repeated MSF queries reuses one Workspace: scratch
 	// buffers grow to the largest graph seen and are then recycled, so

@@ -196,9 +196,21 @@ func runGHS(ctx context.Context, g *graph.CSR, fab Fabric) ([]uint32, SimStats, 
 			}
 		}
 	}
+	// Message counts are streamed per phase as deltas of the fabric's
+	// running total (round-aware collectors then see the per-phase message
+	// curve); finishStats emits whatever the last partial phase added, so
+	// the streamed total always equals SimStats.Messages.
+	var eSent int64
+	flushSent := func() {
+		_, sent := fab.Counters()
+		if d := sent - eSent; d != 0 {
+			col.Count(obs.CtrGHSMessages, d)
+			eSent = sent
+		}
+	}
 	finishStats := func(phase int) SimStats {
 		rounds, sent := fab.Counters()
-		col.Count(obs.CtrGHSMessages, sent)
+		flushSent()
 		return SimStats{Phases: phase, Rounds: rounds, Messages: sent}
 	}
 
@@ -214,6 +226,17 @@ func runGHS(ctx context.Context, g *graph.CSR, fab Fabric) ([]uint32, SimStats, 
 			break
 		}
 		phase++
+		// Each protocol phase is one round segment for round-aware
+		// collectors; the still-active node count is the phase's shrinking
+		// frontier (fragments at least halve, so it decays geometrically).
+		obs.MarkRound(col, int64(phase))
+		activeNodes := int64(0)
+		for v := range nodes {
+			if nodes[v].active {
+				activeNodes++
+			}
+		}
+		col.Gauge(obs.GaugeGHSActive, activeNodes)
 		col.Count(obs.CtrGHSPhases, 1)
 		phaseSpan := col.Span("ghs.phase")
 		if phase > maxPhases+1 {
@@ -480,6 +503,7 @@ func runGHS(ctx context.Context, g *graph.CSR, fab Fabric) ([]uint32, SimStats, 
 		for i := range connRecv {
 			connRecv[i] = false
 		}
+		flushSent()
 		phaseSpan()
 	}
 	st := finishStats(phase)

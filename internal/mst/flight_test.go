@@ -1,0 +1,171 @@
+package mst
+
+import (
+	"testing"
+
+	"llpmst/internal/gen"
+	"llpmst/internal/obs"
+)
+
+// TestFlightRecorderCountersMatchWorkMetrics repeats the observer/metrics
+// consistency check against the flight recorder: the per-wave delta
+// streaming must sum to exactly the WorkMetrics totals, with worker
+// attribution changing where counts land but never how much is counted.
+func TestFlightRecorderCountersMatchWorkMetrics(t *testing.T) {
+	g := gen.ErdosRenyi(1, 1000, 8000, gen.WeightUniform, 21)
+	for _, alg := range []Algorithm{
+		AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync,
+		AlgParallelBoruvka, AlgLLPBoruvka,
+	} {
+		t.Run(string(alg), func(t *testing.T) {
+			rec := obs.NewFlightRecorder(2, 1<<16)
+			var m WorkMetrics
+			if _, err := Run(alg, g, Options{Workers: 2, Observer: rec, Metrics: &m}); err != nil {
+				t.Fatal(err)
+			}
+			checks := []struct {
+				ctr  obs.Counter
+				want int64
+			}{
+				{obs.CtrRounds, m.Rounds},
+				{obs.CtrJumpRounds, m.JumpRounds},
+				{obs.CtrJumpAdvances, m.JumpAdvances},
+				{obs.CtrHeapPush, m.HeapPushes},
+				{obs.CtrHeapPop, m.HeapPops},
+				{obs.CtrEarlyFix, m.EarlyFixes},
+			}
+			for _, c := range checks {
+				if got := rec.Counter(c.ctr); got != c.want {
+					t.Errorf("streamed %s = %d, WorkMetrics says %d", c.ctr, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestFlightRecorderRoundSeriesFromAlgorithms drives real runs and checks
+// the convergence view the tentpole exists for: the Boruvka families must
+// produce one segment per contraction round with strictly decreasing live
+// edges, and the Prim families one segment per wave with early-fix /
+// heap-pop activity recorded.
+func TestFlightRecorderRoundSeriesFromAlgorithms(t *testing.T) {
+	g := gen.ErdosRenyi(1, 500, 4000, gen.WeightUniform, 33)
+
+	t.Run("llp-boruvka", func(t *testing.T) {
+		rec := obs.NewFlightRecorder(2, 1<<16)
+		var m WorkMetrics
+		if _, err := LLPBoruvka(g, Options{Workers: 2, Observer: rec, Metrics: &m}); err != nil {
+			t.Fatal(err)
+		}
+		series := rec.RoundSeries()
+		if int64(len(series)) != m.Rounds {
+			t.Fatalf("round series has %d segments, run had %d rounds", len(series), m.Rounds)
+		}
+		prev := int64(g.NumEdges()) + 1
+		var jumpAdvances int64
+		for i, rs := range series {
+			if rs.Round != int64(i+1) {
+				t.Fatalf("segment %d carries round %d", i, rs.Round)
+			}
+			live, ok := rs.Gauge(obs.GaugeLiveEdges)
+			if !ok {
+				t.Fatalf("round %d has no live-edge sample", rs.Round)
+			}
+			if live >= prev {
+				t.Fatalf("live edges did not shrink: round %d has %d, previous %d", rs.Round, live, prev)
+			}
+			prev = live
+			if rs.Counter(obs.CtrRounds) != 1 {
+				t.Fatalf("round %d segment contains %d round counts", rs.Round, rs.Counter(obs.CtrRounds))
+			}
+			jumpAdvances += rs.Counter(obs.CtrJumpAdvances)
+		}
+		if jumpAdvances != m.JumpAdvances {
+			t.Errorf("per-round jump advances sum to %d, WorkMetrics says %d", jumpAdvances, m.JumpAdvances)
+		}
+	})
+
+	t.Run("llp-prim", func(t *testing.T) {
+		rec := obs.NewFlightRecorder(1, 1<<16)
+		var m WorkMetrics
+		if _, err := LLPPrim(g, Options{Observer: rec, Metrics: &m}); err != nil {
+			t.Fatal(err)
+		}
+		series := rec.RoundSeries()
+		if len(series) == 0 {
+			t.Fatal("no wave segments recorded")
+		}
+		var early, pops int64
+		for _, rs := range series {
+			early += rs.Counter(obs.CtrEarlyFix)
+			pops += rs.Counter(obs.CtrHeapPop)
+		}
+		if early != m.EarlyFixes {
+			t.Errorf("per-wave early fixes sum to %d, WorkMetrics says %d", early, m.EarlyFixes)
+		}
+		if pops != m.HeapPops {
+			t.Errorf("per-wave heap pops sum to %d, WorkMetrics says %d", pops, m.HeapPops)
+		}
+	})
+}
+
+// TestFlightRecorderWorkerSpans checks that parallel runs actually put
+// chunk spans on worker tracks — the "one track per worker" acceptance
+// criterion, exercised end to end.
+func TestFlightRecorderWorkerSpans(t *testing.T) {
+	g := gen.ErdosRenyi(1, 3000, 30000, gen.WeightUniform, 7)
+	rec := obs.NewFlightRecorder(4, 1<<16)
+	if _, err := LLPBoruvka(g, Options{Workers: 4, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	workers := map[int16]bool{}
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvSpanEnd && rec.SpanName(e.ID) == "llp-boruvka.parents.chunk" {
+			workers[e.Worker] = true
+		}
+	}
+	if len(workers) < 2 {
+		t.Fatalf("parent chunk spans on %d worker tracks, want >= 2 (%v)", len(workers), workers)
+	}
+	if _, ok := rec.SpanSummary("llp-boruvka.parents.chunk"); !ok {
+		t.Fatal("no latency digest for the chunk span")
+	}
+}
+
+// TestFlightRecorderSteadyStateAllocs: the enabled recorder must not
+// reintroduce per-element allocation — a warm-workspace run with a flight
+// recorder attached stays within the PR 3 per-algorithm bounds (the
+// recorder's ring writes are allocation-free; only the driver's O(rounds)
+// constants remain).
+func TestFlightRecorderSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	g := stressGraph("sparse", 42)
+	bounds := map[Algorithm]float64{
+		AlgLLPPrim:         8,
+		AlgLLPPrimParallel: 12,
+		AlgLLPPrimAsync:    16,
+		AlgParallelBoruvka: 32,
+		AlgLLPBoruvka:      96,
+	}
+	for alg, bound := range bounds {
+		t.Run(string(alg), func(t *testing.T) {
+			rec := obs.NewFlightRecorder(1, 1<<16)
+			ws := NewWorkspace()
+			opts := Options{Workers: 1, Workspace: ws, Observer: rec}
+			// Warm the workspace and the recorder's span intern table.
+			if _, err := Run(alg, g, opts); err != nil {
+				t.Fatal(err)
+			}
+			n := testing.AllocsPerRun(10, func() {
+				if _, err := Run(alg, g, opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if n > bound {
+				t.Errorf("steady-state allocs/run with recorder = %v, want <= %v", n, bound)
+			}
+		})
+	}
+}

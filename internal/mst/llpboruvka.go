@@ -103,7 +103,13 @@ func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 			bidx[e.v] = int32(i)
 		}
 	}
-	parentBody := func(lo, hi int, out []uint32) []uint32 {
+	// Parent chunks run under the executing worker's attributed collector
+	// view, so flight recordings show which worker chose which share of the
+	// parents (the chunk span, not the driver's phase span, lands on the
+	// worker's track).
+	parentBody := func(w, lo, hi int, out []uint32) []uint32 {
+		endChunk := obs.ForWorker(col, w).Span("llp-boruvka.parents.chunk")
+		defer endChunk()
 		for v := lo; v < hi; v++ {
 			if cc.Stride(v) {
 				break
@@ -149,6 +155,9 @@ func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 			break
 		}
 		rounds++
+		// The round mark comes first so every event below — including the
+		// round's own counter — lands in this round's segment.
+		obs.MarkRound(col, rounds)
 		col.Count(obs.CtrRounds, 1)
 		col.Gauge(obs.GaugeLiveEdges, int64(len(edges)))
 		// Phase 1: mwe per current vertex.
@@ -173,7 +182,7 @@ func LLPBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 		// reports; non-mutual: the choosing endpoint reports).
 		parentSpan := col.Span("llp-boruvka.parents")
 		gv = G[:nv]
-		chosen := par.ForCollectInto(p, nv, 2048, ws.picks, parentBody)
+		chosen := par.ForCollectIntoW(p, nv, 2048, ws.picks, parentBody)
 		parentSpan()
 		// Choices made before a mid-parent-phase cancel are sound (the mwe
 		// phase was complete), so they may join the partial result.

@@ -75,11 +75,27 @@ func LLPPrim(g *graph.CSR, opts Options) (f *Forest, err error) {
 	inQ := ws.boolsBBuf(n)
 	clear(inQ)
 	var pushes, pops, stale, early, heapFixes, relaxations int64
+	var ePushes, ePops, eEarly int64 // counts already streamed to col
+	var wave, bagHW int64
 	step := 0 // work-item index for strided cancellation polls
+	// flush streams the not-yet-emitted counter deltas and refreshes the
+	// metrics snapshot. It is called once per wave (so round-aware
+	// collectors see the early-fix vs heap-pop mix per wave) and once at
+	// exit; the emitted-so-far bookkeeping keeps the streamed totals
+	// identical to WorkMetrics no matter how often it runs.
 	flush := func() {
-		col.Count(obs.CtrHeapPush, pushes)
-		col.Count(obs.CtrHeapPop, pops)
-		col.Count(obs.CtrEarlyFix, early)
+		if d := pushes - ePushes; d != 0 {
+			col.Count(obs.CtrHeapPush, d)
+			ePushes = pushes
+		}
+		if d := pops - ePops; d != 0 {
+			col.Count(obs.CtrHeapPop, d)
+			ePops = pops
+		}
+		if d := early - eEarly; d != 0 {
+			col.Count(obs.CtrEarlyFix, d)
+			eEarly = early
+		}
 		if opts.Metrics != nil {
 			*opts.Metrics = WorkMetrics{
 				HeapPushes: pushes, HeapPops: pops, StalePops: stale,
@@ -98,8 +114,15 @@ func LLPPrim(g *graph.CSR, opts Options) (f *Forest, err error) {
 		fixed[s] = true
 		r = append(r[:0], uint32(s))
 		for {
+			// One wave: drain the bag, flush Q, fix one vertex off the heap.
+			wave++
+			obs.MarkRound(col, wave)
+			bagHW = int64(len(r))
 			// Drain R: explore fixed vertices, cascading MWE fixings.
 			for len(r) > 0 {
+				if l := int64(len(r)); l > bagHW {
+					bagHW = l
+				}
 				if step++; cc.Stride(step) {
 					goto cancelled
 				}
@@ -179,6 +202,9 @@ func LLPPrim(g *graph.CSR, opts Options) (f *Forest, err error) {
 				fixedOne = true
 				break
 			}
+			col.Gauge(obs.GaugeFrontier, bagHW)
+			col.Gauge(obs.GaugeHeapSize, int64(h.Len()))
+			flush()
 			if !fixedOne {
 				break // component complete
 			}
@@ -229,8 +255,17 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 	frontier := ws.bagBuf(n)[:0]
 	// The wave body is hoisted out of the round loop (capturing the current
 	// wave through the variable) so steady-state rounds allocate nothing.
+	// Each chunk runs under the executing worker's attributed collector
+	// view: the chunk's exploration span and early-fix count land on that
+	// worker's track. The driver deliberately does NOT emit CtrEarlyFix —
+	// a chunk's non-qMark records are exactly the CAS-won fixings the
+	// driver later counts into WorkMetrics, so the streamed total already
+	// matches and double emission would break observer/metrics consistency.
 	var wave []uint32
-	waveBody := func(lo, hi int, out []waveRec) []waveRec {
+	waveBody := func(w, lo, hi int, out []waveRec) []waveRec {
+		wcol := obs.ForWorker(col, w)
+		endChunk := wcol.Span("llp-prim-par.wave")
+		var chunkEarly int64
 		for i := lo; i < hi; i++ {
 			if cc.Stride(i) {
 				break
@@ -247,6 +282,7 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 				if earlyFix && key == mweJ {
 					if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
 						out = append(out, waveRec{k, g.ArcEdgeID(a)})
+						chunkEarly++
 					}
 					continue
 				}
@@ -255,6 +291,7 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 				if earlyFix && key == mwe[k] {
 					if atomic.CompareAndSwapUint32(&fixed[k], 0, 1) {
 						out = append(out, waveRec{k, g.ArcEdgeID(a)})
+						chunkEarly++
 					}
 					continue
 				}
@@ -269,14 +306,28 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 				}
 			}
 		}
+		if chunkEarly != 0 {
+			wcol.Count(obs.CtrEarlyFix, chunkEarly)
+		}
+		endChunk()
 		return out
 	}
 	var pushes, pops, stale, early, heapFixes int64
+	var ePushes, ePops int64 // counts already streamed to col
+	var waveNo int64
 	step := 0 // work-item index for strided cancellation polls in the heap loop
+	// flush streams the not-yet-emitted heap counter deltas (early fixes
+	// are streamed by the wave chunks, attributed to workers) and
+	// refreshes the metrics snapshot; called once per wave and at exit.
 	flush := func() {
-		col.Count(obs.CtrHeapPush, pushes)
-		col.Count(obs.CtrHeapPop, pops)
-		col.Count(obs.CtrEarlyFix, early)
+		if d := pushes - ePushes; d != 0 {
+			col.Count(obs.CtrHeapPush, d)
+			ePushes = pushes
+		}
+		if d := pops - ePops; d != 0 {
+			col.Count(obs.CtrHeapPop, d)
+			ePops = pops
+		}
 		if opts.Metrics != nil {
 			*opts.Metrics = WorkMetrics{
 				HeapPushes: pushes, HeapPops: pops, StalePops: stale,
@@ -298,9 +349,11 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 				if cc.Poll() {
 					goto cancelled
 				}
+				waveNo++
+				obs.MarkRound(col, waveNo)
 				col.Gauge(obs.GaugeFrontier, int64(len(frontier)))
 				wave = frontier
-				out := par.ForCollectInto(p, len(wave), 32, ws.recs, waveBody)
+				out := par.ForCollectIntoW(p, len(wave), 32, ws.recs, waveBody)
 				ws.recs = out[:0] // keep grown capacity for the next wave
 				frontier = frontier[:0]
 				for _, r := range out {
@@ -325,6 +378,7 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 				}
 			}
 			qbuf = qbuf[:0]
+			col.Gauge(obs.GaugeHeapSize, int64(h.Len()))
 			fixedOne := false
 			for !h.Empty() {
 				if step++; cc.Stride(step) {
@@ -343,6 +397,7 @@ func LLPPrimParallel(g *graph.CSR, opts Options) (f *Forest, err error) {
 				fixedOne = true
 				break
 			}
+			flush()
 			if !fixedOne {
 				break
 			}

@@ -75,13 +75,32 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 	h := ws.heapBuf()
 	bag := ws.asyncBagBuf()
 	var pushes, pops, stale, heapFixes int64
+	var ePushes, ePops, eEarly int64 // counts already streamed to col
+	var cycle int64
 	step := 0 // work-item index for strided cancellation polls
+	// flush streams the not-yet-emitted counter deltas; called once per
+	// bag-quiescence cycle (so round-aware collectors see per-cycle early
+	// fix vs heap traffic) and from finish. Early fixes are derived: every
+	// chosen edge that was not a heap fix was an early CAS fix.
+	flush := func() {
+		early := idCursor.Load() - heapFixes
+		if d := pushes - ePushes; d != 0 {
+			col.Count(obs.CtrHeapPush, d)
+			ePushes = pushes
+		}
+		if d := pops - ePops; d != 0 {
+			col.Count(obs.CtrHeapPop, d)
+			ePops = pops
+		}
+		if d := early - eEarly; d != 0 {
+			col.Count(obs.CtrEarlyFix, d)
+			eEarly = early
+		}
+	}
 	finish := func(cancelled bool) (*Forest, error) {
 		chosen := slices.Clone(ids[:idCursor.Load()])
 		early := idCursor.Load() - heapFixes
-		col.Count(obs.CtrHeapPush, pushes)
-		col.Count(obs.CtrHeapPop, pops)
-		col.Count(obs.CtrEarlyFix, early)
+		flush()
 		if opts.Metrics != nil {
 			*opts.Metrics = WorkMetrics{
 				HeapPushes: pushes, HeapPops: pops, StalePops: stale,
@@ -133,6 +152,11 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 		seed := ws.bagBuf(1)
 		seed[0] = uint32(s)
 		for {
+			// One cycle: drive the bag to quiescence, flush Q, fix one
+			// vertex off the heap. Each cycle is a round segment for
+			// round-aware collectors.
+			cycle++
+			obs.MarkRound(col, cycle)
 			if serr := bag.ForEachObs(opts.Ctx, p, seed, explore, col); serr != nil {
 				// A worker panic (already drained and boxed by the scheduler)
 				// funnels through the deferred recover above, so there is a
@@ -154,6 +178,7 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 				}
 			}
 			qCursor.Store(0)
+			col.Gauge(obs.GaugeHeapSize, int64(h.Len()))
 			fixedOne := false
 			for !h.Empty() {
 				if step++; cc.Stride(step) {
@@ -172,6 +197,7 @@ func LLPPrimAsync(g *graph.CSR, opts Options) (f *Forest, err error) {
 				fixedOne = true
 				break
 			}
+			flush()
 			if !fixedOne {
 				break
 			}

@@ -75,7 +75,12 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 		par.WriteMin(&best[cu], key)
 		par.WriteMin(&best[cv], key)
 	}
-	winnerBody := func(lo, hi int, out []uint32) []uint32 {
+	// Winner chunks run under the executing worker's attributed collector
+	// view, putting each worker's share of the winner pass on its own track
+	// in flight recordings.
+	winnerBody := func(w, lo, hi int, out []uint32) []uint32 {
+		endChunk := obs.ForWorker(col, w).Span("boruvka-par.winners.chunk")
+		defer endChunk()
 		for v := lo; v < hi; v++ {
 			if cc.Stride(v) {
 				break
@@ -105,6 +110,8 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 			break
 		}
 		rounds++
+		// Mark the round before its events so they land in its segment.
+		obs.MarkRound(col, rounds)
 		col.Count(obs.CtrRounds, 1)
 		col.Gauge(obs.GaugeLiveEdges, int64(len(alive)))
 		roundSpan := col.Span("boruvka-par.round")
@@ -120,7 +127,7 @@ func ParallelBoruvka(g *graph.CSR, opts Options) (f *Forest, err error) {
 		}
 		// Phase 2: per component root, add the winner and unite. comp[]
 		// still holds the pre-union labels, so roots are stable here.
-		won := par.ForCollectInto(p, n, 2048, ws.picks, winnerBody)
+		won := par.ForCollectIntoW(p, n, 2048, ws.picks, winnerBody)
 		// Winners chosen before a mid-phase-2 cancel are sound (phase 1 was
 		// complete), so they may join the partial result.
 		ids = append(ids, won...)

@@ -1,0 +1,585 @@
+package obs
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder.
+//
+// Recording (recording.go) answers "what were the totals": counter sums,
+// gauge maxima, a flat span timeline. The paper's empirical claims, though,
+// are about convergence *dynamics* — how fast LLP-Prim's early-fixing bag
+// drains, how many pointer-jumping sweeps each LLP-Boruvka contraction
+// round needs — and reproducing those curves requires the individual
+// samples, attributed to the worker and the round that produced them. The
+// FlightRecorder captures exactly that: per-worker sharded, fixed-capacity
+// ring buffers of typed events, written with one uncontended atomic claim
+// and zero allocations, plus always-current atomic aggregates (counter
+// totals, last/max gauge values, log-bucket span-duration histograms) that
+// live HTTP endpoints can read while a run is in flight.
+//
+// Overflow policy: each shard's ring holds the most recent EventCap events;
+// older ones are overwritten (Dropped reports how many). Aggregates are
+// exact regardless of overflow — only the event-by-event replay is bounded.
+
+// EventKind discriminates the typed events in a shard's ring.
+type EventKind uint8
+
+// The event kinds.
+const (
+	// EvCount is a counter delta: ID is the Counter, Value the delta.
+	EvCount EventKind = iota + 1
+	// EvGauge is a gauge sample: ID is the Gauge, Value the sample.
+	EvGauge
+	// EvSpanBegin opens a span: ID is the interned span name.
+	EvSpanBegin
+	// EvSpanEnd closes a span: ID is the interned span name, Value the
+	// duration in nanoseconds.
+	EvSpanEnd
+	// EvRound is a round marker: Value is the round number (see MarkRound).
+	EvRound
+)
+
+// Event is one recorded telemetry sample. The struct is exactly 32 bytes so
+// ring writes stay within one or two cache lines.
+type Event struct {
+	// TS is the event time in nanoseconds since the recorder's origin.
+	TS int64
+	// Value is the kind-specific payload (delta, sample, duration, round).
+	Value int64
+	// Seq is the per-shard monotone sequence number of the event.
+	Seq uint64
+	// Round is the round number current when the event was recorded.
+	Round int32
+	// Worker is the worker the event is attributed to (-1 for the driver).
+	Worker int16
+	// Kind discriminates the payload.
+	Kind EventKind
+	// ID is the Counter, Gauge, or interned span name, per Kind.
+	ID uint8
+}
+
+// DefaultEventCap is the per-shard ring capacity when NewFlightRecorder is
+// given eventCap <= 0: 16384 events * 32 bytes = 512 KiB per worker shard.
+const DefaultEventCap = 1 << 14
+
+// maxSpanNames bounds the span-name intern table; name 63 is the shared
+// overflow bucket, so a runaway caller degrades to coarse attribution
+// instead of growing without bound.
+const maxSpanNames = 64
+
+// histBuckets is the number of log2(ns) duration buckets: bucket i counts
+// durations d with bits.Len64(d) == i, i.e. d in [2^(i-1), 2^i). Bucket 47
+// (~1.6 days) absorbs everything longer.
+const histBuckets = 48
+
+// shard is one worker's event ring plus its always-current aggregates.
+// Only hot fields live near the claim cursor; the trailing pad keeps
+// adjacent shards' cursors and counter cells off each other's cache lines.
+type shard struct {
+	head atomic.Uint64 // total events ever claimed; ring slot = seq & mask
+	_    [56]byte      // the claim cursor gets a cache line to itself
+
+	buf    []Event
+	mask   uint64
+	worker int16
+
+	counters  [NumCounters]atomic.Int64
+	gaugeLast [NumGauges]atomic.Int64
+	gaugeMax  [NumGauges]atomic.Int64
+	gaugeTS   [NumGauges]atomic.Int64 // TS of the last sample (0 = never)
+
+	_ [64]byte // isolate this shard's aggregates from the next shard's head
+}
+
+// spanHist is a log-bucket duration histogram, shared across workers for
+// one span name (span ends are per-phase, not per-item, so the shared
+// atomics see no meaningful contention).
+type spanHist struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func (h *spanHist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.sumNS.Add(ns)
+	h.count.Add(1)
+}
+
+// quantile returns the upper bound (2^bucket nanoseconds) of the bucket
+// containing the q-th quantile, 0 when the histogram is empty.
+func (h *spanHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= want {
+			if b >= 63 {
+				return time.Duration(int64(^uint64(0) >> 1))
+			}
+			return time.Duration(int64(1) << uint(b))
+		}
+	}
+	return time.Duration(int64(1) << (histBuckets - 1))
+}
+
+// nameTable interns span names to small ids. Lookups of known names take a
+// read lock and allocate nothing; the first sighting of a new name takes
+// the write lock once. Names beyond maxSpanNames-1 share the overflow id.
+type nameTable struct {
+	mu    sync.RWMutex
+	ids   map[string]uint8
+	names []string
+}
+
+func (t *nameTable) id(name string) uint8 {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	if len(t.names) >= maxSpanNames-1 {
+		return maxSpanNames - 1 // shared overflow bucket
+	}
+	id = uint8(len(t.names))
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id
+}
+
+// name returns the interned name for id ("~overflow" for the shared
+// overflow bucket, which has no single name).
+func (t *nameTable) name(id uint8) string {
+	if id == maxSpanNames-1 {
+		return "~overflow"
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) < len(t.names) {
+		return t.names[id]
+	}
+	return "~unknown"
+}
+
+func (t *nameTable) snapshot() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Cursor is one worker's attributed view of a FlightRecorder: a Collector
+// whose events carry that worker's id. Count, Gauge, and Round are safe for
+// concurrent use from any number of goroutines (slots are claimed with an
+// atomic add); Span open/close tracking is per-cursor state, so spans on
+// one cursor must come from one goroutine at a time — exactly the runtime's
+// usage, where each scheduler worker holds its own cursor.
+type Cursor struct {
+	rec *FlightRecorder
+	s   *shard
+
+	// Span bookkeeping: open start times and cached end closures, one per
+	// interned span name. Closures are built on first use, so steady-state
+	// Span calls return a cached func and allocate nothing.
+	open [maxSpanNames]int64
+	ends [maxSpanNames]func()
+}
+
+// Span implements Tracer: it records an EvSpanBegin now and an EvSpanEnd
+// (carrying the duration, which also feeds the span's log-bucket histogram)
+// when the returned closer runs.
+func (c *Cursor) Span(name string) func() {
+	id := c.rec.names.id(name)
+	c.open[id] = c.rec.now()
+	c.rec.record(c.s, EvSpanBegin, id, 0)
+	end := c.ends[id]
+	if end == nil {
+		end = func() {
+			dur := c.rec.now() - c.open[id]
+			c.rec.hists[id].observe(dur)
+			c.rec.record(c.s, EvSpanEnd, id, dur)
+		}
+		c.ends[id] = end
+	}
+	return end
+}
+
+// Count implements Collector: the delta lands in the shard's running total
+// and in the ring as an EvCount event.
+func (c *Cursor) Count(ctr Counter, delta int64) {
+	c.s.counters[ctr].Add(delta)
+	c.rec.record(c.s, EvCount, uint8(ctr), delta)
+}
+
+// Gauge implements Collector, retaining both the last and the maximum
+// sample and appending an EvGauge event.
+func (c *Cursor) Gauge(g Gauge, v int64) {
+	s := c.s
+	s.gaugeLast[g].Store(v)
+	s.gaugeTS[g].Store(c.rec.now() + 1) // +1 so TS 0 still reads as "seen"
+	for {
+		cur := s.gaugeMax[g].Load()
+		if v <= cur || s.gaugeMax[g].CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	c.rec.record(s, EvGauge, uint8(g), v)
+}
+
+// Round implements RoundMarker: it advances the recorder's current round
+// (attributed to subsequent events from every worker) and drops an EvRound
+// marker on this cursor's track.
+func (c *Cursor) Round(r int64) {
+	c.rec.round.Store(r)
+	c.rec.record(c.s, EvRound, 0, r)
+}
+
+// FlightRecorder is the sharded, ring-buffered Collector. Construct with
+// NewFlightRecorder; the zero value is not usable. The recorder itself
+// implements Collector (events attributed to the driver track, worker -1),
+// RoundMarker, and WorkerAttributor — pass it as Options.Observer or carry
+// it on a context and the runtime's ForWorker calls pick up per-worker
+// attribution automatically.
+type FlightRecorder struct {
+	origin  time.Time
+	round   atomic.Int64
+	shards  []shard  // shards[0] = driver, shards[1..] = workers
+	cursors []Cursor // parallel to shards
+	names   nameTable
+	hists   [maxSpanNames]spanHist
+}
+
+// NewFlightRecorder returns a recorder with one driver shard plus workers
+// worker shards (GOMAXPROCS when workers <= 0; worker ids are folded modulo
+// the shard count, so any id is accepted). eventCap is the per-shard ring
+// capacity, rounded up to a power of two (DefaultEventCap when <= 0).
+func NewFlightRecorder(workers, eventCap int) *FlightRecorder {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if eventCap <= 0 {
+		eventCap = DefaultEventCap
+	}
+	capPow := 1
+	for capPow < eventCap {
+		capPow <<= 1
+	}
+	r := &FlightRecorder{
+		origin: time.Now(),
+		shards: make([]shard, workers+1),
+		names:  nameTable{ids: make(map[string]uint8, maxSpanNames)},
+	}
+	r.cursors = make([]Cursor, workers+1)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.buf = make([]Event, capPow)
+		s.mask = uint64(capPow - 1)
+		s.worker = int16(i - 1) // shard 0 is the driver, worker -1
+		r.cursors[i] = Cursor{rec: r, s: s}
+	}
+	return r
+}
+
+// now is the event clock: nanoseconds since the recorder's origin.
+func (r *FlightRecorder) now() int64 { return int64(time.Since(r.origin)) }
+
+// record claims the next ring slot with one uncontended atomic add and
+// fills it in place — no allocation, no lock, no shared cache line with
+// other shards.
+func (r *FlightRecorder) record(s *shard, k EventKind, id uint8, v int64) {
+	seq := s.head.Add(1) - 1
+	s.buf[seq&s.mask] = Event{
+		TS:     r.now(),
+		Value:  v,
+		Seq:    seq,
+		Round:  int32(r.round.Load()),
+		Worker: s.worker,
+		Kind:   k,
+		ID:     id,
+	}
+}
+
+// Worker implements WorkerAttributor: it returns the cursor whose events
+// are attributed to worker w (w < 0 selects the driver track). Cursors are
+// preallocated, so this is an index, not an allocation.
+func (r *FlightRecorder) Worker(w int) Collector {
+	if w < 0 {
+		return &r.cursors[0]
+	}
+	return &r.cursors[1+w%(len(r.cursors)-1)]
+}
+
+// driver is the cursor behind the recorder's own Collector facade.
+func (r *FlightRecorder) driver() *Cursor { return &r.cursors[0] }
+
+// Span implements Tracer on the driver track. See Cursor.Span for the
+// concurrency contract; unattributed concurrent span pairs should use
+// per-worker cursors (ForWorker) instead.
+func (r *FlightRecorder) Span(name string) func() { return r.driver().Span(name) }
+
+// Count implements Collector on the driver track (safe for concurrent use).
+func (r *FlightRecorder) Count(c Counter, delta int64) { r.driver().Count(c, delta) }
+
+// Gauge implements Collector on the driver track (safe for concurrent use).
+func (r *FlightRecorder) Gauge(g Gauge, v int64) { r.driver().Gauge(g, v) }
+
+// Round implements RoundMarker on the driver track.
+func (r *FlightRecorder) Round(rn int64) { r.driver().Round(rn) }
+
+// CurrentRound returns the most recently marked round number.
+func (r *FlightRecorder) CurrentRound() int64 { return r.round.Load() }
+
+// Counter returns the accumulated total for c across all shards.
+func (r *FlightRecorder) Counter(c Counter) int64 {
+	var t int64
+	for i := range r.shards {
+		t += r.shards[i].counters[c].Load()
+	}
+	return t
+}
+
+// CounterWorker returns worker w's share of counter c (w < 0: the driver).
+func (r *FlightRecorder) CounterWorker(c Counter, w int) int64 {
+	i := 0
+	if w >= 0 {
+		i = 1 + w%(len(r.cursors)-1)
+	}
+	return r.shards[i].counters[c].Load()
+}
+
+// GaugeMax returns the maximum sample of g across all shards (0 if never
+// sampled).
+func (r *FlightRecorder) GaugeMax(g Gauge) int64 {
+	var m int64
+	for i := range r.shards {
+		if v := r.shards[i].gaugeMax[g].Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// GaugeLast returns the most recent sample of g across all shards and
+// whether g was ever sampled.
+func (r *FlightRecorder) GaugeLast(g Gauge) (int64, bool) {
+	var v, best int64
+	seen := false
+	for i := range r.shards {
+		ts := r.shards[i].gaugeTS[g].Load()
+		if ts > best {
+			best = ts
+			v = r.shards[i].gaugeLast[g].Load()
+			seen = true
+		}
+	}
+	return v, seen
+}
+
+// Recorded returns the total number of events ever recorded, and Dropped
+// how many of them have been overwritten by ring wrap-around.
+func (r *FlightRecorder) Recorded() uint64 {
+	var t uint64
+	for i := range r.shards {
+		t += r.shards[i].head.Load()
+	}
+	return t
+}
+
+// Dropped returns the number of recorded events no longer in the rings.
+func (r *FlightRecorder) Dropped() uint64 {
+	var t uint64
+	for i := range r.shards {
+		s := &r.shards[i]
+		if h := s.head.Load(); h > uint64(len(s.buf)) {
+			t += h - uint64(len(s.buf))
+		}
+	}
+	return t
+}
+
+// Events returns a merged snapshot of every shard's surviving events,
+// sorted by timestamp (sequence number breaking ties within a shard).
+// In-flight slots — claimed but not yet fully written — are filtered by
+// their stale sequence numbers, so a snapshot taken mid-run is a consistent
+// sample; for exact replay, snapshot after the run has joined.
+func (r *FlightRecorder) Events() []Event {
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		head := s.head.Load()
+		n := uint64(len(s.buf))
+		lo := uint64(0)
+		if head > n {
+			lo = head - n
+		}
+		for seq := lo; seq < head; seq++ {
+			e := s.buf[seq&s.mask]
+			if e.Seq == seq && e.Kind != 0 {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// SpanName returns the interned span name behind an EvSpanBegin/EvSpanEnd
+// event's ID.
+func (r *FlightRecorder) SpanName(id uint8) string { return r.names.name(id) }
+
+// SpanSummary is the latency digest of one span name: how many times it
+// closed, total time inside it, and log-bucket quantiles.
+type SpanSummary struct {
+	Name          string
+	Count         int64
+	Sum           time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// SpanSummary returns the digest for one span name and whether that span
+// ever closed.
+func (r *FlightRecorder) SpanSummary(name string) (SpanSummary, bool) {
+	for id, n := range r.names.snapshot() {
+		if n == name {
+			h := &r.hists[id]
+			if h.count.Load() == 0 {
+				return SpanSummary{Name: name}, false
+			}
+			return r.summarize(uint8(id), name), true
+		}
+	}
+	return SpanSummary{Name: name}, false
+}
+
+// SpanSummaries returns digests for every span name that closed at least
+// once, sorted by name.
+func (r *FlightRecorder) SpanSummaries() []SpanSummary {
+	names := r.names.snapshot()
+	var out []SpanSummary
+	for id, n := range names {
+		if r.hists[id].count.Load() > 0 {
+			out = append(out, r.summarize(uint8(id), n))
+		}
+	}
+	if r.hists[maxSpanNames-1].count.Load() > 0 {
+		out = append(out, r.summarize(maxSpanNames-1, "~overflow"))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *FlightRecorder) summarize(id uint8, name string) SpanSummary {
+	h := &r.hists[id]
+	return SpanSummary{
+		Name:  name,
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sumNS.Load()),
+		P50:   h.quantile(0.50),
+		P95:   h.quantile(0.95),
+		P99:   h.quantile(0.99),
+	}
+}
+
+// RoundStats aggregates one round segment of the event stream: the counter
+// deltas and final gauge samples between two consecutive round markers.
+type RoundStats struct {
+	// Round is the number the segment's opening marker carried.
+	Round int64
+	// Start and End bound the segment on the recorder's timeline.
+	Start, End time.Duration
+	// Counters holds the summed counter deltas recorded in the segment.
+	Counters [NumCounters]int64
+	// Gauges holds each gauge's last sample in the segment; GaugeSeen says
+	// whether the gauge was sampled at all (Gauges is 0 otherwise).
+	Gauges    [NumGauges]int64
+	GaugeSeen [NumGauges]bool
+}
+
+// Counter returns the segment's delta for c.
+func (rs *RoundStats) Counter(c Counter) int64 { return rs.Counters[c] }
+
+// Gauge returns the segment's last sample of g and whether g was sampled.
+func (rs *RoundStats) Gauge(g Gauge) (int64, bool) { return rs.Gauges[g], rs.GaugeSeen[g] }
+
+// RoundSeries converts the surviving event stream into per-round segments:
+// the stream is walked in time order and cut at every round marker
+// (MarkRound), so successive algorithm runs that restart their round
+// numbering yield successive segments rather than merged rounds. A leading
+// segment before the first marker is included only when it recorded
+// counters or gauges. This is the view behind the convergence curves:
+// live edges per Boruvka round, jump advances per sweep, early-fix vs
+// heap-pop mix per LLP-Prim wave.
+func (r *FlightRecorder) RoundSeries() []RoundStats {
+	events := r.Events()
+	var out []RoundStats
+	var cur *RoundStats
+	content := false // current segment recorded at least one count/gauge
+	open := func(round int64, ts int64) {
+		out = append(out, RoundStats{Round: round, Start: time.Duration(ts), End: time.Duration(ts)})
+		cur = &out[len(out)-1]
+		content = false
+	}
+	for _, e := range events {
+		if e.Kind == EvRound {
+			if cur != nil && !content && cur.Round == 0 && len(out) == 1 {
+				out = out[:0] // drop the empty pre-round prologue
+			}
+			open(e.Value, e.TS)
+			continue
+		}
+		if cur == nil {
+			open(0, e.TS)
+		}
+		if time.Duration(e.TS) > cur.End {
+			cur.End = time.Duration(e.TS)
+		}
+		switch e.Kind {
+		case EvCount:
+			cur.Counters[e.ID] += e.Value
+			content = true
+		case EvGauge:
+			cur.Gauges[e.ID] = e.Value
+			cur.GaugeSeen[e.ID] = true
+			content = true
+		}
+	}
+	if cur != nil && !content && cur.Round == 0 && len(out) == 1 {
+		out = out[:0]
+	}
+	return out
+}

@@ -105,6 +105,12 @@ const (
 	// GaugeLiveEdges is the surviving edge count entering a contraction
 	// round.
 	GaugeLiveEdges
+	// GaugeHeapSize is the priority-queue size at a wave boundary (Prim
+	// family).
+	GaugeHeapSize
+	// GaugeGHSActive is the number of still-active nodes entering a GHS
+	// phase.
+	GaugeGHSActive
 
 	// NumGauges is the number of defined gauges (array sizing).
 	NumGauges
@@ -119,6 +125,10 @@ func (g Gauge) String() string {
 		return "frontier"
 	case GaugeLiveEdges:
 		return "live_edges"
+	case GaugeHeapSize:
+		return "heap.size"
+	case GaugeGHSActive:
+		return "ghs.active"
 	}
 	return "gauge(?)"
 }
@@ -168,4 +178,87 @@ func Or(col Collector) Collector {
 		return Nop{}
 	}
 	return col
+}
+
+// RoundMarker is implemented by collectors that segment their event stream
+// into algorithm rounds (waves, contraction rounds, GHS phases). Collectors
+// that only keep totals ignore round structure and need not implement it.
+type RoundMarker interface {
+	// Round declares that round r is starting now.
+	Round(r int64)
+}
+
+// MarkRound tells col that round r is starting, if col tracks rounds, and
+// is free otherwise. Round numbering is per-run and may restart; round-
+// aware collectors segment chronologically rather than keying on r.
+func MarkRound(col Collector, r int64) {
+	if m, ok := col.(RoundMarker); ok {
+		m.Round(r)
+	}
+}
+
+// WorkerAttributor is implemented by collectors that can attribute events
+// to individual workers (the FlightRecorder's per-worker shards).
+type WorkerAttributor interface {
+	// Worker returns a Collector whose events carry worker id w.
+	Worker(w int) Collector
+}
+
+// ForWorker returns col's view attributed to worker w when col supports
+// attribution, and col itself otherwise — callers instrument per-worker
+// code unconditionally and pay nothing when attribution is off.
+func ForWorker(col Collector, w int) Collector {
+	if a, ok := col.(WorkerAttributor); ok {
+		return a.Worker(w)
+	}
+	return col
+}
+
+// tee fans every Collector call out to two collectors, forwarding round
+// marks and worker attribution to whichever side supports them.
+type tee struct {
+	a, b Collector
+}
+
+// Tee returns a Collector that forwards to both a and b. Nil or Nop sides
+// collapse, so Tee(col, Nop{}) == col. The combined Span allocates one
+// closure per call; use Tee for driver-level plumbing (mstbench combining a
+// Recording with a FlightRecorder), not on per-item hot paths.
+func Tee(a, b Collector) Collector {
+	if a == nil || a == (Nop{}) {
+		return Or(b)
+	}
+	if b == nil || b == (Nop{}) {
+		return a
+	}
+	return tee{a, b}
+}
+
+// Span implements Tracer by opening the span on both sides.
+func (t tee) Span(name string) func() {
+	ea, eb := t.a.Span(name), t.b.Span(name)
+	return func() { ea(); eb() }
+}
+
+// Count implements Collector on both sides.
+func (t tee) Count(c Counter, delta int64) {
+	t.a.Count(c, delta)
+	t.b.Count(c, delta)
+}
+
+// Gauge implements Collector on both sides.
+func (t tee) Gauge(g Gauge, v int64) {
+	t.a.Gauge(g, v)
+	t.b.Gauge(g, v)
+}
+
+// Round implements RoundMarker on whichever sides track rounds.
+func (t tee) Round(r int64) {
+	MarkRound(t.a, r)
+	MarkRound(t.b, r)
+}
+
+// Worker implements WorkerAttributor by attributing both sides.
+func (t tee) Worker(w int) Collector {
+	return tee{ForWorker(t.a, w), ForWorker(t.b, w)}
 }

@@ -125,15 +125,37 @@ func TestContextCarriesCollector(t *testing.T) {
 	}
 }
 
+// TestEnumNames is the exhaustiveness gate for the counter/gauge enums: a
+// newly added value must get a name (else it silently prints "counter(?)"
+// in every report) and must not reuse an existing one (else two series
+// merge in Prometheus/CSV output).
 func TestEnumNames(t *testing.T) {
+	ctrNames := make(map[string]Counter, NumCounters)
 	for c := Counter(0); c < NumCounters; c++ {
-		if c.String() == "counter(?)" {
+		name := c.String()
+		if name == "counter(?)" {
 			t.Fatalf("counter %d has no name", c)
 		}
+		if prev, dup := ctrNames[name]; dup {
+			t.Fatalf("counters %d and %d share the name %q", prev, c, name)
+		}
+		ctrNames[name] = c
 	}
+	if NumCounters.String() != "counter(?)" {
+		t.Fatalf("NumCounters is not a real counter but stringifies to %q", NumCounters.String())
+	}
+	gaugeNames := make(map[string]Gauge, NumGauges)
 	for g := Gauge(0); g < NumGauges; g++ {
-		if g.String() == "gauge(?)" {
+		name := g.String()
+		if name == "gauge(?)" {
 			t.Fatalf("gauge %d has no name", g)
 		}
+		if prev, dup := gaugeNames[name]; dup {
+			t.Fatalf("gauges %d and %d share the name %q", prev, g, name)
+		}
+		gaugeNames[name] = g
+	}
+	if NumGauges.String() != "gauge(?)" {
+		t.Fatalf("NumGauges is not a real gauge but stringifies to %q", NumGauges.String())
 	}
 }

@@ -24,11 +24,14 @@ type Recording struct {
 }
 
 // SpanRecord is one completed phase: name plus start offset and duration
-// relative to the recording's origin.
+// relative to the recording's origin. Start and Dur are time.Durations, so
+// direct JSON serialization yields nanoseconds — the tags say so.
+// (WriteTimeline converts to microseconds and tags those fields start_us/
+// dur_us; the two paths previously disagreed on units under the same tag.)
 type SpanRecord struct {
 	Name  string        `json:"name"`
-	Start time.Duration `json:"start_us"`
-	Dur   time.Duration `json:"dur_us"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
 }
 
 // NewRecording returns an empty recording whose timeline origin is now.

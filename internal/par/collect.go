@@ -48,3 +48,41 @@ func ForCollectInto[T any](p, n, grain int, buf []T, body func(lo, hi int, out [
 	}
 	return out
 }
+
+// ForCollectIntoW is ForCollectInto with the worker's index passed to body
+// (see ForW): body(w, lo, hi, out) may attribute its side effects — span
+// timings, counter deltas — to worker w. The sequential fast path passes
+// w = 0 and appends into buf[:0] directly, preserving ForCollectInto's
+// zero-steady-state-allocation property.
+func ForCollectIntoW[T any](p, n, grain int, buf []T, body func(w, lo, hi int, out []T) []T) []T {
+	if n <= 0 {
+		return buf[:0]
+	}
+	p = Workers(p)
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if p == 1 || n <= grain {
+		return body(0, 0, n, buf[:0])
+	}
+	nchunks := (n + grain - 1) / grain
+	results := make(chan []T, nchunks)
+	ForW(p, n, grain, func(w, lo, hi int) {
+		results <- body(w, lo, hi, nil)
+	})
+	close(results)
+	var total int
+	bufs := make([][]T, 0, nchunks)
+	for b := range results {
+		bufs = append(bufs, b)
+		total += len(b)
+	}
+	out := buf[:0]
+	if cap(out) < total {
+		out = make([]T, 0, total)
+	}
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

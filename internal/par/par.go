@@ -70,6 +70,52 @@ func For(p, n, grain int, body func(lo, hi int)) {
 	panics.Rethrow()
 }
 
+// ForW is For with the worker's index passed to body: body(w, lo, hi) may
+// use w (in [0, p)) to select per-worker state — an attributed collector
+// shard, a padded counter cell — without any further coordination. The
+// sequential fast path passes w = 0. Chunk scheduling is identical to For.
+func ForW(p, n, grain int, body func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p = Workers(p)
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if p == 1 || n <= grain {
+		body(0, 0, n)
+		return
+	}
+	if max := (n + grain - 1) / grain; p > max {
+		p = max
+	}
+	var next atomic.Int64
+	var panics PanicBox
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(self int) {
+			cur := -1
+			defer wg.Done()
+			defer func() { panics.Capture(recover(), cur) }()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				cur = lo
+				body(self, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	panics.Rethrow()
+}
+
 // ForEach runs body(i) for every i in [0, n) using p workers. Convenience
 // wrapper over For for element-wise loops. The sequential cases loop inline
 // rather than going through For, so they allocate nothing (no wrapper

@@ -134,10 +134,14 @@ func (b *Bag[T]) runSingle(cc *par.Canceller, initial []T, process func(item T, 
 			break
 		}
 	}
-	col.Count(obs.CtrSchedPush, b.pushes)
-	col.Count(obs.CtrSchedPop, pops)
-	col.Count(obs.CtrSchedPanics, int64(b.panics.Count()))
-	col.Gauge(obs.GaugeQueueDepth, depth)
+	// Flush through the worker-0 view so round/worker-aware collectors
+	// (obs.FlightRecorder) attribute the single worker's traffic correctly;
+	// plain collectors pass through unchanged.
+	wcol := obs.ForWorker(col, 0)
+	wcol.Count(obs.CtrSchedPush, b.pushes)
+	wcol.Count(obs.CtrSchedPop, pops)
+	wcol.Count(obs.CtrSchedPanics, int64(b.panics.Count()))
+	wcol.Gauge(obs.GaugeQueueDepth, depth)
 	return aborted, b.panics.Err()
 }
 
@@ -179,6 +183,12 @@ func forEachAsync[T any](b *Bag[T], cc *par.Canceller, p int, initial []T, proce
 			// is boxed too instead of killing the process.
 			defer func() { panics.Capture(recover(), -1) }()
 			my := &queues[self]
+			// wcol is this worker's attributed view of the collector: a
+			// flight recorder hands back the worker's own shard (events carry
+			// the worker id, writes stay on the worker's cache lines), plain
+			// collectors pass through unchanged.
+			wcol := obs.ForWorker(col, self)
+			endWorker := wcol.Span("sched.worker")
 			var pushes, pops, steals, depth int64
 			items := 0
 			defer func() {
@@ -190,10 +200,11 @@ func forEachAsync[T any](b *Bag[T], cc *par.Canceller, p int, initial []T, proce
 					panics.Capture(r, items-1)
 					stopped.Store(true)
 				}
-				col.Count(obs.CtrSchedPush, pushes)
-				col.Count(obs.CtrSchedPop, pops)
-				col.Count(obs.CtrSchedSteal, steals)
-				col.Gauge(obs.GaugeQueueDepth, depth)
+				wcol.Count(obs.CtrSchedPush, pushes)
+				wcol.Count(obs.CtrSchedPop, pops)
+				wcol.Count(obs.CtrSchedSteal, steals)
+				wcol.Gauge(obs.GaugeQueueDepth, depth)
+				endWorker()
 			}()
 			push := func(x T) {
 				pending.Add(1)
@@ -380,6 +391,7 @@ func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) u
 		bins[prio(x)] = append(bins[prio(x)], x)
 	}
 	col.Count(obs.CtrSchedPush, int64(len(initial)))
+	var levels int64
 	for len(bins) > 0 {
 		if cc.Poll() {
 			return true, nil
@@ -395,6 +407,10 @@ func forEachOrdered[T any](cc *par.Canceller, p int, initial []T, prio func(T) u
 		level := bins[cur]
 		delete(bins, cur)
 		col.Count(obs.CtrSchedLevels, 1)
+		levels++
+		// Each priority level is one "round" of the level-synchronous
+		// schedule; round-aware collectors segment their series here.
+		obs.MarkRound(col, levels)
 		for len(level) > 0 {
 			if cc.Poll() {
 				return true, nil

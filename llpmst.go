@@ -221,6 +221,48 @@ func WithObserver(ctx context.Context, col Observer) context.Context {
 	return obs.NewContext(ctx, col)
 }
 
+// FlightRecorder is an always-on, allocation-free Observer: per-worker ring
+// buffers of timestamped events (spans, counter deltas, gauge samples, round
+// markers) with worker and round attribution. After — or during — a run,
+// query RoundSeries for per-round convergence data (live edges, pointer-jump
+// work, early-fix vs heap traffic), SpanSummaries for log-bucket latency
+// digests, or export the capture with WriteChromeTrace (Perfetto-loadable,
+// one track per worker), WritePrometheus / WriteProgress (the payloads
+// behind mstbench's /metrics and /progress endpoints), and WriteRoundCSV.
+type FlightRecorder = obs.FlightRecorder
+
+// RoundStats is one round's segment of a FlightRecorder capture: counter
+// deltas and last gauge samples between consecutive round markers.
+type RoundStats = obs.RoundStats
+
+// SpanSummary is a FlightRecorder latency digest for one span name: count,
+// total, and p50/p95/p99 from log-2 nanosecond buckets.
+type SpanSummary = obs.SpanSummary
+
+// NewFlightRecorder returns a FlightRecorder with one event ring per worker
+// (plus one for the driver). workers <= 0 sizes for GOMAXPROCS; eventCap <= 0
+// picks the default per-ring capacity. Rings overwrite oldest events when
+// full, so a recorder is safe to leave attached to unbounded work.
+func NewFlightRecorder(workers, eventCap int) *FlightRecorder {
+	return obs.NewFlightRecorder(workers, eventCap)
+}
+
+// The observer counter and gauge identities most useful with a
+// FlightRecorder's RoundSeries: contraction and pointer-jumping work for the
+// Boruvka family, early-fix vs heap traffic for the Prim family.
+const (
+	CtrRounds       = obs.CtrRounds
+	CtrJumpRounds   = obs.CtrJumpRounds
+	CtrJumpAdvances = obs.CtrJumpAdvances
+	CtrEarlyFix     = obs.CtrEarlyFix
+	CtrHeapPush     = obs.CtrHeapPush
+	CtrHeapPop      = obs.CtrHeapPop
+
+	GaugeLiveEdges = obs.GaugeLiveEdges
+	GaugeFrontier  = obs.GaugeFrontier
+	GaugeHeapSize  = obs.GaugeHeapSize
+)
+
 // IncrementalMSF maintains a minimum spanning forest under online edge
 // insertions; see NewIncrementalMSF.
 type IncrementalMSF = mst.Incremental
