@@ -10,7 +10,9 @@
 //	mstbench -exp perf -json-out .        # snapshot BENCH_perf.json for the trajectory
 //
 // Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, perf,
-// conv, dist, chaos (also via -chaos, seeded by -chaos-seed), all.
+// conv, dist, chaos (also via -chaos, seeded by -chaos-seed), hedge (also
+// via -hedge: tail latency through the resilient runner, with and without
+// hedging), all.
 // Scales: test (~1k vertices), s (~65k), m (~260k), l (~1M).
 package main
 
@@ -43,24 +45,26 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mstbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|perf|conv|dist|chaos|all")
-		scale     = fs.String("scale", "s", "dataset scale: test|s|m|l")
-		trials    = fs.Int("trials", 3, "trials per cell (best time is reported)")
-		threads   = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
-		low       = fs.Int("low", 4, "low worker count for fig4")
-		high      = fs.Int("high", 32, "high worker count for fig4")
-		workers   = fs.Int("workers", 8, "worker count for sizesweep and ablation")
-		csvPath   = fs.String("csv", "", "also write timing rows as CSV to this path")
-		jsonOut   = fs.String("json-out", "", "also write one machine-readable BENCH_<experiment>.json per executed experiment into this directory")
-		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
-		memProf   = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
-		timeout   = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit); a timed-out run still reports completed rows")
-		traceOut  = fs.String("trace-out", "", "write the runtime phase timeline (spans, counters, gauge maxima) as JSON to this path")
-		chromeOut = fs.String("chrome-trace", "", "write a Chrome Trace Event JSON (load in Perfetto/chrome://tracing; one track per worker, round markers) to this path")
-		roundCSV  = fs.String("round-csv", "", "write the per-round convergence series (counter deltas and gauge samples per round) as CSV to this path")
-		pprofSrv  = fs.String("pprof", "", "serve net/http/pprof plus live /metrics (Prometheus) and /progress (JSON) on this address (e.g. localhost:6060) for the duration of the run")
-		chaos     = fs.Bool("chaos", false, "also run the distributed protocol over a lossy network (drop=0.2 dup=0.1 reorder) and report recovery costs")
-		chaosSeed = fs.Int64("chaos-seed", 1, "fault-injection seed for -chaos (identical seeds reproduce identical runs)")
+		exp        = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|perf|conv|dist|chaos|hedge|all")
+		scale      = fs.String("scale", "s", "dataset scale: test|s|m|l")
+		trials     = fs.Int("trials", 3, "trials per cell (best time is reported)")
+		threads    = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
+		low        = fs.Int("low", 4, "low worker count for fig4")
+		high       = fs.Int("high", 32, "high worker count for fig4")
+		workers    = fs.Int("workers", 8, "worker count for sizesweep and ablation")
+		csvPath    = fs.String("csv", "", "also write timing rows as CSV to this path")
+		jsonOut    = fs.String("json-out", "", "also write one machine-readable BENCH_<experiment>.json per executed experiment into this directory")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this path")
+		memProf    = fs.String("memprofile", "", "write a heap profile after the experiments to this path")
+		timeout    = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no limit); a timed-out run still reports completed rows")
+		traceOut   = fs.String("trace-out", "", "write the runtime phase timeline (spans, counters, gauge maxima) as JSON to this path")
+		chromeOut  = fs.String("chrome-trace", "", "write a Chrome Trace Event JSON (load in Perfetto/chrome://tracing; one track per worker, round markers) to this path")
+		roundCSV   = fs.String("round-csv", "", "write the per-round convergence series (counter deltas and gauge samples per round) as CSV to this path")
+		pprofSrv   = fs.String("pprof", "", "serve net/http/pprof plus live /metrics (Prometheus) and /progress (JSON) on this address (e.g. localhost:6060) for the duration of the run")
+		chaos      = fs.Bool("chaos", false, "also run the distributed protocol over a lossy network (drop=0.2 dup=0.1 reorder) and report recovery costs")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "fault-injection seed for -chaos (identical seeds reproduce identical runs)")
+		hedge      = fs.Bool("hedge", false, "also route the bench loop through the resilient runner and report p50/p95/p99 tail latency with and without hedging")
+		hedgeIters = fs.Int("hedge-iters", 40, "solves per dataset and mode for -hedge")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -213,6 +217,26 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return out, nil
 		}},
+	}
+	if *hedge || *exp == "hedge" {
+		steps = append(steps, struct {
+			name string
+			f    func() ([]bench.Result, error)
+		}{"hedge", func() ([]bench.Result, error) {
+			rows, err := bench.HedgeCtx(ctx, stdout, sc, *hedgeIters, *workers, *chaosSeed)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]bench.Result, 0, len(rows))
+			for _, r := range rows {
+				out = append(out, bench.Result{
+					Experiment: "hedge", Dataset: r.Dataset,
+					Algorithm: "resilient-" + r.Mode, Workers: *workers,
+					Millis: r.P99Ms, MedianMs: r.P50Ms,
+				})
+			}
+			return out, nil
+		}})
 	}
 	if *chaos || *exp == "chaos" {
 		steps = append(steps, struct {

@@ -1,0 +1,369 @@
+// Command mstserve serves minimum-spanning-forest solves over HTTP through
+// the resilient execution engine: every request passes admission control,
+// per-algorithm circuit breakers, hedged portfolio execution, a sampled
+// verification gate, and — when the portfolio is exhausted — the sequential
+// Kruskal fallback.
+//
+// Endpoints:
+//
+//	POST /solve    graph in the body (binary .llpg or DIMACS .gr, sniffed
+//	               by magic); ?deadline=2s overrides the default budget,
+//	               ?edges=1 includes the forest's edge ids in the reply
+//	GET  /healthz  200 while serving, 503 once draining
+//	GET  /metrics  Prometheus text: flight-recorder counters and spans,
+//	               breaker states, and runner lifetime stats
+//
+// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503 so load
+// balancers stop routing, in-flight solves (and their hedge losers) finish,
+// and the process exits 0.
+//
+// The -chaos-* flags inject seeded panics and delays into portfolio legs
+// (never the fallback) for resilience drills:
+//
+//	mstserve -addr :8080 -chaos-panic 0.2 -chaos-seed 7
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"llpmst/internal/fault"
+	"llpmst/internal/graph"
+	"llpmst/internal/mst"
+	"llpmst/internal/obs"
+	"llpmst/internal/resilient"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mstserve:", err)
+		os.Exit(1)
+	}
+}
+
+// serverConfig is everything run parses from flags, separated so tests can
+// build servers directly.
+type serverConfig struct {
+	workers     int
+	deadline    time.Duration
+	maxDeadline time.Duration
+	maxBody     int64
+	resilient   resilient.Config
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mstserve", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		workers       = fs.Int("workers", 0, "per-solve worker count (0 = GOMAXPROCS)")
+		deadline      = fs.Duration("deadline", 30*time.Second, "default per-request solve budget")
+		maxDeadline   = fs.Duration("max-deadline", 5*time.Minute, "cap on client-requested ?deadline")
+		maxBody       = fs.Int64("max-body", 256<<20, "largest accepted request body in bytes")
+		primary       = fs.String("primary", "", "primary algorithm (empty = auto by density)")
+		backup        = fs.String("backup", "", "backup algorithm (empty = auto complement)")
+		hedgeDelay    = fs.Duration("hedge-delay", 0, "fixed hedge delay (0 = adaptive from learned tails)")
+		noHedge       = fs.Bool("no-hedge", false, "disable hedging; backup runs only after the primary fails")
+		verifyRate    = fs.Float64("verify-rate", 0.05, "fraction of wins additionally checked with VerifyMinimum")
+		maxConc       = fs.Int("max-concurrent", 0, "admitted solves in flight (0 = 2x GOMAXPROCS, <0 = unbounded)")
+		memBudget     = fs.Int64("mem-budget", 0, "scratch-memory admission budget in bytes (0 = unlimited)")
+		tripAfter     = fs.Int("breaker-trip", 3, "consecutive failures that open an algorithm's breaker")
+		cooldown      = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget after SIGTERM")
+		chaosSeed     = fs.Int64("chaos-seed", 1, "seed for the chaos fault plan")
+		chaosPanic    = fs.Float64("chaos-panic", 0, "probability a portfolio leg panics")
+		chaosDelay    = fs.Float64("chaos-delay", 0, "probability a portfolio leg stalls")
+		chaosMaxDelay = fs.Int("chaos-max-delay", 4, "stall length bound, in chaos units")
+		chaosUnit     = fs.Duration("chaos-unit", 2*time.Millisecond, "duration of one chaos stall unit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, name := range []string{*primary, *backup} {
+		if name != "" && !knownAlgorithm(mst.Algorithm(name)) {
+			return fmt.Errorf("unknown algorithm %q (known: %v)", name, mst.Algorithms())
+		}
+	}
+
+	cfg := serverConfig{
+		workers:     *workers,
+		deadline:    *deadline,
+		maxDeadline: *maxDeadline,
+		maxBody:     *maxBody,
+		resilient: resilient.Config{
+			Primary:           mst.Algorithm(*primary),
+			Backup:            mst.Algorithm(*backup),
+			Workers:           *workers,
+			HedgeDelay:        *hedgeDelay,
+			DisableHedge:      *noHedge,
+			VerifyRate:        *verifyRate,
+			MaxConcurrent:     *maxConc,
+			MemoryBudgetBytes: *memBudget,
+			BreakerTripAfter:  *tripAfter,
+			BreakerCooldown:   *cooldown,
+		},
+	}
+	if *chaosPanic > 0 || *chaosDelay > 0 {
+		cfg.resilient.Chaos = &resilient.Chaos{
+			Plan: fault.Plan{
+				Seed:    *chaosSeed,
+				Default: fault.Probs{Drop: *chaosPanic, Delay: *chaosDelay, MaxDelay: *chaosMaxDelay},
+			},
+			Unit: *chaosUnit,
+		}
+		fmt.Fprintf(stdout, "chaos enabled: panic=%.2f delay=%.2f seed=%d\n", *chaosPanic, *chaosDelay, *chaosSeed)
+	}
+
+	srv := newServer(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.handler()}
+	fmt.Fprintf(stdout, "mstserve listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "signal %v: draining\n", sig)
+	}
+
+	srv.draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := srv.runner.Drain(ctx); err != nil {
+		return fmt.Errorf("leg drain: %w", err)
+	}
+	st := srv.runner.Stats()
+	fmt.Fprintf(stdout, "drained: %d solves, %d shed, %d hedges (%d won), %d fallbacks\n",
+		st.Solves, st.Shed, st.HedgesLaunched, st.HedgeWins, st.FallbacksUsed)
+	return nil
+}
+
+func knownAlgorithm(alg mst.Algorithm) bool {
+	for _, a := range mst.Algorithms() {
+		if a == alg {
+			return true
+		}
+	}
+	return false
+}
+
+// server bundles the resilient runner with its flight recorder and drain
+// state.
+type server struct {
+	cfg      serverConfig
+	runner   *resilient.Runner
+	flight   *obs.FlightRecorder
+	draining atomic.Bool
+}
+
+func newServer(cfg serverConfig) *server {
+	flight := obs.NewFlightRecorder(1, 1<<16)
+	rcfg := cfg.resilient
+	rcfg.Observer = flight
+	if cfg.deadline > 0 {
+		rcfg.DefaultDeadline = cfg.deadline
+	}
+	return &server{cfg: cfg, runner: resilient.New(rcfg), flight: flight}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// solveReply is the /solve response body.
+type solveReply struct {
+	Vertices    int      `json:"vertices"`
+	Edges       int      `json:"edges"`
+	ForestEdges int      `json:"forest_edges"`
+	Weight      float64  `json:"weight"`
+	Algorithm   string   `json:"algorithm"`
+	Hedged      bool     `json:"hedged"`
+	HedgeWon    bool     `json:"hedge_won"`
+	Fallback    bool     `json:"fallback_used"`
+	Verified    bool     `json:"verified"`
+	Attempts    int      `json:"attempts"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
+	EdgeIDs     []uint32 `json:"edge_ids,omitempty"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST a graph (.llpg binary or DIMACS .gr) to /solve", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	g, err := s.readGraph(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	budget := s.cfg.deadline
+	if raw := req.URL.Query().Get("deadline"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("bad deadline %q", raw), http.StatusBadRequest)
+			return
+		}
+		budget = d
+	}
+	if s.cfg.maxDeadline > 0 && budget > s.cfg.maxDeadline {
+		budget = s.cfg.maxDeadline
+	}
+	ctx := req.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+
+	res, err := s.runner.Solve(ctx, g)
+	switch {
+	case err == nil:
+	case errors.Is(err, resilient.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status code is for the log line only.
+		http.Error(w, err.Error(), 499)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	reply := solveReply{
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		ForestEdges: len(res.Forest.EdgeIDs),
+		Weight:      res.Forest.Weight,
+		Algorithm:   string(res.Algorithm),
+		Hedged:      res.Hedged,
+		HedgeWon:    res.HedgeWon,
+		Fallback:    res.FallbackUsed,
+		Verified:    res.Verified,
+		Attempts:    res.Attempts,
+		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if req.URL.Query().Get("edges") == "1" {
+		reply.EdgeIDs = res.Forest.EdgeIDs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+// readGraph sniffs the body's leading magic bytes: the binary format's
+// "GPLL" header selects ReadBinary, anything else is parsed as DIMACS.
+func (s *server) readGraph(req *http.Request) (*graph.CSR, error) {
+	body := bufio.NewReaderSize(http.MaxBytesReader(nil, req.Body, s.cfg.maxBody), 1<<16)
+	magic, err := body.Peek(4)
+	if err != nil && len(magic) == 0 {
+		return nil, fmt.Errorf("empty request body: %v", err)
+	}
+	if bytes.Equal(magic, []byte("GPLL")) {
+		return graph.ReadBinary(s.cfg.workers, body)
+	}
+	return graph.ReadDIMACS(s.cfg.workers, body)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	st := s.runner.Stats()
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"solves\":%d,\"shed\":%d}\n", status, st.Solves, st.Shed)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var buf bytes.Buffer
+	if err := s.flight.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBreakerMetrics(&buf, s.runner)
+	writeRunnerMetrics(&buf, s.runner.Stats())
+	_, _ = w.Write(buf.Bytes())
+}
+
+// writeBreakerMetrics appends per-algorithm breaker gauges to the
+// flight-recorder export.
+func writeBreakerMetrics(w io.Writer, r *resilient.Runner) {
+	brs := r.Breakers()
+	if len(brs) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# HELP llpmst_breaker_state Circuit breaker position per algorithm (0=closed, 1=open, 2=half-open).")
+	fmt.Fprintln(w, "# TYPE llpmst_breaker_state gauge")
+	for _, b := range brs {
+		fmt.Fprintf(w, "llpmst_breaker_state{algorithm=%q} %d\n", string(b.Algorithm), int(b.State))
+	}
+	fmt.Fprintln(w, "# HELP llpmst_breaker_trips_total Lifetime breaker open transitions per algorithm.")
+	fmt.Fprintln(w, "# TYPE llpmst_breaker_trips_total counter")
+	for _, b := range brs {
+		fmt.Fprintf(w, "llpmst_breaker_trips_total{algorithm=%q} %d\n", string(b.Algorithm), b.Trips)
+	}
+}
+
+// writeRunnerMetrics appends the runner's lifetime stats.
+func writeRunnerMetrics(w io.Writer, st resilient.Stats) {
+	fmt.Fprintln(w, "# HELP llpmst_resilient_total Lifetime resilient-runner stats by kind.")
+	fmt.Fprintln(w, "# TYPE llpmst_resilient_total counter")
+	for _, kv := range []struct {
+		kind string
+		v    int64
+	}{
+		{"solves", st.Solves},
+		{"shed", st.Shed},
+		{"legs_launched", st.LegsLaunched},
+		{"hedges_launched", st.HedgesLaunched},
+		{"hedge_wins", st.HedgeWins},
+		{"fallbacks_used", st.FallbacksUsed},
+		{"verify_failures", st.VerifyFailures},
+		{"breaker_trips", st.BreakerTrips},
+		{"losers_cancelled", st.LosersCancelled},
+		{"losers_completed", st.LosersCompleted},
+	} {
+		fmt.Fprintf(w, "llpmst_resilient_total{kind=%q} %d\n", kv.kind, kv.v)
+	}
+}

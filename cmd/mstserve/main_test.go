@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"llpmst/internal/fault"
+	"llpmst/internal/gen"
+	"llpmst/internal/graph"
+	"llpmst/internal/mst"
+	"llpmst/internal/resilient"
+)
+
+func testServer(t *testing.T, mutate func(*serverConfig)) *server {
+	t.Helper()
+	cfg := serverConfig{
+		workers:     2,
+		deadline:    10 * time.Second,
+		maxDeadline: 30 * time.Second,
+		maxBody:     64 << 20,
+		resilient:   resilient.Config{Workers: 2, VerifyRate: 1},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return newServer(cfg)
+}
+
+func postGraph(t *testing.T, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestSolveDIMACSAndBinary(t *testing.T) {
+	g := gen.ErdosRenyi(1, 200, 800, gen.WeightUniform, 3)
+	oracle := mst.Kruskal(g)
+
+	var dimacs, bin bytes.Buffer
+	if err := graph.WriteDIMACS(&dimacs, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+
+	h := testServer(t, nil).handler()
+	for name, body := range map[string][]byte{"dimacs": dimacs.Bytes(), "binary": bin.Bytes()} {
+		rec := postGraph(t, h, "/solve?edges=1", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, rec.Code, rec.Body.String())
+		}
+		var reply solveReply
+		if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+			t.Fatalf("%s: bad json: %v", name, err)
+		}
+		if reply.Vertices != g.NumVertices() || reply.Edges != g.NumEdges() {
+			t.Fatalf("%s: echoed wrong graph size: %+v", name, reply)
+		}
+		if reply.ForestEdges != len(oracle.EdgeIDs) || reply.Weight != oracle.Weight {
+			t.Fatalf("%s: forest differs from oracle: %+v", name, reply)
+		}
+		if len(reply.EdgeIDs) != len(oracle.EdgeIDs) {
+			t.Fatalf("%s: ?edges=1 returned %d ids, want %d", name, len(reply.EdgeIDs), len(oracle.EdgeIDs))
+		}
+		// The returned ids must be verifiable: rebuild and check.
+		f := mst.ForestFromEdgeIDs(g, reply.EdgeIDs)
+		if err := mst.CheckForest(g, f); err != nil {
+			t.Fatalf("%s: returned edge ids are unsound: %v", name, err)
+		}
+	}
+}
+
+func TestSolveRejectsGarbageAndWrongMethod(t *testing.T) {
+	h := testServer(t, nil).handler()
+	if rec := postGraph(t, h, "/solve", []byte("this is not a graph")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d", rec.Code)
+	}
+	if rec := postGraph(t, h, "/solve", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty body: status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/solve", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /solve: status %d", rec.Code)
+	}
+}
+
+func TestSolveBadDeadlineParam(t *testing.T) {
+	g := gen.ErdosRenyi(1, 50, 150, gen.WeightUniform, 4)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h := testServer(t, nil).handler()
+	if rec := postGraph(t, h, "/solve?deadline=yesterday", buf.Bytes()); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad deadline: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := postGraph(t, h, "/solve?deadline=5s", buf.Bytes()); rec.Code != http.StatusOK {
+		t.Fatalf("good deadline: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHealthzFlipsWhenDraining(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Fatalf("healthy: status %d body %s", rec.Code, rec.Body.String())
+	}
+
+	s.draining.Store(true)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"status":"draining"`) {
+		t.Fatalf("draining: status %d body %s", rec.Code, rec.Body.String())
+	}
+
+	// Draining also sheds new solves with a Retry-After.
+	rec = postGraph(t, h, "/solve", []byte("GPLL"))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("solve while draining: status %d", rec.Code)
+	}
+}
+
+func TestMetricsReportBreakersAndRunnerStats(t *testing.T) {
+	g := gen.ErdosRenyi(1, 100, 400, gen.WeightUniform, 5)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t, nil)
+	h := s.handler()
+	if rec := postGraph(t, h, "/solve", buf.Bytes()); rec.Code != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"llpmst_breaker_state{algorithm=",
+		"llpmst_breaker_trips_total{algorithm=",
+		`llpmst_resilient_total{kind="solves"} 1`,
+		"llpmst_events_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics payload missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSolveShedsUnderConcurrencyLimit(t *testing.T) {
+	g := gen.ErdosRenyi(1, 50, 150, gen.WeightUniform, 6)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t, func(cfg *serverConfig) {
+		cfg.resilient.MaxConcurrent = 1
+		// Every leg stalls ~1-2s, so the slot-holding solve below stays in
+		// flight long enough for the second request to be shed.
+		cfg.resilient.Chaos = &resilient.Chaos{
+			Plan: fault.Plan{Seed: 1, Default: fault.Probs{Delay: 1, MaxDelay: 2}},
+			Unit: time.Second,
+		}
+	})
+	// Exhaust the single admission slot with a stalled solve, then watch
+	// HTTP shed.
+	release := grabSlot(t, s)
+	defer release()
+	rec := postGraph(t, s.handler(), "/solve", buf.Bytes())
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 when the gate is full, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// grabSlot occupies the runner's only admission slot with a genuine
+// concurrent solve (stalled by the server's chaos config) and returns a
+// func that waits for it to finish.
+func grabSlot(t *testing.T, s *server) (release func()) {
+	t.Helper()
+	g := gen.ErdosRenyi(1, 400, 1600, gen.WeightUniform, 7)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		defer close(done)
+		req := httptest.NewRequest(http.MethodPost, "/solve?deadline=10s", bytes.NewReader(buf.Bytes()))
+		rec := httptest.NewRecorder()
+		close(started)
+		s.handler().ServeHTTP(rec, req)
+	}()
+	<-started
+	// Wait until the in-flight solve actually holds the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.runner.Stats().Solves > 0 {
+			break
+		}
+		select {
+		case <-done:
+			return func() {}
+		default:
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return func() { <-done }
+}

@@ -87,6 +87,65 @@ func FuzzReadMETIS(f *testing.F) {
 	})
 }
 
+// FuzzReadBinary fuzzes the binary loader through its parallel CSR builder:
+// whatever the input bytes, building with 1 worker and with `workers`
+// workers must accept/reject identically and produce byte-identical graphs,
+// and any accepted graph must round-trip through WriteBinary unchanged.
+// (FuzzReadLLPG covers the single-worker never-panic property; this target
+// pins parser determinism across worker counts.)
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := MustFromEdges(1, 4, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2.5}, {U: 2, V: 3, W: 0}})
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good, uint8(4))
+	f.Add(good, uint8(0))
+	f.Add(good[:len(good)-1], uint8(2)) // short final edge
+	f.Add(good[:8], uint8(3))           // magic+version only
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, in []byte, workers uint8) {
+		if len(in) > 1<<16 {
+			return
+		}
+		p := int(workers%8) + 1
+		g1, err1 := ReadBinary(1, bytes.NewReader(in))
+		gp, errp := ReadBinary(p, bytes.NewReader(in))
+		if (err1 == nil) != (errp == nil) {
+			t.Fatalf("worker count changed acceptance: p=1 err=%v, p=%d err=%v", err1, p, errp)
+		}
+		if err1 != nil {
+			return
+		}
+		if err := g1.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var b1, bp bytes.Buffer
+		if err := WriteBinary(&b1, g1); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteBinary(&bp, gp); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), bp.Bytes()) {
+			t.Fatalf("worker count changed the parsed graph (p=1 vs p=%d)", p)
+		}
+		// Round trip: what was written must read back byte-identically.
+		g2, err := ReadBinary(1, bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := WriteBinary(&b2, g2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("binary round trip is not a fixed point")
+		}
+	})
+}
+
 // FuzzReadLLPG fuzzes the binary (.llpg) loader: arbitrary bytes must never
 // panic or allocate unboundedly, and any accepted graph must validate.
 func FuzzReadLLPG(f *testing.F) {

@@ -78,6 +78,46 @@ type Workspace struct {
 // the zero value is equally valid.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// EstimateScratchBytes returns the steady-state scratch footprint, in
+// bytes, that one run of the parallel algorithms on an (n vertices, m
+// edges, workers goroutines) input draws from its Workspace. The estimate
+// is computed from the arena's own buffer inventory above — per-vertex
+// (keys, flag words, label arrays, bags), per-edge (contraction ping-pong
+// cedge pairs, live-id compaction pairs, edge flags), per-worker padded
+// counters, and the reusable heap/union-find sub-structures — so it tracks
+// the real allocation behavior rather than a hand-tuned constant.
+// Admission controllers use it to decide whether a request's scratch fits a
+// memory budget before any of it is allocated.
+func EstimateScratchBytes(n, m, workers int) int64 {
+	if n < 0 {
+		n = 0
+	}
+	if m < 0 {
+		m = 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	const (
+		cedgeBytes   = 16 // u, v uint32 + key uint64
+		waveRecBytes = 8  // v, eid uint32
+	)
+	perVertex := int64(8 + // keys
+		4*5 + // flagsA, flagsB, vertsA, vertsB, vertsC
+		4 + // vIdx
+		2 + // boolsA, boolsB
+		4*4 + // ids, bag, stage, picks
+		waveRecBytes + // recs (one wave record per fixed vertex)
+		8 + // union-find parent+rank words
+		8) // pointer-jump shadow state
+	perEdge := int64(2*cedgeBytes + // cedges + cspare
+		2*4 + // eIDs + eSpare
+		4 + // eFlags
+		16) // lazy-heap entries (worst case: every arc relaxation staged)
+	perWorker := int64(8*par.PadStride) + 512 // counters + scheduler deque headers
+	return int64(n)*perVertex + int64(m)*perEdge + int64(workers)*perWorker
+}
+
 // workspacePool backs the nil-Options.Workspace default: algorithms borrow
 // a Workspace for the duration of one run and return it, so a server
 // hammering the package concurrently gets per-P buffer reuse for free.

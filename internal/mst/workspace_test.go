@@ -174,3 +174,54 @@ func TestWorkspaceGrowShrinkGrow(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateScratchBytes pins the estimator's contract: monotone in every
+// dimension, zero-safe, and a sound upper-bound proxy — the estimate for a
+// graph must dominate the bytes a cold workspace actually allocates to
+// serve it (the quantity an admission controller budgets against).
+func TestEstimateScratchBytes(t *testing.T) {
+	if got := EstimateScratchBytes(0, 0, 0); got <= 0 {
+		t.Fatalf("empty-input estimate %d; want positive (per-worker floor)", got)
+	}
+	base := EstimateScratchBytes(1000, 5000, 4)
+	if EstimateScratchBytes(2000, 5000, 4) <= base {
+		t.Fatal("estimate not monotone in n")
+	}
+	if EstimateScratchBytes(1000, 10000, 4) <= base {
+		t.Fatal("estimate not monotone in m")
+	}
+	if EstimateScratchBytes(1000, 5000, 8) <= base {
+		t.Fatal("estimate not monotone in workers")
+	}
+
+	g := graph.MustFromEdges(1, 3000, func() []graph.Edge {
+		edges := make([]graph.Edge, 0, 12000)
+		for i := 0; i < 12000; i++ {
+			u, v := uint32(i%3000), uint32((i*7+1)%3000)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v, W: float32(i%97) + 1})
+			}
+		}
+		return edges
+	}())
+	est := EstimateScratchBytes(g.NumVertices(), g.NumEdges(), 4)
+	for _, alg := range parallelAlgs {
+		ws := NewWorkspace()
+		// First run grows every buffer the algorithm touches; the arena then
+		// holds its steady-state footprint.
+		if _, err := Run(alg, g, Options{Workers: 4, Workspace: ws}); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		held := int64(8*len(ws.keys) +
+			4*(len(ws.flagsA)+len(ws.flagsB)+len(ws.vertsA)+len(ws.vertsB)+len(ws.vertsC)) +
+			4*len(ws.vIdx) + len(ws.boolsA) + len(ws.boolsB) +
+			4*(len(ws.ids)+len(ws.bag)+len(ws.stage)+len(ws.picks)) +
+			8*len(ws.recs) +
+			16*(len(ws.cedges)+len(ws.cspare)) +
+			4*(len(ws.eIDs)+len(ws.eSpare)+len(ws.eFlags)) +
+			8*len(ws.counters))
+		if held > est {
+			t.Fatalf("%s: workspace holds %d bytes of slice scratch, estimate %d does not cover it", alg, held, est)
+		}
+	}
+}

@@ -45,6 +45,22 @@ const (
 	// CtrSchedPanics counts worker panics recovered by the schedulers and
 	// converted into PanicError results.
 	CtrSchedPanics
+	// CtrHedgeLaunched counts backup algorithms launched by the resilient
+	// runner after the hedge delay expired.
+	CtrHedgeLaunched
+	// CtrHedgeWon counts hedged solves where the backup beat the primary.
+	CtrHedgeWon
+	// CtrBreakerOpen counts circuit-breaker trips (closed/half-open -> open).
+	CtrBreakerOpen
+	// CtrAdmitShed counts requests shed by admission control (concurrency or
+	// memory budget).
+	CtrAdmitShed
+	// CtrVerifyFailed counts verification-gate failures (CheckForest or a
+	// sampled VerifyMinimum rejecting a produced forest).
+	CtrVerifyFailed
+	// CtrFallbackUsed counts solves answered by the sequential Kruskal
+	// fallback after the portfolio failed.
+	CtrFallbackUsed
 
 	// NumCounters is the number of defined counters (array sizing).
 	NumCounters
@@ -87,6 +103,18 @@ func (c Counter) String() string {
 		return "fault.delayed"
 	case CtrSchedPanics:
 		return "sched.panics"
+	case CtrHedgeLaunched:
+		return "hedge.launched"
+	case CtrHedgeWon:
+		return "hedge.won"
+	case CtrBreakerOpen:
+		return "breaker.open"
+	case CtrAdmitShed:
+		return "admit.shed"
+	case CtrVerifyFailed:
+		return "verify.failed"
+	case CtrFallbackUsed:
+		return "fallback.used"
 	}
 	return "counter(?)"
 }

@@ -1,0 +1,106 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"llpmst/internal/mst"
+)
+
+// ErrOverloaded is the sentinel every load-shedding rejection matches:
+// errors.Is(err, ErrOverloaded) is true for any *OverloadError. Callers
+// should treat it as retryable (HTTP 503 + Retry-After).
+var ErrOverloaded = errors.New("resilient: overloaded")
+
+// OverloadError is the typed rejection admission control returns instead of
+// queueing work the process cannot afford. It unwraps to ErrOverloaded.
+type OverloadError struct {
+	// Reason is "concurrency" (the bounded gate is full) or "memory" (the
+	// request's estimated scratch does not fit the remaining budget).
+	Reason string
+	// InFlight is the number of admitted solves at rejection time.
+	InFlight int
+	// EstimatedBytes is the request's scratch estimate (memory sheds only).
+	EstimatedBytes int64
+	// BudgetBytes is the configured memory budget (memory sheds only).
+	BudgetBytes int64
+}
+
+// Error describes the shed decision.
+func (e *OverloadError) Error() string {
+	if e.Reason == "memory" {
+		return fmt.Sprintf("resilient: overloaded: request needs ~%d bytes of scratch, budget %d with %d solves in flight",
+			e.EstimatedBytes, e.BudgetBytes, e.InFlight)
+	}
+	return fmt.Sprintf("resilient: overloaded: %d solves in flight at the concurrency limit", e.InFlight)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// admission is the front gate: a bounded-concurrency semaphore plus a
+// memory budget priced by mst.EstimateScratchBytes. Admission is
+// all-or-nothing and non-blocking — a request that does not fit is shed
+// immediately with a typed *OverloadError rather than queued, keeping the
+// server's latency profile flat under overload.
+type admission struct {
+	slots       chan struct{} // nil = unbounded
+	budgetBytes int64         // 0 = unlimited
+	inUseBytes  atomic.Int64
+	inFlight    atomic.Int64
+}
+
+func newAdmission(maxConcurrent int, budgetBytes int64) *admission {
+	a := &admission{budgetBytes: budgetBytes}
+	if maxConcurrent > 0 {
+		a.slots = make(chan struct{}, maxConcurrent)
+	}
+	return a
+}
+
+// admit tries to reserve a slot and the request's scratch estimate.
+// On success the returned release func must be called exactly once.
+func (a *admission) admit(n, m, workers int) (release func(), err error) {
+	if a.slots != nil {
+		select {
+		case a.slots <- struct{}{}:
+		default:
+			return nil, &OverloadError{Reason: "concurrency", InFlight: int(a.inFlight.Load())}
+		}
+	}
+	// Two legs of a hedged solve can hold scratch at once, so price both;
+	// the estimate is a ceiling, not an accounting of live bytes.
+	est := 2 * mst.EstimateScratchBytes(n, m, workers)
+	if a.budgetBytes > 0 {
+		for {
+			used := a.inUseBytes.Load()
+			if used+est > a.budgetBytes {
+				if a.slots != nil {
+					<-a.slots
+				}
+				return nil, &OverloadError{
+					Reason: "memory", InFlight: int(a.inFlight.Load()),
+					EstimatedBytes: est, BudgetBytes: a.budgetBytes,
+				}
+			}
+			if a.inUseBytes.CompareAndSwap(used, used+est) {
+				break
+			}
+		}
+	}
+	a.inFlight.Add(1)
+	var released atomic.Bool
+	return func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		a.inFlight.Add(-1)
+		if a.budgetBytes > 0 {
+			a.inUseBytes.Add(-est)
+		}
+		if a.slots != nil {
+			<-a.slots
+		}
+	}, nil
+}

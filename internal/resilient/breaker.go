@@ -1,0 +1,154 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit breaker's position.
+type BreakerState int32
+
+// The breaker states. A closed breaker admits every request; an open one
+// admits none until its cooldown elapses; a half-open one admits a single
+// probe whose outcome decides between closing and re-opening.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "breaker(?)"
+}
+
+// breaker is a per-algorithm circuit breaker. Panics, verification
+// failures, and deadline blow-throughs count as failures; TripAfter
+// consecutive failures open it. After Cooldown it admits one probe
+// (half-open): a probe success closes it, a probe failure re-opens it for
+// another full cooldown. Cancellations of hedge losers are not failures and
+// must not be recorded.
+type breaker struct {
+	tripAfter int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when state last became open
+	probing  bool      // a half-open probe is in flight
+	trips    int64     // lifetime open transitions
+}
+
+func newBreaker(tripAfter int, cooldown time.Duration, now func() time.Time) *breaker {
+	if tripAfter <= 0 {
+		tripAfter = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{tripAfter: tripAfter, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may use this algorithm now. probe is true
+// when the admission is the half-open state's single trial; the caller must
+// report the trial's outcome with record.
+func (b *breaker) allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// record reports one run's outcome. Returns true when this outcome tripped
+// the breaker open (the caller counts the trip exactly once).
+func (b *breaker) record(success bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.failures = 0
+			return false
+		}
+		b.failures++
+		if b.failures >= b.tripAfter {
+			b.open()
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		b.probing = false
+		if success {
+			b.state = BreakerClosed
+			b.failures = 0
+			return false
+		}
+		b.open()
+		return true
+	default: // BreakerOpen: a straggler from before the trip; keep the count fresh
+		if !success {
+			b.openedAt = b.now()
+		}
+		return false
+	}
+}
+
+// abortProbe returns a half-open probe slot without an outcome — used when
+// the probe leg was cancelled as a hedge loser, which says nothing about
+// the algorithm's health.
+func (b *breaker) abortProbe() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.trips++
+}
+
+// snapshot returns the current state and lifetime trip count.
+func (b *breaker) snapshot() (BreakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface cooldown expiry as half-open so operators see "probing soon"
+	// rather than a stale "open".
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen, b.trips
+	}
+	return b.state, b.trips
+}

@@ -1,0 +1,80 @@
+package resilient
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"llpmst/internal/fault"
+	"llpmst/internal/mst"
+)
+
+// Chaos injects failures into the runner's portfolio legs for soak testing,
+// reusing the internal/fault machinery (and its seeded determinism): a
+// fault.Plan's per-arc probabilities are reinterpreted per algorithm —
+// Drop becomes "panic this leg", Delay becomes "stall this leg for
+// 1..MaxDelay units of Unit before solving". Arc i of the plan is algorithm
+// i in mst.Algorithms() order (see ChaosArc), so a plan can, e.g., panic
+// the primary 100% of the time while delaying the backup. The Kruskal
+// fallback is never injected: it is the safety net under test.
+type Chaos struct {
+	// Plan drives the injector; Plan.Seed makes runs reproducible.
+	Plan fault.Plan
+	// Unit is the duration of one delay round (default 2ms).
+	Unit time.Duration
+}
+
+// ChaosArc returns the fault-plan arc index that targets alg, for building
+// Plan.Arcs overrides.
+func ChaosArc(alg mst.Algorithm) int64 {
+	for i, a := range mst.Algorithms() {
+		if a == alg {
+			return int64(i)
+		}
+	}
+	return int64(len(mst.Algorithms())) // unknown algorithms share a spare arc
+}
+
+// chaosInjector serializes fault.Injector (which is single-goroutine) for
+// the runner's concurrent legs.
+type chaosInjector struct {
+	mu   sync.Mutex
+	inj  *fault.Injector
+	unit time.Duration
+}
+
+func newChaosInjector(c *Chaos) *chaosInjector {
+	if c == nil {
+		return nil
+	}
+	unit := c.Unit
+	if unit <= 0 {
+		unit = 2 * time.Millisecond
+	}
+	return &chaosInjector{inj: fault.New(c.Plan), unit: unit}
+}
+
+// strike rolls the plan's dice for one leg running alg: it either panics
+// (simulating a crashing algorithm; the leg's recover turns it into a
+// *par.PanicError like any real worker panic), sleeps an injected delay
+// (interruptibly — a cancelled ctx cuts the stall short), or does nothing.
+func (ci *chaosInjector) strike(ctx context.Context, alg mst.Algorithm) {
+	if ci == nil {
+		return
+	}
+	ci.mu.Lock()
+	drop, _, delay := ci.inj.Transmit(ChaosArc(alg))
+	ci.mu.Unlock()
+	if drop {
+		panic(fmt.Sprintf("resilient: chaos-injected panic in %s", alg))
+	}
+	if delay > 0 {
+		t := time.NewTimer(time.Duration(delay) * ci.unit)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package resilient
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"llpmst/internal/fault"
+	"llpmst/internal/gen"
+	"llpmst/internal/mst"
+)
+
+// TestHedgedSolvesNoGoroutineLeakAndLoserCancellation runs a long sequence
+// of hedged solves whose primary is forced to stall far past the hedge
+// delay, so every solve launches a backup that wins. Two properties must
+// hold afterwards: the goroutine count settles back to (about) the pre-run
+// level — no leg leaks — and every losing leg accounted for its hedge loss
+// by observing its context's cancellation (the stall is seconds long, so a
+// loser that did not see the cancel would still be asleep).
+func TestHedgedSolvesNoGoroutineLeakAndLoserCancellation(t *testing.T) {
+	const solves = 200
+	g := gen.ErdosRenyi(1, 300, 1200, gen.WeightUniform, 41)
+	oracle := mst.Kruskal(g)
+
+	primary, backup := mst.AlgLLPBoruvka, mst.AlgLLPPrimAsync
+	r := New(Config{
+		Primary:    primary,
+		Backup:     backup,
+		Workers:    2,
+		HedgeDelay: time.Millisecond,
+		Chaos: &Chaos{
+			// The primary always stalls 1..2 units of one second: it can
+			// never finish before the backup, so its only way out is the
+			// hedge-loss cancellation.
+			Plan: fault.Plan{
+				Seed: 42,
+				Arcs: map[int64]fault.Probs{
+					ChaosArc(primary): {Delay: 1, MaxDelay: 2},
+				},
+			},
+			Unit: time.Second,
+		},
+	})
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < solves; i++ {
+		res, err := r.Solve(context.Background(), g)
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		if !res.Hedged || !res.HedgeWon || res.Algorithm != backup {
+			t.Fatalf("solve %d: want a hedge win by %s, got %+v", i, backup, res)
+		}
+		if !res.Forest.Equal(oracle) {
+			t.Fatalf("solve %d: forest differs from oracle", i)
+		}
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := r.Drain(dctx); err != nil {
+		t.Fatalf("drain did not finish: %v", err)
+	}
+
+	st := r.Stats()
+	if st.HedgesLaunched != solves || st.HedgeWins != solves {
+		t.Fatalf("want %d hedges launched and won, got %+v", solves, st)
+	}
+	if st.LosersCancelled != solves {
+		t.Fatalf("every losing leg must observe ctx cancellation: %d of %d did (completed: %d)",
+			st.LosersCancelled, solves, st.LosersCompleted)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle after %d hedged solves: before=%d after=%d",
+		solves, before, runtime.NumGoroutine())
+}

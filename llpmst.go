@@ -45,6 +45,7 @@ import (
 	"llpmst/internal/mst"
 	"llpmst/internal/obs"
 	"llpmst/internal/par"
+	"llpmst/internal/resilient"
 )
 
 // Edge is one undirected weighted edge: endpoints U, V and a finite,
@@ -312,6 +313,45 @@ type PartitionError = dist.PartitionError
 // captured stack. Algorithms that hit one still return a sound partial
 // forest alongside an error wrapping the PanicError.
 type PanicError = par.PanicError
+
+// ResilientRunner is the resilient execution engine: admission control
+// (bounded concurrency + memory budget), per-algorithm circuit breakers,
+// hedged portfolio execution with adaptive delays, a sampling verification
+// gate, and a sequential Kruskal fallback. Safe for concurrent use; one
+// runner serves a whole process.
+type (
+	ResilientRunner = resilient.Runner
+	ResilientConfig = resilient.Config
+	ResilientResult = resilient.Result
+	ResilientStats  = resilient.Stats
+	ResilientChaos  = resilient.Chaos
+	BreakerStatus   = resilient.BreakerStatus
+	BreakerState    = resilient.BreakerState
+)
+
+// OverloadError is the typed rejection admission control returns when a
+// solve would exceed the runner's concurrency or memory budget; it unwraps
+// to ErrOverloaded, so errors.Is(err, ErrOverloaded) matches any shed.
+type OverloadError = resilient.OverloadError
+
+// ErrOverloaded is the sentinel every admission-control rejection matches.
+var ErrOverloaded = resilient.ErrOverloaded
+
+// NewResilientRunner builds a resilient runner from cfg. The zero Config is
+// serviceable: adaptive hedging, an auto-picked portfolio, breakers
+// tripping after 3 consecutive failures, and a 2×GOMAXPROCS admission gate.
+func NewResilientRunner(cfg ResilientConfig) *ResilientRunner { return resilient.New(cfg) }
+
+// RunResilient answers one solve through a fresh default-configured
+// resilient runner and waits for its hedge legs to drain — a convenience
+// for one-shot callers; services should build one NewResilientRunner and
+// share it.
+func RunResilient(ctx context.Context, g *Graph, cfg ResilientConfig) (ResilientResult, error) {
+	r := resilient.New(cfg)
+	res, err := r.Solve(ctx, g)
+	_ = r.Drain(context.Background())
+	return res, err
+}
 
 // DistributedMSFFaulty is DistributedMSF over a lossy network driven by
 // plan: messages drop, duplicate, arrive late or reordered, and nodes crash

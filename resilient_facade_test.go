@@ -1,0 +1,67 @@
+package llpmst
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestResilientFacade exercises the public resilient surface: a shared
+// runner answering verified solves, the one-shot RunResilient helper, and
+// the typed overload rejection.
+func TestResilientFacade(t *testing.T) {
+	g, err := NewGraph(6, []Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 4, W: 4}, {U: 4, V: 5, W: 5}, {U: 5, V: 0, W: 6},
+		{U: 0, V: 3, W: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := Kruskal(g)
+
+	r := NewResilientRunner(ResilientConfig{Workers: 2, VerifyRate: 1})
+	res, err := r.Solve(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Forest.Equal(oracle) {
+		t.Fatalf("runner forest differs from Kruskal: %v vs %v", res.Forest, oracle)
+	}
+	if !res.Verified {
+		t.Fatal("VerifyRate 1 did not verify the winner")
+	}
+	if st := r.Stats(); st.Solves != 1 {
+		t.Fatalf("stats did not count the solve: %+v", st)
+	}
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err = RunResilient(context.Background(), g, ResilientConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Forest.Equal(oracle) {
+		t.Fatal("RunResilient forest differs from Kruskal")
+	}
+
+	// A runner with an impossibly small memory budget sheds with the typed
+	// sentinel.
+	tiny := NewResilientRunner(ResilientConfig{MemoryBudgetBytes: 1})
+	if _, err := tiny.Solve(context.Background(), g); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var oe *OverloadError
+	if _, err := tiny.Solve(context.Background(), g); !errors.As(err, &oe) || oe.Reason != "memory" {
+		t.Fatalf("want *OverloadError with memory reason, got %v", err)
+	}
+
+	// A pre-expired deadline surfaces as a typed context error.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := NewResilientRunner(ResilientConfig{}).Solve(ctx, g); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
