@@ -6,12 +6,31 @@
 //
 // Endpoints:
 //
-//	POST /solve    graph in the body (binary .llpg or DIMACS .gr, sniffed
-//	               by magic); ?deadline=2s overrides the default budget,
-//	               ?edges=1 includes the forest's edge ids in the reply
-//	GET  /healthz  200 while serving, 503 once draining
-//	GET  /metrics  Prometheus text: flight-recorder counters and spans,
-//	               breaker states, and runner lifetime stats
+//	POST   /solve             one-shot: graph in the body (binary .llpg or
+//	                          DIMACS .gr, sniffed by magic); ?deadline=2s
+//	                          overrides the default budget, ?edges=1
+//	                          includes the forest's edge ids in the reply
+//	PUT    /graphs/{id}       register (or re-register, bumping the
+//	                          version) a named graph: body as for /solve,
+//	                          or ?path=rel.llpg to load server-side from
+//	                          -graph-dir
+//	GET    /graphs            list registered graphs
+//	GET    /graphs/{id}       one graph's metadata
+//	DELETE /graphs/{id}       unregister
+//	POST   /graphs/{id}/solve solve a registered graph through the
+//	                          version-keyed, singleflight-deduplicated
+//	                          result cache; ?version= pins a version,
+//	                          ?edges=1 as above. Tenant identity comes
+//	                          from the X-API-Key header; per-tenant token
+//	                          buckets (-quota-rate/-quota-burst) reject
+//	                          over-quota tenants with 429 + Retry-After.
+//	GET    /healthz           200 while serving, 503 once draining
+//	GET    /metrics           Prometheus text: flight-recorder counters
+//	                          and spans, breaker states, runner lifetime
+//	                          stats, and registry/cache/quota counters
+//
+// Every route is method-scoped: a wrong-method hit on a known route gets
+// 405 with an Allow header, not 404.
 //
 // SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503 so load
 // balancers stop routing, in-flight solves (and their hedge losers) finish,
@@ -24,7 +43,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -32,10 +50,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -44,6 +65,7 @@ import (
 	"llpmst/internal/graph"
 	"llpmst/internal/mst"
 	"llpmst/internal/obs"
+	"llpmst/internal/registry"
 	"llpmst/internal/resilient"
 )
 
@@ -61,6 +83,10 @@ type serverConfig struct {
 	deadline    time.Duration
 	maxDeadline time.Duration
 	maxBody     int64
+	graphDir    string
+	registryMem int64
+	quotaRate   float64
+	quotaBurst  float64
 	resilient   resilient.Config
 }
 
@@ -72,6 +98,10 @@ func run(args []string, stdout io.Writer) error {
 		deadline      = fs.Duration("deadline", 30*time.Second, "default per-request solve budget")
 		maxDeadline   = fs.Duration("max-deadline", 5*time.Minute, "cap on client-requested ?deadline")
 		maxBody       = fs.Int64("max-body", 256<<20, "largest accepted request body in bytes")
+		graphDir      = fs.String("graph-dir", "", "directory server-side graph loads (?path=) may read from (empty = disabled)")
+		registryMem   = fs.Int64("registry-mem", 0, "LRU bound on resident registered-graph bytes (0 = unbounded)")
+		quotaRate     = fs.Float64("quota-rate", 0, "per-tenant solve quota in requests/second (0 = unlimited)")
+		quotaBurst    = fs.Float64("quota-burst", 0, "per-tenant quota burst capacity (0 = max(1, rate))")
 		primary       = fs.String("primary", "", "primary algorithm (empty = auto by density)")
 		backup        = fs.String("backup", "", "backup algorithm (empty = auto complement)")
 		hedgeDelay    = fs.Duration("hedge-delay", 0, "fixed hedge delay (0 = adaptive from learned tails)")
@@ -102,6 +132,10 @@ func run(args []string, stdout io.Writer) error {
 		deadline:    *deadline,
 		maxDeadline: *maxDeadline,
 		maxBody:     *maxBody,
+		graphDir:    *graphDir,
+		registryMem: *registryMem,
+		quotaRate:   *quotaRate,
+		quotaBurst:  *quotaBurst,
 		resilient: resilient.Config{
 			Primary:           mst.Algorithm(*primary),
 			Backup:            mst.Algorithm(*backup),
@@ -152,6 +186,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	if err := srv.reg.Drain(ctx); err != nil {
+		return fmt.Errorf("registry drain: %w", err)
+	}
 	if err := srv.runner.Drain(ctx); err != nil {
 		return fmt.Errorf("leg drain: %w", err)
 	}
@@ -170,11 +207,12 @@ func knownAlgorithm(alg mst.Algorithm) bool {
 	return false
 }
 
-// server bundles the resilient runner with its flight recorder and drain
-// state.
+// server bundles the resilient runner, the graph registry, the flight
+// recorder, and drain state.
 type server struct {
 	cfg      serverConfig
 	runner   *resilient.Runner
+	reg      *registry.Registry
 	flight   *obs.FlightRecorder
 	draining atomic.Bool
 }
@@ -186,14 +224,31 @@ func newServer(cfg serverConfig) *server {
 	if cfg.deadline > 0 {
 		rcfg.DefaultDeadline = cfg.deadline
 	}
-	return &server{cfg: cfg, runner: resilient.New(rcfg), flight: flight}
+	runner := resilient.New(rcfg)
+	reg := registry.New(registry.Config{
+		Solver:            runner,
+		Workers:           cfg.workers,
+		MemoryBudgetBytes: cfg.registryMem,
+		SolveTimeout:      cfg.deadline,
+		DefaultQuota:      registry.Quota{Rate: cfg.quotaRate, Burst: cfg.quotaBurst},
+		Observer:          flight,
+	})
+	return &server{cfg: cfg, runner: runner, reg: reg, flight: flight}
 }
 
+// handler builds the method-scoped route table. Method scoping is what
+// turns a wrong-method hit on a known route into 405 + Allow instead of
+// the 404 (or, worse, a 200 from a GET-assuming handler) it used to get.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", s.handleSolve)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("PUT /graphs/{id}", s.handlePutGraph)
+	mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /graphs/{id}", s.handleDeleteGraph)
+	mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /graphs/{id}/solve", s.handleRegistrySolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -214,13 +269,7 @@ type solveReply struct {
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodPost {
-		http.Error(w, "POST a graph (.llpg binary or DIMACS .gr) to /solve", http.StatusMethodNotAllowed)
-		return
-	}
-	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+	if s.rejectDraining(w) {
 		return
 	}
 	g, err := s.readGraph(req)
@@ -228,18 +277,10 @@ func (s *server) handleSolve(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-
-	budget := s.cfg.deadline
-	if raw := req.URL.Query().Get("deadline"); raw != "" {
-		d, err := time.ParseDuration(raw)
-		if err != nil || d <= 0 {
-			http.Error(w, fmt.Sprintf("bad deadline %q", raw), http.StatusBadRequest)
-			return
-		}
-		budget = d
-	}
-	if s.cfg.maxDeadline > 0 && budget > s.cfg.maxDeadline {
-		budget = s.cfg.maxDeadline
+	budget, err := s.solveBudget(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	ctx := req.Context()
 	if budget > 0 {
@@ -249,27 +290,23 @@ func (s *server) handleSolve(w http.ResponseWriter, req *http.Request) {
 	}
 
 	res, err := s.runner.Solve(ctx, g)
-	switch {
-	case err == nil:
-	case errors.Is(err, resilient.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
-		return
-	case errors.Is(err, context.Canceled):
-		// The client went away; the status code is for the log line only.
-		http.Error(w, err.Error(), 499)
-		return
-	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if err != nil {
+		writeSolveError(w, err)
 		return
 	}
 
-	reply := solveReply{
-		Vertices:    g.NumVertices(),
-		Edges:       g.NumEdges(),
+	reply := newSolveReply(g.NumVertices(), g.NumEdges(), res)
+	if req.URL.Query().Get("edges") == "1" {
+		reply.EdgeIDs = res.Forest.EdgeIDs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+func newSolveReply(n, m int, res resilient.Result) solveReply {
+	return solveReply{
+		Vertices:    n,
+		Edges:       m,
 		ForestEdges: len(res.Forest.EdgeIDs),
 		Weight:      res.Forest.Weight,
 		Algorithm:   string(res.Algorithm),
@@ -280,25 +317,208 @@ func (s *server) handleSolve(w http.ResponseWriter, req *http.Request) {
 		Attempts:    res.Attempts,
 		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
 	}
+}
+
+// solveBudget resolves the request's solve deadline: the server default,
+// overridden by ?deadline=, capped at -max-deadline.
+func (s *server) solveBudget(req *http.Request) (time.Duration, error) {
+	budget := s.cfg.deadline
+	if raw := req.URL.Query().Get("deadline"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("bad deadline %q", raw)
+		}
+		budget = d
+	}
+	if s.cfg.maxDeadline > 0 && budget > s.cfg.maxDeadline {
+		budget = s.cfg.maxDeadline
+	}
+	return budget, nil
+}
+
+// rejectDraining sheds the request with 503 + Retry-After once the server
+// is draining; it reports whether it wrote a response.
+func (s *server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "draining", http.StatusServiceUnavailable)
+	return true
+}
+
+// writeSolveError maps a solve pipeline error onto an HTTP status: quota
+// 429 (with Retry-After), overload 503 (with Retry-After), missing graph
+// 404, deadline 504, client-gone 499, anything else 500.
+func writeSolveError(w http.ResponseWriter, err error) {
+	var qe *registry.QuotaError
+	switch {
+	case errors.As(err, &qe):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(qe.RetryAfter)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, resilient.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, registry.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status code is for the log line only.
+		http.Error(w, err.Error(), 499)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// retryAfterSeconds rounds a retry hint up to whole seconds, at least 1 —
+// Retry-After carries integral seconds.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// readGraph parses the request body (binary .llpg or DIMACS .gr, sniffed
+// by magic) under the configured body limit.
+func (s *server) readGraph(req *http.Request) (*graph.CSR, error) {
+	return registry.Decode(s.cfg.workers, http.MaxBytesReader(nil, req.Body, s.cfg.maxBody))
+}
+
+// tenantFor resolves the request's tenant identity for quota accounting:
+// the X-API-Key header when present, else the shared anonymous bucket.
+func tenantFor(req *http.Request) string {
+	if key := req.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	return "anonymous"
+}
+
+// handlePutGraph registers (or re-registers) a named graph from the
+// request body, or — with ?path= and -graph-dir configured — from a file
+// on the server's disk.
+func (s *server) handlePutGraph(w http.ResponseWriter, req *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	id := req.PathValue("id")
+	var info registry.GraphInfo
+	var err error
+	if rel := req.URL.Query().Get("path"); rel != "" {
+		info, err = s.putFromDisk(id, rel)
+	} else {
+		info, err = s.reg.PutData(id, http.MaxBytesReader(nil, req.Body, s.cfg.maxBody))
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, os.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// putFromDisk loads a graph file from inside -graph-dir. The relative path
+// must stay inside the directory; anything else is rejected before touching
+// the filesystem.
+func (s *server) putFromDisk(id, rel string) (registry.GraphInfo, error) {
+	if s.cfg.graphDir == "" {
+		return registry.GraphInfo{}, errors.New("server-side graph loading is disabled (start with -graph-dir)")
+	}
+	if !filepath.IsLocal(rel) {
+		return registry.GraphInfo{}, fmt.Errorf("path %q escapes the graph directory", rel)
+	}
+	f, err := os.Open(filepath.Join(s.cfg.graphDir, rel))
+	if err != nil {
+		return registry.GraphInfo{}, err
+	}
+	defer f.Close()
+	return s.reg.PutData(id, f)
+}
+
+func (s *server) handleGetGraph(w http.ResponseWriter, req *http.Request) {
+	info, err := s.reg.Get(req.PathValue("id"))
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+func (s *server) handleDeleteGraph(w http.ResponseWriter, req *http.Request) {
+	if err := s.reg.Delete(req.PathValue("id")); err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.reg.List())
+}
+
+// registrySolveReply is the /graphs/{id}/solve response body: the one-shot
+// reply plus cache provenance.
+type registrySolveReply struct {
+	solveReply
+	GraphID      string `json:"graph_id"`
+	GraphVersion uint64 `json:"graph_version"`
+	Cached       bool   `json:"cached"`
+	Shared       bool   `json:"shared"`
+}
+
+// handleRegistrySolve answers a solve of a registered graph through the
+// registry's quota gate, result cache, and singleflight group.
+func (s *server) handleRegistrySolve(w http.ResponseWriter, req *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	var version uint64
+	if raw := req.URL.Query().Get("version"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil || v == 0 {
+			http.Error(w, fmt.Sprintf("bad version %q", raw), http.StatusBadRequest)
+			return
+		}
+		version = v
+	}
+	budget, err := s.solveBudget(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := req.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+
+	res, err := s.reg.Solve(ctx, tenantFor(req), req.PathValue("id"), version, registry.SolveOptions{})
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	reply := registrySolveReply{
+		solveReply:   newSolveReply(res.Vertices, res.Edges, res.Result),
+		GraphID:      res.GraphID,
+		GraphVersion: res.Version,
+		Cached:       res.Cached,
+		Shared:       res.Shared,
+	}
 	if req.URL.Query().Get("edges") == "1" {
 		reply.EdgeIDs = res.Forest.EdgeIDs
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(reply)
-}
-
-// readGraph sniffs the body's leading magic bytes: the binary format's
-// "GPLL" header selects ReadBinary, anything else is parsed as DIMACS.
-func (s *server) readGraph(req *http.Request) (*graph.CSR, error) {
-	body := bufio.NewReaderSize(http.MaxBytesReader(nil, req.Body, s.cfg.maxBody), 1<<16)
-	magic, err := body.Peek(4)
-	if err != nil && len(magic) == 0 {
-		return nil, fmt.Errorf("empty request body: %v", err)
-	}
-	if bytes.Equal(magic, []byte("GPLL")) {
-		return graph.ReadBinary(s.cfg.workers, body)
-	}
-	return graph.ReadDIMACS(s.cfg.workers, body)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -323,7 +543,34 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeBreakerMetrics(&buf, s.runner)
 	writeRunnerMetrics(&buf, s.runner.Stats())
+	writeRegistryMetrics(&buf, s.reg.Stats())
 	_, _ = w.Write(buf.Bytes())
+}
+
+// writeRegistryMetrics appends the graph registry's resident-state gauges
+// and lifetime cache/quota counters.
+func writeRegistryMetrics(w io.Writer, st registry.Stats) {
+	fmt.Fprintln(w, "# HELP llpmst_registry_gauge Graph registry resident state by kind.")
+	fmt.Fprintln(w, "# TYPE llpmst_registry_gauge gauge")
+	fmt.Fprintf(w, "llpmst_registry_gauge{kind=\"graphs\"} %d\n", st.Graphs)
+	fmt.Fprintf(w, "llpmst_registry_gauge{kind=\"resident_bytes\"} %d\n", st.ResidentBytes)
+	fmt.Fprintf(w, "llpmst_registry_gauge{kind=\"cached_results\"} %d\n", st.CachedResults)
+	fmt.Fprintln(w, "# HELP llpmst_registry_total Lifetime graph registry stats by kind.")
+	fmt.Fprintln(w, "# TYPE llpmst_registry_total counter")
+	for _, kv := range []struct {
+		kind string
+		v    int64
+	}{
+		{"puts", st.Puts},
+		{"cache_hits", st.Hits},
+		{"cache_misses", st.Misses},
+		{"singleflight_shared", st.Shared},
+		{"solves", st.Solves},
+		{"evictions", st.Evictions},
+		{"quota_shed", st.QuotaShed},
+	} {
+		fmt.Fprintf(w, "llpmst_registry_total{kind=%q} %d\n", kv.kind, kv.v)
+	}
 }
 
 // writeBreakerMetrics appends per-algorithm breaker gauges to the

@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -226,4 +230,302 @@ func grabSlot(t *testing.T, s *server) (release func()) {
 		time.Sleep(100 * time.Microsecond)
 	}
 	return func() { <-done }
+}
+
+// TestEveryRouteMethodMatrix pins the method-scoping behaviour for the
+// whole route table: allowed methods never yield 405, every other method
+// yields 405 with an Allow header — not the 404 the old mux produced.
+func TestEveryRouteMethodMatrix(t *testing.T) {
+	h := testServer(t, nil).handler()
+	routes := []struct {
+		path    string
+		allowed map[string]bool
+	}{
+		{"/solve", map[string]bool{http.MethodPost: true}},
+		{"/graphs", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
+		{"/graphs/some-id", map[string]bool{http.MethodPut: true, http.MethodGet: true, http.MethodHead: true, http.MethodDelete: true}},
+		{"/graphs/some-id/solve", map[string]bool{http.MethodPost: true}},
+		{"/healthz", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
+		{"/metrics", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
+	}
+	methods := []string{
+		http.MethodGet, http.MethodHead, http.MethodPost,
+		http.MethodPut, http.MethodDelete, http.MethodPatch,
+	}
+	for _, rt := range routes {
+		for _, method := range methods {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(method, rt.path, nil))
+			if rt.allowed[method] {
+				// Allowed methods reach their handler; the status may still
+				// be 404 (unregistered id) or 400, but never 405.
+				if rec.Code == http.StatusMethodNotAllowed {
+					t.Errorf("%s %s: status %d for an allowed method", method, rt.path, rec.Code)
+				}
+				continue
+			}
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, rt.path, rec.Code)
+			}
+			if rec.Header().Get("Allow") == "" {
+				t.Errorf("%s %s: 405 without an Allow header", method, rt.path)
+			}
+		}
+	}
+	// Unknown routes are still 404, whatever the method.
+	for _, method := range methods {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, "/nope", nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s /nope: status %d, want 404", method, rec.Code)
+		}
+	}
+}
+
+// do runs one request against the handler and returns the recorder.
+func do(h http.Handler, method, path string, body []byte, header map[string]string) *httptest.ResponseRecorder {
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func encodeBinary(t *testing.T, g *graph.CSR) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRegistryEndpointsLifecycle(t *testing.T) {
+	g := gen.ErdosRenyi(1, 150, 600, gen.WeightUniform, 11)
+	oracle := mst.Kruskal(g)
+	body := encodeBinary(t, g)
+	h := testServer(t, nil).handler()
+
+	// Register.
+	rec := do(h, http.MethodPut, "/graphs/road", body, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("put: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var info struct {
+		ID       string `json:"id"`
+		Version  uint64 `json:"version"`
+		Vertices int    `json:"vertices"`
+		Edges    int    `json:"edges"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "road" || info.Version != 1 || info.Vertices != g.NumVertices() || info.Edges != g.NumEdges() {
+		t.Fatalf("put reply: %+v", info)
+	}
+
+	// Read back, individually and in the listing.
+	if rec := do(h, http.MethodGet, "/graphs/road", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("get: status %d", rec.Code)
+	}
+	rec = do(h, http.MethodGet, "/graphs", nil, nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"id":"road"`) {
+		t.Fatalf("list: status %d body %s", rec.Code, rec.Body.String())
+	}
+
+	// Solve: first fresh, second cached, both the oracle forest.
+	for i, wantCached := range []bool{false, true} {
+		rec := do(h, http.MethodPost, "/graphs/road/solve", nil, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var reply registrySolveReply
+		if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.GraphID != "road" || reply.GraphVersion != 1 || reply.Cached != wantCached {
+			t.Fatalf("solve %d provenance: %+v", i, reply)
+		}
+		if reply.Weight != oracle.Weight || reply.ForestEdges != len(oracle.EdgeIDs) {
+			t.Fatalf("solve %d forest differs from oracle: %+v", i, reply)
+		}
+	}
+
+	// Re-register: version bumps, cache entry dies, old version is gone.
+	if rec := do(h, http.MethodPut, "/graphs/road", body, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("re-put: status %d", rec.Code)
+	}
+	rec = do(h, http.MethodPost, "/graphs/road/solve", nil, nil)
+	var reply registrySolveReply
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.GraphVersion != 2 || reply.Cached {
+		t.Fatalf("solve after re-put: %+v", reply)
+	}
+	if rec := do(h, http.MethodPost, "/graphs/road/solve?version=1", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("superseded version: status %d", rec.Code)
+	}
+	if rec := do(h, http.MethodPost, "/graphs/road/solve?version=2", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("pinned current version: status %d", rec.Code)
+	}
+
+	// Errors: bad body, bad version, unknown ids, then delete.
+	if rec := do(h, http.MethodPut, "/graphs/bad", []byte("junk"), nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("junk put: status %d", rec.Code)
+	}
+	if rec := do(h, http.MethodPost, "/graphs/road/solve?version=zero", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad version param: status %d", rec.Code)
+	}
+	if rec := do(h, http.MethodGet, "/graphs/missing", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("get missing: status %d", rec.Code)
+	}
+	if rec := do(h, http.MethodPost, "/graphs/missing/solve", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("solve missing: status %d", rec.Code)
+	}
+	if rec := do(h, http.MethodDelete, "/graphs/road", nil, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", rec.Code)
+	}
+	if rec := do(h, http.MethodDelete, "/graphs/road", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", rec.Code)
+	}
+}
+
+func TestRegistryPutFromGraphDir(t *testing.T) {
+	g := gen.ErdosRenyi(1, 80, 240, gen.WeightUniform, 12)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "g.llpg"), encodeBinary(t, g), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// With -graph-dir unset, server-side loading is rejected.
+	h := testServer(t, nil).handler()
+	if rec := do(h, http.MethodPut, "/graphs/disk?path=g.llpg", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("path without -graph-dir: status %d", rec.Code)
+	}
+
+	h = testServer(t, func(cfg *serverConfig) { cfg.graphDir = dir }).handler()
+	rec := do(h, http.MethodPut, "/graphs/disk?path=g.llpg", nil, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("disk put: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(h, http.MethodGet, "/graphs/disk", nil, nil); rec.Code != http.StatusOK {
+		t.Fatalf("get after disk put: status %d", rec.Code)
+	}
+	// Escapes are rejected before touching the filesystem; misses are 404.
+	if rec := do(h, http.MethodPut, "/graphs/evil?path=..%2Fsecret", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("escaping path: status %d", rec.Code)
+	}
+	if rec := do(h, http.MethodPut, "/graphs/gone?path=missing.llpg", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("missing file: status %d", rec.Code)
+	}
+}
+
+func TestRegistrySolveQuota(t *testing.T) {
+	g := gen.ErdosRenyi(1, 60, 180, gen.WeightUniform, 13)
+	h := testServer(t, func(cfg *serverConfig) {
+		cfg.quotaRate = 0.001 // one token, refilling ~every 17 minutes
+		cfg.quotaBurst = 1
+	}).handler()
+	if rec := do(h, http.MethodPut, "/graphs/q", encodeBinary(t, g), nil); rec.Code != http.StatusCreated {
+		t.Fatalf("put: status %d", rec.Code)
+	}
+
+	alice := map[string]string{"X-API-Key": "alice"}
+	if rec := do(h, http.MethodPost, "/graphs/q/solve", nil, alice); rec.Code != http.StatusOK {
+		t.Fatalf("first solve: status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := do(h, http.MethodPost, "/graphs/q/solve", nil, alice)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota solve: status %d, want 429", rec.Code)
+	}
+	retry, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("429 Retry-After %q, want integral seconds >= 1", rec.Header().Get("Retry-After"))
+	}
+	// Alice's exhaustion does not touch Bob (cache hit, but still metered).
+	if rec := do(h, http.MethodPost, "/graphs/q/solve", nil, map[string]string{"X-API-Key": "bob"}); rec.Code != http.StatusOK {
+		t.Fatalf("other tenant: status %d", rec.Code)
+	}
+}
+
+// TestRegistrySolveCollapsesParallelRequests is the HTTP-level mirror of
+// the CI serve-smoke assertion: 50 parallel solves of a hot graph perform
+// exactly one underlying solve, however the requests interleave (joiners
+// share the flight, stragglers hit the completed cache).
+func TestRegistrySolveCollapsesParallelRequests(t *testing.T) {
+	g := gen.ErdosRenyi(1, 200, 800, gen.WeightUniform, 14)
+	oracle := mst.Kruskal(g)
+	s := testServer(t, nil)
+	h := s.handler()
+	if rec := do(h, http.MethodPut, "/graphs/hot", encodeBinary(t, g), nil); rec.Code != http.StatusCreated {
+		t.Fatalf("put: status %d", rec.Code)
+	}
+
+	const parallel = 50
+	var wg sync.WaitGroup
+	codes := make([]int, parallel)
+	weights := make([]float64, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := do(h, http.MethodPost, "/graphs/hot/solve", nil, nil)
+			codes[i] = rec.Code
+			var reply registrySolveReply
+			if rec.Code == http.StatusOK {
+				if err := json.Unmarshal(rec.Body.Bytes(), &reply); err == nil {
+					weights[i] = reply.Weight
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < parallel; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if weights[i] != oracle.Weight {
+			t.Fatalf("request %d: weight %g, want %g", i, weights[i], oracle.Weight)
+		}
+	}
+	st := s.reg.Stats()
+	if st.Solves != 1 {
+		t.Fatalf("underlying solves = %d, want exactly 1 (stats %+v)", st.Solves, st)
+	}
+	if st.Hits+st.Shared != parallel-1 {
+		t.Fatalf("hits(%d) + shared(%d) != %d", st.Hits, st.Shared, parallel-1)
+	}
+
+	// The collapse is visible in /metrics, as the CI smoke test asserts.
+	rec := do(h, http.MethodGet, "/metrics", nil, nil)
+	if !strings.Contains(rec.Body.String(), `llpmst_registry_total{kind="solves"} 1`) {
+		t.Fatalf("metrics missing the collapsed solve count:\n%s", rec.Body.String())
+	}
+}
+
+// TestRegistryEndpointsShedWhileDraining pins the drain behaviour of the
+// mutating registry routes.
+func TestRegistryEndpointsShedWhileDraining(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.handler()
+	s.draining.Store(true)
+	for _, rt := range []struct{ method, path string }{
+		{http.MethodPut, "/graphs/x"},
+		{http.MethodPost, "/graphs/x/solve"},
+	} {
+		rec := do(h, rt.method, rt.path, nil, nil)
+		if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s %s while draining: status %d", rt.method, rt.path, rec.Code)
+		}
+	}
 }

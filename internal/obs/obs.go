@@ -61,6 +61,25 @@ const (
 	// CtrFallbackUsed counts solves answered by the sequential Kruskal
 	// fallback after the portfolio failed.
 	CtrFallbackUsed
+	// CtrRegistryPut counts graph registrations (new ids and version bumps).
+	CtrRegistryPut
+	// CtrRegistryHit counts solve requests answered from the registry's
+	// completed-result cache.
+	CtrRegistryHit
+	// CtrRegistryMiss counts solve requests that found no cached result and
+	// no in-flight solve to join.
+	CtrRegistryMiss
+	// CtrRegistrySolve counts underlying solver calls launched by the
+	// registry (each collapses any number of concurrent requests).
+	CtrRegistrySolve
+	// CtrRegistryShared counts solve requests that joined an in-flight
+	// singleflight solve instead of launching their own.
+	CtrRegistryShared
+	// CtrRegistryEvict counts graph snapshots evicted by the registry's LRU
+	// memory bound.
+	CtrRegistryEvict
+	// CtrQuotaShed counts solve requests rejected by per-tenant quotas.
+	CtrQuotaShed
 
 	// NumCounters is the number of defined counters (array sizing).
 	NumCounters
@@ -115,6 +134,20 @@ func (c Counter) String() string {
 		return "verify.failed"
 	case CtrFallbackUsed:
 		return "fallback.used"
+	case CtrRegistryPut:
+		return "registry.put"
+	case CtrRegistryHit:
+		return "registry.cache.hit"
+	case CtrRegistryMiss:
+		return "registry.cache.miss"
+	case CtrRegistrySolve:
+		return "registry.solve"
+	case CtrRegistryShared:
+		return "registry.singleflight.shared"
+	case CtrRegistryEvict:
+		return "registry.evict"
+	case CtrQuotaShed:
+		return "quota.shed"
 	}
 	return "counter(?)"
 }

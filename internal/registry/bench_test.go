@@ -1,0 +1,59 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"llpmst/internal/gen"
+	"llpmst/internal/resilient"
+)
+
+// The hot-graph benchmarks quantify what the result cache buys: the same
+// registered graph solved repeatedly from parallel clients, once with the
+// cache doing its job and once with every request forced to miss (a unique
+// options key per request). The ratio is the EXPERIMENTS.md "hot graph"
+// table.
+func benchRegistry(b *testing.B) (*Registry, *resilient.Runner) {
+	b.Helper()
+	runner := resilient.New(resilient.Config{})
+	r := New(Config{Solver: runner})
+	g := gen.ErdosRenyi(0, 50_000, 200_000, gen.WeightUniform, 42)
+	if _, err := r.Put("hot", g); err != nil {
+		b.Fatal(err)
+	}
+	return r, runner
+}
+
+func BenchmarkHotGraphSolveCached(b *testing.B) {
+	r, runner := benchRegistry(b)
+	defer runner.Drain(context.Background())
+	// Warm the cache so every measured request is a hit.
+	if _, err := r.Solve(context.Background(), "bench", "hot", 0, SolveOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := r.Solve(context.Background(), "bench", "hot", 0, SolveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkHotGraphSolveUncached(b *testing.B) {
+	r, runner := benchRegistry(b)
+	defer runner.Drain(context.Background())
+	var key atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			opts := SolveOptions{Key: fmt.Sprintf("k%d", key.Add(1))}
+			if _, err := r.Solve(context.Background(), "bench", "hot", 0, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNotFound is the sentinel every missing-graph lookup matches:
+// errors.Is(err, ErrNotFound) is true for any *NotFoundError. Callers map it
+// to HTTP 404.
+var ErrNotFound = errors.New("registry: graph not found")
+
+// ErrQuotaExceeded is the sentinel every per-tenant quota rejection matches:
+// errors.Is(err, ErrQuotaExceeded) is true for any *QuotaError. Callers map
+// it to HTTP 429 with a Retry-After header.
+var ErrQuotaExceeded = errors.New("registry: tenant quota exceeded")
+
+// NotFoundError is the typed miss a lookup returns. Version is 0 when the id
+// itself is unknown, and the requested version when the id exists but that
+// snapshot is gone (superseded by a later Put, or evicted by the LRU bound).
+type NotFoundError struct {
+	ID      string
+	Version uint64
+}
+
+// Error describes the miss.
+func (e *NotFoundError) Error() string {
+	if e.Version != 0 {
+		return fmt.Sprintf("registry: graph %q version %d not resident (superseded or evicted)", e.ID, e.Version)
+	}
+	return fmt.Sprintf("registry: graph %q not found", e.ID)
+}
+
+// Is makes errors.Is(err, ErrNotFound) match.
+func (e *NotFoundError) Is(target error) bool { return target == ErrNotFound }
+
+// QuotaError is the typed rejection a tenant receives when its token bucket
+// is empty. It unwraps to ErrQuotaExceeded.
+type QuotaError struct {
+	// Tenant is the rejected tenant's identity.
+	Tenant string
+	// RetryAfter is how long until the bucket refills enough for one
+	// request; HTTP front-ends round it up into a Retry-After header.
+	RetryAfter time.Duration
+}
+
+// Error describes the rejection.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("registry: tenant %q over quota, retry in %v", e.Tenant, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrQuotaExceeded) match.
+func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }

@@ -1,0 +1,81 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"llpmst/internal/gen"
+	"llpmst/internal/graph"
+)
+
+// FuzzRegistryPut drives arbitrary bytes through the registration path.
+// Three properties, whatever the input:
+//
+//   - PutData never panics;
+//   - a failed put leaks nothing — Get afterwards misses exactly as if the
+//     call had never happened;
+//   - inputs accepted as binary (GPLL magic) are bit-stable: one encode of
+//     the registered snapshot is a fixed point of decode∘encode, so the
+//     binary format neither loses nor invents information on the way
+//     through the registry.
+func FuzzRegistryPut(f *testing.F) {
+	f.Add([]byte("p sp 3 4\na 1 2 10\na 2 1 10\na 2 3 20\na 3 2 20\n"))
+	f.Add([]byte("not a graph at all"))
+	f.Add([]byte("GPLL"))
+	f.Add([]byte{})
+	var seed bytes.Buffer
+	if err := graph.WriteBinary(&seed, gen.ErdosRenyi(1, 20, 60, gen.WeightUniform, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:len(seed.Bytes())-3])                    // truncated edge list
+	f.Add(append(append([]byte{}, seed.Bytes()...), 0xde, 0xad)) // trailing junk
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		r := New(Config{Workers: 1})
+		info, err := r.PutData("fuzz", bytes.NewReader(data))
+		if err != nil {
+			if _, gerr := r.Get("fuzz"); !errors.Is(gerr, ErrNotFound) {
+				t.Fatalf("failed put leaked a partial registration: %v", gerr)
+			}
+			if st := r.Stats(); st.Graphs != 0 || st.ResidentBytes != 0 || st.Puts != 0 {
+				t.Fatalf("failed put left state behind: %+v", st)
+			}
+			return
+		}
+
+		got, gerr := r.Get("fuzz")
+		if gerr != nil || got != info {
+			t.Fatalf("get after put: %+v, %v (want %+v)", got, gerr, info)
+		}
+		g, _, serr := r.Snapshot("fuzz", info.Version)
+		if serr != nil {
+			t.Fatalf("snapshot after put: %v", serr)
+		}
+		if g.NumVertices() != info.Vertices || g.NumEdges() != info.Edges {
+			t.Fatalf("snapshot disagrees with info: %d/%d vs %+v", g.NumVertices(), g.NumEdges(), info)
+		}
+
+		if bytes.HasPrefix(data, binaryMagic) {
+			var enc1 bytes.Buffer
+			if err := graph.WriteBinary(&enc1, g); err != nil {
+				t.Fatalf("re-encode of accepted binary graph failed: %v", err)
+			}
+			g2, err := graph.ReadBinary(1, bytes.NewReader(enc1.Bytes()))
+			if err != nil {
+				t.Fatalf("decode of own encoding failed: %v", err)
+			}
+			var enc2 bytes.Buffer
+			if err := graph.WriteBinary(&enc2, g2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+				t.Fatal("GPLL round trip is not bit-stable")
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"llpmst/internal/gen"
+	"llpmst/internal/graph"
+	"llpmst/internal/mst"
+)
+
+// corpusGraph draws the i-th graph of the metamorphic corpus: a rotation
+// through the generator families so the cache correctness property is
+// checked across sparse, dense, scale-free, and geometric morphologies.
+func corpusGraph(i int) *graph.CSR {
+	seed := int64(100 + i)
+	switch i % 5 {
+	case 0:
+		return gen.ErdosRenyi(1, 150+10*i, 600+40*i, gen.WeightUniform, seed)
+	case 1:
+		return gen.RMAT(1, 7, 8, gen.WeightUniform, seed)
+	case 2:
+		return gen.RoadNetwork(1, 10, 10, 0.3, seed)
+	case 3:
+		return gen.Geometric(1, 120, gen.ConnectivityRadius(120), seed)
+	default:
+		return gen.PreferentialAttachment(1, 150, 3, seed)
+	}
+}
+
+// permuteEdges rebuilds g with its edge list in a shuffled order. The graph
+// is the same abstract weighted graph, but every canonical edge id changes,
+// so any accidental reuse of version-1 state for version 2 produces forests
+// that fail the fresh oracle.
+func permuteEdges(t *testing.T, g *graph.CSR, seed int64) *graph.CSR {
+	t.Helper()
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	perm, err := graph.FromEdges(1, g.NumVertices(), edges)
+	if err != nil {
+		t.Fatalf("permuted rebuild: %v", err)
+	}
+	return perm
+}
+
+// TestMetamorphicCacheCorrectness is the cache-correctness battery: for
+// each corpus graph, register → solve → solve again (cached) → re-register
+// an edge-permuted version → solve. Every answer must match the Kruskal
+// oracle of the exact graph it was computed for, the cached and fresh
+// answers must agree, and the version bump must invalidate the old entry.
+func TestMetamorphicCacheCorrectness(t *testing.T) {
+	graphs := 20
+	if testing.Short() {
+		graphs = 8
+	}
+	sol := algSolver(t)
+	for i := 0; i < graphs; i++ {
+		i := i
+		t.Run(fmt.Sprintf("graph%02d", i), func(t *testing.T) {
+			r := New(Config{Solver: sol})
+			g := corpusGraph(i)
+			oracle := mst.Kruskal(g)
+			id := fmt.Sprintf("g%02d", i)
+
+			if _, err := r.Put(id, g); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := r.Solve(context.Background(), "t", id, 0, SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fresh.Forest.Equal(oracle) {
+				t.Fatalf("fresh solve differs from oracle: %v vs %v", fresh.Forest, oracle)
+			}
+			cached, err := r.Solve(context.Background(), "t", id, 0, SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cached.Cached {
+				t.Fatal("second solve missed the cache")
+			}
+			if !cached.Forest.Equal(oracle) {
+				t.Fatalf("cached solve differs from oracle: %v vs %v", cached.Forest, oracle)
+			}
+
+			// Metamorphic step: same abstract graph, permuted edge order.
+			perm := permuteEdges(t, g, int64(1000+i))
+			permOracle := mst.Kruskal(perm)
+			info, err := r.Put(id, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Version != 2 {
+				t.Fatalf("version after re-register = %d, want 2", info.Version)
+			}
+
+			after, err := r.Solve(context.Background(), "t", id, 0, SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after.Cached {
+				t.Fatal("version bump did not invalidate the cache entry")
+			}
+			if after.Version != 2 {
+				t.Fatalf("solve after re-register answered version %d", after.Version)
+			}
+			if !after.Forest.Equal(permOracle) {
+				t.Fatalf("post-permutation solve differs from its oracle: %v vs %v", after.Forest, permOracle)
+			}
+
+			// The permutation preserved the abstract MSF: same edge count,
+			// same total weight up to float accumulation order.
+			if len(after.Forest.EdgeIDs) != len(oracle.EdgeIDs) {
+				t.Fatalf("forest size changed under permutation: %d vs %d", len(after.Forest.EdgeIDs), len(oracle.EdgeIDs))
+			}
+			if d := math.Abs(after.Forest.Weight - oracle.Weight); d > 1e-6*math.Max(1, math.Abs(oracle.Weight)) {
+				t.Fatalf("forest weight changed under permutation: %g vs %g", after.Forest.Weight, oracle.Weight)
+			}
+
+			// The superseded version is gone, not silently remapped.
+			if _, err := r.Solve(context.Background(), "t", id, 1, SolveOptions{}); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("superseded version still answered: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package registry
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is one tenant's token-bucket allowance. Rate is the steady-state
+// refill in requests per second; Burst is the bucket capacity (how far a
+// tenant may briefly exceed the rate). The zero Quota means "unlimited".
+type Quota struct {
+	Rate  float64
+	Burst float64
+}
+
+func (q Quota) limited() bool { return q.Rate > 0 }
+
+// normalize fills the burst default: at least one request, and never below
+// the per-second rate (a burst smaller than the rate would throttle below
+// the configured steady state).
+func (q Quota) normalize() Quota {
+	if q.Burst < 1 {
+		q.Burst = math.Max(1, q.Rate)
+	}
+	return q
+}
+
+// bucket is one tenant's live token bucket. Buckets start full so a new
+// tenant gets its burst immediately.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas owns every tenant's bucket under one mutex; quota checks are a
+// handful of float ops, so a single lock is not a bottleneck next to a
+// solve.
+type quotas struct {
+	def     Quota
+	perTen  map[string]Quota
+	now     func() time.Time
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newQuotas(def Quota, perTenant map[string]Quota, now func() time.Time) *quotas {
+	q := &quotas{def: def.normalize(), now: now, buckets: make(map[string]*bucket)}
+	if len(perTenant) > 0 {
+		q.perTen = make(map[string]Quota, len(perTenant))
+		for t, quo := range perTenant {
+			q.perTen[t] = quo.normalize()
+		}
+	}
+	return q
+}
+
+// limitFor resolves the tenant's quota: an explicit per-tenant entry wins,
+// else the default.
+func (q *quotas) limitFor(tenant string) Quota {
+	if quo, ok := q.perTen[tenant]; ok {
+		return quo
+	}
+	return q.def
+}
+
+// take spends one token from tenant's bucket. On rejection it returns the
+// time until the bucket holds a full token again.
+func (q *quotas) take(tenant string) (retryAfter time.Duration, ok bool) {
+	limit := q.limitFor(tenant)
+	if !limit.limited() {
+		return 0, true
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: limit.Burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(limit.Burst, b.tokens+limit.Rate*dt.Seconds())
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / limit.Rate
+	return time.Duration(need * float64(time.Second)), false
+}

@@ -1,0 +1,136 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestQuotaBurstThenRefillBoundary(t *testing.T) {
+	clk := newFakeClock()
+	q := newQuotas(Quota{Rate: 1, Burst: 2}, nil, clk.now)
+
+	// The burst is available immediately.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.take("t"); !ok {
+			t.Fatalf("burst take %d rejected", i)
+		}
+	}
+	retry, ok := q.take("t")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after %v, want (0, 1s]", retry)
+	}
+
+	// 999ms refills 0.999 tokens: still short of one.
+	clk.advance(999 * time.Millisecond)
+	if retry, ok := q.take("t"); ok {
+		t.Fatal("admitted at 0.999 tokens")
+	} else if retry <= 0 || retry > 2*time.Millisecond {
+		t.Fatalf("boundary retry-after %v, want ~1ms", retry)
+	}
+
+	// The final millisecond crosses the boundary.
+	clk.advance(time.Millisecond)
+	if _, ok := q.take("t"); !ok {
+		t.Fatal("rejected with a full token")
+	}
+	// And the bucket is empty again immediately after.
+	if _, ok := q.take("t"); ok {
+		t.Fatal("admitted twice off one refilled token")
+	}
+}
+
+func TestQuotaCapsAtBurstAndDefaultsBurst(t *testing.T) {
+	clk := newFakeClock()
+	q := newQuotas(Quota{Rate: 10, Burst: 3}, nil, clk.now)
+	for i := 0; i < 3; i++ {
+		if _, ok := q.take("t"); !ok {
+			t.Fatalf("burst take %d rejected", i)
+		}
+	}
+	// An hour idle refills to the cap, not rate*3600.
+	clk.advance(time.Hour)
+	admitted := 0
+	for {
+		if _, ok := q.take("t"); !ok {
+			break
+		}
+		admitted++
+		if admitted > 10 {
+			break
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d after long idle, want burst cap 3", admitted)
+	}
+
+	// Burst <= 0 defaults to max(1, rate).
+	if got := (Quota{Rate: 5}).normalize().Burst; got != 5 {
+		t.Fatalf("default burst %g, want 5", got)
+	}
+	if got := (Quota{Rate: 0.2}).normalize().Burst; got != 1 {
+		t.Fatalf("default burst %g, want 1", got)
+	}
+}
+
+func TestQuotaTenantsAreIsolated(t *testing.T) {
+	clk := newFakeClock()
+	sol := &countingSolver{}
+	r := New(Config{
+		Solver:       sol,
+		DefaultQuota: Quota{Rate: 1, Burst: 1},
+		TenantQuotas: map[string]Quota{"vip": {Rate: 1000, Burst: 1000}, "free": {}},
+		Clock:        clk.now,
+	})
+	if _, err := r.Put("g", testGraph(20)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Tenant A burns its single token...
+	if _, err := r.Solve(ctx, "a", "g", 0, SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Solve(ctx, "a", "g", 0, SolveOptions{})
+	var qe *QuotaError
+	if !errors.As(err, &qe) || !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("want typed QuotaError, got %v", err)
+	}
+	if qe.Tenant != "a" || qe.RetryAfter <= 0 {
+		t.Fatalf("quota error fields: %+v", qe)
+	}
+
+	// ...without touching tenant B, the vip override, or the unlimited
+	// "free" override (zero per-tenant quota = no limit).
+	if _, err := r.Solve(ctx, "b", "g", 0, SolveOptions{}); err != nil {
+		t.Fatalf("tenant b rejected after a's exhaustion: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := r.Solve(ctx, "vip", "g", 0, SolveOptions{}); err != nil {
+			t.Fatalf("vip solve %d: %v", i, err)
+		}
+		if _, err := r.Solve(ctx, "free", "g", 0, SolveOptions{}); err != nil {
+			t.Fatalf("free solve %d: %v", i, err)
+		}
+	}
+	if st := r.Stats(); st.QuotaShed != 1 {
+		t.Fatalf("quota shed count %d, want 1", st.QuotaShed)
+	}
+
+	// A quota rejection never reaches the solver (the one underlying call
+	// belongs to the very first, admitted solve).
+	if got := sol.calls.Load(); got != 1 {
+		t.Fatalf("underlying solves = %d, want 1", got)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"llpmst/internal/mst"
 	"llpmst/internal/obs"
 	"llpmst/internal/par"
+	"llpmst/internal/registry"
 	"llpmst/internal/resilient"
 )
 
@@ -352,6 +353,44 @@ func RunResilient(ctx context.Context, g *Graph, cfg ResilientConfig) (Resilient
 	_ = r.Drain(context.Background())
 	return res, err
 }
+
+// GraphRegistry is the named-graph registry behind mstserve's /graphs
+// endpoints: immutable versioned CSR snapshots under an LRU memory bound,
+// a version-keyed result cache fronted by singleflight (concurrent misses
+// for the same graph collapse into one solve), and per-tenant token-bucket
+// quotas. Safe for concurrent use; one registry serves a whole process.
+type (
+	GraphRegistry        = registry.Registry
+	GraphRegistryConfig  = registry.Config
+	GraphInfo            = registry.GraphInfo
+	RegistrySolveOptions = registry.SolveOptions
+	RegistrySolveResult  = registry.SolveResult
+	RegistryStats        = registry.Stats
+	TenantQuota          = registry.Quota
+)
+
+// GraphNotFoundError and QuotaError are the registry's typed failures;
+// they unwrap to ErrGraphNotFound and ErrQuotaExceeded respectively, so
+// errors.Is works across the facade.
+type (
+	GraphNotFoundError = registry.NotFoundError
+	QuotaError         = registry.QuotaError
+)
+
+// Registry sentinel errors: a solve or lookup of an unknown (or
+// superseded) graph matches ErrGraphNotFound; a solve rejected by a
+// tenant's token bucket matches ErrQuotaExceeded.
+var (
+	ErrGraphNotFound = registry.ErrNotFound
+	ErrQuotaExceeded = registry.ErrQuotaExceeded
+)
+
+// NewGraphRegistry builds a graph registry from cfg. The zero Config is
+// serviceable for caching alone (no solver: Put/Get/Snapshot work and
+// Solve reports it unconfigured); production registries set Solver — a
+// *ResilientRunner satisfies the interface directly — plus a memory
+// budget and quotas.
+func NewGraphRegistry(cfg GraphRegistryConfig) *GraphRegistry { return registry.New(cfg) }
 
 // DistributedMSFFaulty is DistributedMSF over a lossy network driven by
 // plan: messages drop, duplicate, arrive late or reordered, and nodes crash

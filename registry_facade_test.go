@@ -1,0 +1,68 @@
+package llpmst
+
+// End-to-end coverage of the GraphRegistry facade: the exported wrappers
+// are exercised against a real resilient runner so the public surface —
+// registration, cached solves, typed not-found and quota errors — is
+// verified, not just re-exported.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestAPIGraphRegistry(t *testing.T) {
+	runner := NewResilientRunner(ResilientConfig{Workers: 2})
+	defer runner.Drain(context.Background())
+	reg := NewGraphRegistry(GraphRegistryConfig{
+		Solver:       runner,
+		DefaultQuota: TenantQuota{Rate: 0.001, Burst: 2},
+	})
+
+	g := GenerateErdosRenyi(120, 480, WeightUniform, 9)
+	oracle := Kruskal(g)
+	info, err := reg.Put("api", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "api" || info.Version != 1 || info.Edges != g.NumEdges() {
+		t.Fatalf("put info: %+v", info)
+	}
+
+	ctx := context.Background()
+	fresh, err := reg.Solve(ctx, "alice", "api", 0, RegistrySolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached || !fresh.Forest.Equal(oracle) {
+		t.Fatalf("fresh solve: cached=%v forest=%v", fresh.Cached, fresh.Forest)
+	}
+	cached, err := reg.Solve(ctx, "alice", "api", 0, RegistrySolveOptions{})
+	if err != nil || !cached.Cached {
+		t.Fatalf("second solve: %+v, %v", cached, err)
+	}
+
+	// Alice's burst of 2 is spent; the third solve is a typed quota error.
+	_, err = reg.Solve(ctx, "alice", "api", 0, RegistrySolveOptions{})
+	var qe *QuotaError
+	if !errors.As(err, &qe) || !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("want QuotaError, got %v", err)
+	}
+	if qe.Tenant != "alice" || qe.RetryAfter <= 0 {
+		t.Fatalf("quota error fields: %+v", qe)
+	}
+
+	// Unknown graphs are a typed not-found.
+	_, err = reg.Solve(ctx, "bob", "missing", 0, RegistrySolveOptions{})
+	var nf *GraphNotFoundError
+	if !errors.As(err, &nf) || !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("want GraphNotFoundError, got %v", err)
+	}
+
+	if st := reg.Stats(); st.Solves != 1 || st.Hits != 1 || st.QuotaShed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := reg.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
