@@ -24,7 +24,22 @@
 //	                          from the X-API-Key header; per-tenant token
 //	                          buckets (-quota-rate/-quota-burst) reject
 //	                          over-quota tenants with 429 + Retry-After.
-//	GET    /healthz           200 while serving, 503 once draining
+//	PUT    /streams/{id}      create a durable edge stream: body
+//	                          {"vertices":N}; 201 on create, 200 if it
+//	                          already exists with the same shape, 409 on
+//	                          a shape mismatch
+//	POST   /streams/{id}/update apply one batch of edge inserts/deletes:
+//	                          body {"batch":ID,"ops":[{"delete":bool,
+//	                          "u":..,"v":..,"w":..},...]}; batch IDs are
+//	                          client-assigned and strictly increasing, so
+//	                          retrying an acknowledged ID is idempotent
+//	GET    /streams/{id}/forest the maintained minimum spanning forest
+//	GET    /streams           list streams
+//	GET    /streams/{id}      one stream's stats and last recovery report
+//	DELETE /streams/{id}      close the stream and delete its WAL/snapshot
+//	GET    /healthz           200 while serving; 503 while replaying
+//	                          stream WALs at startup ("recovering") and
+//	                          once draining ("draining")
 //	GET    /metrics           Prometheus text: flight-recorder counters
 //	                          and spans, breaker states, runner lifetime
 //	                          stats, and registry/cache/quota counters
@@ -67,6 +82,7 @@ import (
 	"llpmst/internal/obs"
 	"llpmst/internal/registry"
 	"llpmst/internal/resilient"
+	"llpmst/internal/stream"
 )
 
 func main() {
@@ -88,6 +104,7 @@ type serverConfig struct {
 	quotaRate   float64
 	quotaBurst  float64
 	resilient   resilient.Config
+	streams     streamConfig
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -117,8 +134,17 @@ func run(args []string, stdout io.Writer) error {
 		chaosDelay    = fs.Float64("chaos-delay", 0, "probability a portfolio leg stalls")
 		chaosMaxDelay = fs.Int("chaos-max-delay", 4, "stall length bound, in chaos units")
 		chaosUnit     = fs.Duration("chaos-unit", 2*time.Millisecond, "duration of one chaos stall unit")
+		streamDir     = fs.String("stream-dir", "", "directory for stream WALs and snapshots (empty = streams are in-memory only)")
+		streamSync    = fs.String("stream-sync", "always", "stream WAL fsync policy: always, interval, or off")
+		streamSyncInt = fs.Duration("stream-sync-interval", 100*time.Millisecond, "flush period under -stream-sync=interval")
+		snapshotEvery = fs.Int("snapshot-every", 1024, "batches between stream snapshot compactions (0 = default)")
+		recoverHold   = fs.Duration("stream-recover-hold", 0, "artificially stretch startup recovery (drill knob for observing the 503 window)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	syncPolicy, err := stream.ParseSyncPolicy(*streamSync)
+	if err != nil {
 		return err
 	}
 	for _, name := range []string{*primary, *backup} {
@@ -136,6 +162,14 @@ func run(args []string, stdout io.Writer) error {
 		registryMem: *registryMem,
 		quotaRate:   *quotaRate,
 		quotaBurst:  *quotaBurst,
+		streams: streamConfig{
+			dir:           *streamDir,
+			sync:          syncPolicy,
+			syncInterval:  *streamSyncInt,
+			snapshotEvery: *snapshotEvery,
+			workers:       *workers,
+			recoverHold:   *recoverHold,
+		},
 		resilient: resilient.Config{
 			Primary:           mst.Algorithm(*primary),
 			Backup:            mst.Algorithm(*backup),
@@ -167,6 +201,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	httpSrv := &http.Server{Handler: srv.handler()}
 	fmt.Fprintf(stdout, "mstserve listening on %s\n", ln.Addr())
+	// Stream recovery runs alongside serving: /healthz and stream routes
+	// answer 503 until every persisted stream has been replayed.
+	go srv.streams.recoverAll(func(format string, args ...any) {
+		fmt.Fprintf(stdout, format+"\n", args...)
+	})
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -192,6 +231,11 @@ func run(args []string, stdout io.Writer) error {
 	if err := srv.runner.Drain(ctx); err != nil {
 		return fmt.Errorf("leg drain: %w", err)
 	}
+	// Streams close last: HTTP traffic has stopped, so each engine can take
+	// its final fsync and release its WAL cleanly.
+	if err := srv.streams.closeAll(); err != nil {
+		return fmt.Errorf("stream close: %w", err)
+	}
 	st := srv.runner.Stats()
 	fmt.Fprintf(stdout, "drained: %d solves, %d shed, %d hedges (%d won), %d fallbacks\n",
 		st.Solves, st.Shed, st.HedgesLaunched, st.HedgeWins, st.FallbacksUsed)
@@ -214,6 +258,7 @@ type server struct {
 	runner   *resilient.Runner
 	reg      *registry.Registry
 	flight   *obs.FlightRecorder
+	streams  *streamManager
 	draining atomic.Bool
 }
 
@@ -233,7 +278,12 @@ func newServer(cfg serverConfig) *server {
 		DefaultQuota:      registry.Quota{Rate: cfg.quotaRate, Burst: cfg.quotaBurst},
 		Observer:          flight,
 	})
-	return &server{cfg: cfg, runner: runner, reg: reg, flight: flight}
+	scfg := cfg.streams
+	scfg.observer = flight
+	if scfg.workers == 0 {
+		scfg.workers = cfg.workers
+	}
+	return &server{cfg: cfg, runner: runner, reg: reg, flight: flight, streams: newStreamManager(scfg)}
 }
 
 // handler builds the method-scoped route table. Method scoping is what
@@ -247,6 +297,12 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /graphs/{id}", s.handleDeleteGraph)
 	mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /graphs/{id}/solve", s.handleRegistrySolve)
+	mux.HandleFunc("PUT /streams/{id}", s.handlePutStream)
+	mux.HandleFunc("GET /streams/{id}", s.handleGetStream)
+	mux.HandleFunc("DELETE /streams/{id}", s.handleDeleteStream)
+	mux.HandleFunc("GET /streams", s.handleListStreams)
+	mux.HandleFunc("POST /streams/{id}/update", s.handleStreamUpdate)
+	mux.HandleFunc("GET /streams/{id}/forest", s.handleStreamForest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -526,6 +582,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.runner.Stats()
 	status := "ok"
 	code := http.StatusOK
+	if !s.streams.ready.Load() {
+		// Startup recovery is still replaying stream WALs: keep load
+		// balancers away until every acknowledged batch is back.
+		status = "recovering"
+		code = http.StatusServiceUnavailable
+	}
 	if s.draining.Load() {
 		status = "draining"
 		code = http.StatusServiceUnavailable

@@ -32,7 +32,11 @@ func testServer(t *testing.T, mutate func(*serverConfig)) *server {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return newServer(cfg)
+	srv := newServer(cfg)
+	// Run stream recovery synchronously so handlers are ready immediately;
+	// the recovering-window test builds its server without this.
+	srv.streams.recoverAll(t.Logf)
+	return srv
 }
 
 func postGraph(t *testing.T, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
@@ -245,6 +249,10 @@ func TestEveryRouteMethodMatrix(t *testing.T) {
 		{"/graphs", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/graphs/some-id", map[string]bool{http.MethodPut: true, http.MethodGet: true, http.MethodHead: true, http.MethodDelete: true}},
 		{"/graphs/some-id/solve", map[string]bool{http.MethodPost: true}},
+		{"/streams", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
+		{"/streams/some-id", map[string]bool{http.MethodPut: true, http.MethodGet: true, http.MethodHead: true, http.MethodDelete: true}},
+		{"/streams/some-id/update", map[string]bool{http.MethodPost: true}},
+		{"/streams/some-id/forest", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/healthz", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/metrics", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 	}

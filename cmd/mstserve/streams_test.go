@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"llpmst/internal/graph"
+	"llpmst/internal/mst"
+	"llpmst/internal/stream"
+)
+
+func jsonReq(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeJSON[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+func TestStreamCreateUpdateForest(t *testing.T) {
+	h := testServer(t, nil).handler()
+
+	// Create: 201, then an identical re-create acks with 200.
+	rec := jsonReq(t, h, http.MethodPut, "/streams/s1", map[string]int{"vertices": 6})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/s1", map[string]int{"vertices": 6}); rec.Code != http.StatusOK {
+		t.Fatalf("idempotent create: %d %s", rec.Code, rec.Body)
+	}
+	// Shape mismatch: 409.
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/s1", map[string]int{"vertices": 7}); rec.Code != http.StatusConflict {
+		t.Fatalf("conflicting create: %d %s", rec.Code, rec.Body)
+	}
+	// Bad ids and bodies: 400.
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/bad%2Fid", map[string]int{"vertices": 4}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id: %d", rec.Code)
+	}
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/s2", map[string]int{"vertices": 0}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("zero vertices: %d", rec.Code)
+	}
+
+	// Apply a batch; the reply carries the canonical forest shape.
+	up := updateRequest{Batch: 1, Ops: []stream.Op{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 5}, {U: 3, V: 4, W: 1},
+	}}
+	rec = jsonReq(t, h, http.MethodPost, "/streams/s1/update", up)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update: %d %s", rec.Code, rec.Body)
+	}
+	res := decodeJSON[stream.ApplyResult](t, rec)
+	if res.Inserted != 4 || res.ForestEdges != 3 || res.Trees != 3 || res.Weight != 4 {
+		t.Fatalf("apply result: %+v", res)
+	}
+
+	// Retrying the same batch ID is a duplicate ack, not a re-apply.
+	rec = jsonReq(t, h, http.MethodPost, "/streams/s1/update", up)
+	if res := decodeJSON[stream.ApplyResult](t, rec); !res.Duplicate {
+		t.Fatalf("retry not duplicate: %+v", res)
+	}
+
+	// A delete with a forced replacement: dropping (0,1) pulls in (0,2).
+	rec = jsonReq(t, h, http.MethodPost, "/streams/s1/update", updateRequest{
+		Batch: 2, Ops: []stream.Op{{Delete: true, U: 0, V: 1, W: 1}},
+	})
+	if res := decodeJSON[stream.ApplyResult](t, rec); res.Deleted != 1 || res.Weight != 8 {
+		t.Fatalf("delete result: %+v", res)
+	}
+
+	// Forest endpoint agrees with a from-scratch Kruskal oracle.
+	rec = jsonReq(t, h, http.MethodGet, "/streams/s1/forest", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("forest: %d %s", rec.Code, rec.Body)
+	}
+	forest := decodeJSON[streamForestReply](t, rec)
+	oracle := mst.Kruskal(graph.MustFromEdges(1, 6, []graph.Edge{
+		{U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 5}, {U: 3, V: 4, W: 1},
+	}))
+	wantWeight := oracle.Weight
+	if forest.LastBatch != 2 || forest.Weight != wantWeight || len(forest.Forest) != len(oracle.EdgeIDs) {
+		t.Fatalf("forest reply %+v, oracle weight %v with %d edges", forest, wantWeight, len(oracle.EdgeIDs))
+	}
+
+	// Validation errors surface as 400 with the op pinpointed.
+	rec = jsonReq(t, h, http.MethodPost, "/streams/s1/update", updateRequest{
+		Batch: 3, Ops: []stream.Op{{U: 0, V: 99, W: 1}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid op: %d %s", rec.Code, rec.Body)
+	}
+	// Unknown stream: 404 on update and forest.
+	if rec := jsonReq(t, h, http.MethodPost, "/streams/nope/update", up); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown update: %d", rec.Code)
+	}
+	if rec := jsonReq(t, h, http.MethodGet, "/streams/nope/forest", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown forest: %d", rec.Code)
+	}
+
+	// Listing and stats.
+	rec = jsonReq(t, h, http.MethodGet, "/streams", nil)
+	var rows []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil || len(rows) != 1 {
+		t.Fatalf("list: %s (err=%v)", rec.Body, err)
+	}
+	rec = jsonReq(t, h, http.MethodGet, "/streams/s1", nil)
+	info := decodeJSON[streamInfoReply](t, rec)
+	if info.Vertices != 6 || info.LastBatch != 2 || info.Batches != 2 || info.Duplicates != 1 {
+		t.Fatalf("info: %+v", info)
+	}
+
+	// Delete: 204, then 404.
+	if rec := jsonReq(t, h, http.MethodDelete, "/streams/s1", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete stream: %d", rec.Code)
+	}
+	if rec := jsonReq(t, h, http.MethodDelete, "/streams/s1", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", rec.Code)
+	}
+}
+
+// TestStreamPersistenceAcrossServers drives batches into a durable stream,
+// tears the server down (without a graceful close — engines just drop), and
+// checks a second server over the same directory recovers every batch.
+func TestStreamPersistenceAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	mutate := func(cfg *serverConfig) {
+		cfg.streams = streamConfig{dir: dir, sync: stream.SyncAlways, snapshotEvery: 3}
+	}
+	h := testServer(t, mutate).handler()
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/durable", map[string]int{"vertices": 8}); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	var lastWeight float64
+	for b := 1; b <= 10; b++ {
+		ops := []stream.Op{
+			{U: uint32(b % 8), V: uint32((b + 3) % 8), W: float32(b)},
+		}
+		rec := jsonReq(t, h, http.MethodPost, "/streams/durable/update", updateRequest{Batch: uint64(b), Ops: ops})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("batch %d: %d %s", b, rec.Code, rec.Body)
+		}
+		lastWeight = decodeJSON[stream.ApplyResult](t, rec).Weight
+	}
+
+	// Second server, same directory: recovery replays snapshot + WAL.
+	h2 := testServer(t, mutate).handler()
+	rec := jsonReq(t, h2, http.MethodGet, "/streams/durable/forest", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered forest: %d %s", rec.Code, rec.Body)
+	}
+	forest := decodeJSON[streamForestReply](t, rec)
+	if forest.LastBatch != 10 || forest.Weight != lastWeight {
+		t.Fatalf("recovered %+v, want last_batch=10 weight=%v", forest, lastWeight)
+	}
+	info := decodeJSON[streamInfoReply](t, jsonReq(t, h2, http.MethodGet, "/streams/durable", nil))
+	if info.Recovery == nil || info.Recovery.Torn {
+		t.Fatalf("recovery report: %+v", info.Recovery)
+	}
+	// The recovered stream accepts the next batch and duplicates still ack.
+	rec = jsonReq(t, h2, http.MethodPost, "/streams/durable/update", updateRequest{Batch: 10})
+	if res := decodeJSON[stream.ApplyResult](t, rec); !res.Duplicate {
+		t.Fatalf("retry after recovery: %+v", res)
+	}
+	rec = jsonReq(t, h2, http.MethodPost, "/streams/durable/update", updateRequest{
+		Batch: 11, Ops: []stream.Op{{U: 0, V: 7, W: 0.5}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch 11 after recovery: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestHealthzRecoveringWindow pins the health gate: before recovery finishes
+// /healthz and stream routes answer 503 "recovering"; after, 200 "ok".
+func TestHealthzRecoveringWindow(t *testing.T) {
+	srv := newServer(serverConfig{
+		workers: 1, deadline: time.Second, maxBody: 1 << 20,
+		streams: streamConfig{recoverHold: 50 * time.Millisecond},
+	})
+	h := srv.handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	rec := get("/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before recovery: %d", rec.Code)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil || health.Status != "recovering" {
+		t.Fatalf("healthz body %q (err=%v)", rec.Body, err)
+	}
+	if rec := get("/streams"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("streams before recovery: %d", rec.Code)
+	}
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/x", map[string]int{"vertices": 4}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create before recovery: %d", rec.Code)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.streams.recoverAll(func(string, ...any) {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("recovery never finished")
+	}
+	rec = get("/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after recovery: %d %s", rec.Code, rec.Body)
+	}
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/x", map[string]int{"vertices": 4}); rec.Code != http.StatusCreated {
+		t.Fatalf("create after recovery: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestStreamRecoveryScanSkipsJunk puts non-stream junk in the stream dir;
+// recovery must skip it and still recover the real stream.
+func TestStreamRecoveryScanSkipsJunk(t *testing.T) {
+	dir := t.TempDir()
+	mutate := func(cfg *serverConfig) {
+		cfg.streams = streamConfig{dir: dir, sync: stream.SyncOff}
+	}
+	h := testServer(t, mutate).handler()
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/real", map[string]int{"vertices": 4}); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d", rec.Code)
+	}
+	if rec := jsonReq(t, h, http.MethodPost, "/streams/real/update", updateRequest{
+		Batch: 1, Ops: []stream.Op{{U: 0, V: 1, W: 2}},
+	}); rec.Code != http.StatusOK {
+		t.Fatalf("update: %d", rec.Code)
+	}
+
+	// Junk: a stray file, a dir without meta, a dir with a bad meta.
+	if err := os.WriteFile(filepath.Join(dir, "strayfile"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"no-meta", "bad-meta"} {
+		if err := os.MkdirAll(filepath.Join(dir, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad-meta", "meta.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := testServer(t, mutate).handler()
+	rows := decodeJSON[[]map[string]any](t, jsonReq(t, h2, http.MethodGet, "/streams", nil))
+	if len(rows) != 1 || rows[0]["id"] != "real" {
+		t.Fatalf("recovered streams: %v", rows)
+	}
+	forest := decodeJSON[streamForestReply](t, jsonReq(t, h2, http.MethodGet, "/streams/real/forest", nil))
+	if forest.LastBatch != 1 || len(forest.Forest) != 1 {
+		t.Fatalf("recovered forest: %+v", forest)
+	}
+}

@@ -30,6 +30,7 @@ type Incremental struct {
 	edgeByKey map[uint64][2]uint32 // key -> endpoints
 	scratchU  []int32              // reusable path buffers
 	scratchV  []int32
+	scratchK  []uint64 // reusable key buffer for ForestEdgesInto
 }
 
 // NewIncremental creates an empty forest over n vertices.
@@ -73,7 +74,38 @@ func (inc *Incremental) Insert(u, v uint32, w float32) (ok bool, err error) {
 	}
 	key := par.PackKey(w, inc.nextID)
 	inc.nextID++
+	added, _, _ := inc.insertKeyed(u, v, key)
+	return added, nil
+}
 
+// InsertKeyed offers an edge under a caller-supplied packed (weight, id) key
+// — the streaming engine's entry point, where edge identities must survive
+// deletes, snapshots, and WAL replay. It reports whether the edge entered
+// the forest and, if a heavier cycle edge was evicted to make room, that
+// edge's key. Keys must be unique across live edges; the weight is carried
+// by the key itself (par.KeyWeight). Endpoints are validated like Insert.
+func (inc *Incremental) InsertKeyed(u, v uint32, key uint64) (added bool, evicted uint64, hadEvict bool, err error) {
+	if int(u) >= inc.n || int(v) >= inc.n {
+		return false, 0, false, fmt.Errorf("mst: incremental insert (%d,%d) out of range (n=%d)", u, v, inc.n)
+	}
+	if w := par.KeyWeight(key); w < 0 || w != w {
+		return false, 0, false, fmt.Errorf("mst: incremental insert with invalid weight %v", w)
+	}
+	if u == v {
+		return false, 0, false, nil
+	}
+	if _, dup := inc.edgeByKey[key]; dup {
+		return false, 0, false, fmt.Errorf("mst: incremental insert reuses live key %#x", key)
+	}
+	added, evicted, hadEvict = inc.insertKeyed(u, v, key)
+	return added, evicted, hadEvict, nil
+}
+
+// insertKeyed is the cycle-property core shared by Insert and InsertKeyed:
+// link when the endpoints are in different trees, otherwise replace the
+// heaviest path edge if the offer beats it.
+func (inc *Incremental) insertKeyed(u, v uint32, key uint64) (added bool, evicted uint64, hadEvict bool) {
+	w := par.KeyWeight(key)
 	pu := inc.pathToRoot(u, &inc.scratchU)
 	pv := inc.pathToRoot(v, &inc.scratchV)
 	rootU, rootV := pu[len(pu)-1], pv[len(pv)-1]
@@ -83,7 +115,7 @@ func (inc *Incremental) Insert(u, v uint32, w float32) (ok bool, err error) {
 		inc.parent[u] = int32(v)
 		inc.parentKey[u] = key
 		inc.addEdge(key, u, v, w)
-		return true, nil
+		return true, 0, false
 	}
 	// Same tree: find the heaviest edge on the path u..v. Trim the shared
 	// root-side suffix to isolate the u..lca..v path.
@@ -105,7 +137,7 @@ func (inc *Incremental) Insert(u, v uint32, w float32) (ok bool, err error) {
 		}
 	}
 	if maxChild < 0 || maxKey < key {
-		return false, nil // new edge is the heaviest on its cycle
+		return false, 0, false // new edge is the heaviest on its cycle
 	}
 	// Swap: cut the heaviest path edge, then link u-v.
 	inc.removeEdge(maxKey)
@@ -115,18 +147,53 @@ func (inc *Incremental) Insert(u, v uint32, w float32) (ok bool, err error) {
 	inc.parent[u] = int32(v)
 	inc.parentKey[u] = key
 	inc.addEdge(key, u, v, w)
-	return true, nil
+	return true, maxKey, true
 }
+
+// Cut removes the forest edge with the given key, splitting its tree in
+// two, and returns the edge's endpoints. ok is false when no forest edge
+// has that key (the forest is unchanged).
+func (inc *Incremental) Cut(key uint64) (u, v uint32, ok bool) {
+	ends, ok := inc.edgeByKey[key]
+	if !ok {
+		return 0, 0, false
+	}
+	u, v = ends[0], ends[1]
+	// The parent pointer runs in one of the two directions, depending on
+	// the everts since linking.
+	child := u
+	if !(inc.parent[u] >= 0 && uint32(inc.parent[u]) == v && inc.parentKey[u] == key) {
+		child = v
+	}
+	inc.parent[child] = -1
+	inc.parentKey[child] = 0
+	inc.removeEdge(key)
+	return u, v, true
+}
+
+// HasEdge reports whether the forest currently contains the edge with the
+// given key.
+func (inc *Incremental) HasEdge(key uint64) bool { return inc.inForest[key] }
 
 // ForestEdges returns the current forest as edges sorted by the canonical
 // (weight, insertion id) order.
 func (inc *Incremental) ForestEdges() []graph.Edge {
-	keys := make([]uint64, 0, inc.edgeCount)
+	return inc.ForestEdgesInto(nil)
+}
+
+// ForestEdgesInto appends the current forest to buf[:0] in the canonical
+// (weight, insertion id) order and returns the result. With a buf of
+// sufficient capacity it allocates nothing (the key scratch is kept inside
+// the structure), so a serving path polling the forest pays zero steady-
+// state allocations.
+func (inc *Incremental) ForestEdgesInto(buf []graph.Edge) []graph.Edge {
+	keys := inc.scratchK[:0]
 	for k := range inc.inForest {
 		keys = append(keys, k)
 	}
+	inc.scratchK = keys
 	par.SortUint64(1, keys)
-	out := make([]graph.Edge, 0, inc.edgeCount)
+	out := buf[:0]
 	for _, k := range keys {
 		ends := inc.edgeByKey[k]
 		out = append(out, graph.Edge{U: ends[0], V: ends[1], W: par.KeyWeight(k)})
@@ -138,7 +205,12 @@ func (inc *Incremental) ForestEdges() []graph.Edge {
 func (inc *Incremental) Trees() int { return inc.n - inc.edgeCount }
 
 // Connected reports whether u and v are currently in the same tree.
+// Out-of-range vertices are in no tree, so they connect to nothing — the
+// query answers false instead of indexing out of bounds.
 func (inc *Incremental) Connected(u, v uint32) bool {
+	if int(u) >= inc.n || int(v) >= inc.n {
+		return false
+	}
 	pu := inc.pathToRoot(u, &inc.scratchU)
 	pv := inc.pathToRoot(v, &inc.scratchV)
 	return pu[len(pu)-1] == pv[len(pv)-1]

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"llpmst/internal/graph"
+	"llpmst/internal/par"
 )
 
 func TestIncrementalMatchesKruskalAfterEveryInsertion(t *testing.T) {
@@ -134,5 +135,98 @@ func TestIncrementalEqualWeightsPreferEarlierInsertion(t *testing.T) {
 	edges := inc.ForestEdges()
 	if len(edges) != 2 || edges[0].U != 0 || edges[0].V != 1 {
 		t.Fatalf("forest %v", edges)
+	}
+}
+
+func TestIncrementalConnectedOutOfRange(t *testing.T) {
+	inc := NewIncremental(4)
+	if _, err := inc.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Regression: these used to index parent[v] unchecked and panic.
+	for _, q := range [][2]uint32{{0, 4}, {4, 0}, {7, 9}, {1 << 30, 2}} {
+		if inc.Connected(q[0], q[1]) {
+			t.Fatalf("Connected(%d,%d) = true for out-of-range query", q[0], q[1])
+		}
+	}
+	if !inc.Connected(0, 1) {
+		t.Fatal("Connected(0,1) = false after inserting the edge")
+	}
+}
+
+func TestIncrementalForestEdgesIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 128
+	inc := NewIncremental(n)
+	for i := 0; i < 4*n; i++ {
+		if _, err := inc.Insert(uint32(rng.Intn(n)), uint32(rng.Intn(n)), float32(rng.Intn(50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]graph.Edge, 0, n)
+	inc.ForestEdgesInto(buf) // warm the internal key scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		buf = inc.ForestEdgesInto(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForestEdgesInto allocates %v per call, want 0", allocs)
+	}
+	if len(buf) != inc.Edges() {
+		t.Fatalf("ForestEdgesInto returned %d edges, forest has %d", len(buf), inc.Edges())
+	}
+	want := inc.ForestEdges()
+	for i, e := range buf {
+		if e != want[i] {
+			t.Fatalf("edge %d differs: into=%+v fresh=%+v", i, e, want[i])
+		}
+	}
+}
+
+func TestIncrementalCutAndKeyedInsert(t *testing.T) {
+	// Maintain a forest through keyed inserts and cuts, checking the
+	// reported evictions and the cut endpoints against the live state.
+	inc := NewIncremental(5)
+	keyOf := func(w float32, id uint32) uint64 { return par.PackKey(w, id) }
+
+	k01 := keyOf(1, 0)
+	var evicted uint64
+	added, _, had, err := inc.InsertKeyed(0, 1, k01)
+	if err != nil || !added || had {
+		t.Fatalf("link 0-1: added=%v evict=%v err=%v", added, had, err)
+	}
+	k12 := keyOf(5, 1)
+	if added, _, _, _ := inc.InsertKeyed(1, 2, k12); !added {
+		t.Fatal("link 1-2 rejected")
+	}
+	// 0-2 with weight 3 closes a cycle whose heaviest edge is 1-2 (w=5):
+	// the offer must evict exactly k12.
+	k02 := keyOf(3, 2)
+	added, evicted, had, err = inc.InsertKeyed(0, 2, k02)
+	if err != nil || !added || !had || evicted != k12 {
+		t.Fatalf("insert 0-2: added=%v evicted=%#x (want %#x) err=%v", added, evicted, k12, err)
+	}
+	if inc.HasEdge(k12) || !inc.HasEdge(k01) || !inc.HasEdge(k02) {
+		t.Fatal("forest membership after eviction is wrong")
+	}
+	// Reusing a live key must be rejected.
+	if _, _, _, err := inc.InsertKeyed(3, 4, k01); err == nil {
+		t.Fatal("InsertKeyed accepted a duplicate live key")
+	}
+	// Cut 0-2 and verify endpoints and membership.
+	u, v, ok := inc.Cut(k02)
+	if !ok || u != 0 || v != 2 {
+		t.Fatalf("Cut(k02) = (%d,%d,%v), want (0,2,true)", u, v, ok)
+	}
+	if inc.HasEdge(k02) || inc.Connected(0, 2) {
+		t.Fatal("0-2 still present or connected after Cut")
+	}
+	if !inc.Connected(0, 1) {
+		t.Fatal("Cut detached an unrelated edge")
+	}
+	if _, _, ok := inc.Cut(k02); ok {
+		t.Fatal("double Cut reported ok")
+	}
+	if inc.Edges() != 1 {
+		t.Fatalf("edge count %d after cuts, want 1", inc.Edges())
 	}
 }

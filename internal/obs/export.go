@@ -202,13 +202,13 @@ func (r *FlightRecorder) WritePrometheus(w io.Writer) error {
 // progressSnapshot is the JSON shape served at /progress: a one-glance view
 // of a run in flight.
 type progressSnapshot struct {
-	ElapsedMS float64             `json:"elapsed_ms"`
-	Round     int64               `json:"round"`
-	Recorded  uint64              `json:"events_recorded"`
-	Dropped   uint64              `json:"events_dropped"`
-	Counters  map[string]int64    `json:"counters"`
-	Gauges    map[string]int64    `json:"gauges"`
-	Spans     []progressSpan      `json:"spans"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	Round     int64            `json:"round"`
+	Recorded  uint64           `json:"events_recorded"`
+	Dropped   uint64           `json:"events_dropped"`
+	Counters  map[string]int64 `json:"counters"`
+	Gauges    map[string]int64 `json:"gauges"`
+	Spans     []progressSpan   `json:"spans"`
 }
 
 type progressSpan struct {

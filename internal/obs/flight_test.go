@@ -42,12 +42,12 @@ func TestFlightRecorderZeroAllocs(t *testing.T) {
 
 func TestFlightRecorderWorkerAttribution(t *testing.T) {
 	rec := NewFlightRecorder(3, 256)
-	rec.Count(CtrRounds, 1)                     // driver track
+	rec.Count(CtrRounds, 1) // driver track
 	rec.Worker(0).Count(CtrSchedPop, 10)
 	rec.Worker(1).Count(CtrSchedPop, 20)
 	rec.Worker(2).Count(CtrSchedPop, 30)
-	rec.Worker(5).Count(CtrSchedPop, 1)         // folds to 5 % 3 == worker 2
-	rec.Worker(-1).Count(CtrSchedPop, 100)      // driver again
+	rec.Worker(5).Count(CtrSchedPop, 1)    // folds to 5 % 3 == worker 2
+	rec.Worker(-1).Count(CtrSchedPop, 100) // driver again
 
 	if got := rec.Counter(CtrSchedPop); got != 161 {
 		t.Fatalf("total sched.pop = %d, want 161", got)

@@ -80,6 +80,23 @@ const (
 	CtrRegistryEvict
 	// CtrQuotaShed counts solve requests rejected by per-tenant quotas.
 	CtrQuotaShed
+	// CtrStreamBatch counts update batches applied by a streaming engine.
+	CtrStreamBatch
+	// CtrStreamSwap counts forest edge replacements (an insert evicting a
+	// heavier cycle edge, or a delete relinking across the cut).
+	CtrStreamSwap
+	// CtrStreamRecompute counts deletes that exceeded the replacement-scan
+	// budget and fell back to recomputing the affected component.
+	CtrStreamRecompute
+	// CtrWALAppend counts records appended to a write-ahead log.
+	CtrWALAppend
+	// CtrWALFsync counts fsync calls issued by a write-ahead log.
+	CtrWALFsync
+	// CtrRecoverReplayed counts WAL batches re-applied during recovery.
+	CtrRecoverReplayed
+	// CtrRecoverTorn counts torn or corrupt WAL tails detected (and
+	// truncated) during recovery.
+	CtrRecoverTorn
 
 	// NumCounters is the number of defined counters (array sizing).
 	NumCounters
@@ -148,6 +165,20 @@ func (c Counter) String() string {
 		return "registry.evict"
 	case CtrQuotaShed:
 		return "quota.shed"
+	case CtrStreamBatch:
+		return "stream.batch"
+	case CtrStreamSwap:
+		return "stream.swap"
+	case CtrStreamRecompute:
+		return "stream.recompute"
+	case CtrWALAppend:
+		return "wal.append"
+	case CtrWALFsync:
+		return "wal.fsync"
+	case CtrRecoverReplayed:
+		return "recover.replayed"
+	case CtrRecoverTorn:
+		return "recover.torn"
 	}
 	return "counter(?)"
 }

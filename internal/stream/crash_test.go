@@ -1,0 +1,238 @@
+package stream
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"llpmst/internal/fault"
+)
+
+// scriptBatches builds a deterministic mixed insert/delete batch script.
+// The same seed always yields the same script, so crash sweeps are exactly
+// reproducible.
+func scriptBatches(seed int64, n, batches, opsPer int) [][]Op {
+	rng := rand.New(rand.NewSource(seed))
+	o := &liveOracle{n: n}
+	script := make([][]Op, batches)
+	for b := range script {
+		var ops []Op
+		for k := 0; k < opsPer; k++ {
+			if len(o.edges) > 3 && rng.Intn(3) == 0 {
+				pick := o.edges[rng.Intn(len(o.edges))]
+				ops = append(ops, del(pick.U, pick.V, pick.W))
+			} else {
+				u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+				if u == v {
+					v = (v + 1) % uint32(n)
+				}
+				ops = append(ops, ins(u, v, float32(rng.Intn(25))))
+			}
+		}
+		o.apply(ops)
+		script[b] = ops
+	}
+	return script
+}
+
+// oracleAt replays the script prefix batches [0, upto) into a fresh oracle.
+func oracleAt(n int, script [][]Op, upto int) *liveOracle {
+	o := &liveOracle{n: n}
+	for _, ops := range script[:upto] {
+		o.apply(ops)
+	}
+	return o
+}
+
+// TestCrashMidBatchRecovery is the acceptance test: for every crash point,
+// an injected crash-stop that tears the WAL append mid-record must lose
+// exactly the unacknowledged batch — recovery detects the torn record,
+// truncates it, and lands on a forest equal to the Kruskal oracle of the
+// acknowledged prefix. Retrying from the crash point then reaches the same
+// final state as a run that never crashed.
+func TestCrashMidBatchRecovery(t *testing.T) {
+	const (
+		n       = 48
+		batches = 40
+		opsPer  = 6
+		seed    = 77
+	)
+	script := scriptBatches(seed, n, batches, opsPer)
+
+	step := 1
+	if testing.Short() {
+		step = 5
+	}
+	for crashAt := 1; crashAt < batches; crashAt += step {
+		dir := t.TempDir()
+		cfg := Config{
+			Vertices: n, Dir: dir, Sync: SyncAlways, SnapshotEvery: 7,
+			Fault: &fault.Plan{Crashes: []fault.Crash{{Node: FaultNodeAppend, At: crashAt}}},
+		}
+		e, _, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		for b := 0; b < batches; b++ {
+			_, err := e.Apply(Batch{ID: uint64(b + 1), Ops: script[b]})
+			if errors.Is(err, ErrCrashed) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("crash@%d batch %d: %v", crashAt, b+1, err)
+			}
+			acked++
+		}
+		if acked != crashAt {
+			t.Fatalf("crash@%d acknowledged %d batches", crashAt, acked)
+		}
+		// The engine is dead; every further operation must say so.
+		if _, err := e.Apply(Batch{ID: 999}); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash@%d: post-crash Apply = %v", crashAt, err)
+		}
+		e.Close()
+
+		// Recover. The torn append must be detected, truncated, and never
+		// applied; the forest must equal the oracle on the acked prefix.
+		cfg.Fault = nil
+		e2, rep := mustOpen(t, cfg)
+		if !rep.Torn {
+			t.Fatalf("crash@%d: recovery did not report the torn record: %+v", crashAt, rep)
+		}
+		if !rep.WALTruncated {
+			t.Fatalf("crash@%d: torn tail not truncated: %+v", crashAt, rep)
+		}
+		if rep.LastBatch != uint64(acked) {
+			t.Fatalf("crash@%d: recovered high-water %d, want %d", crashAt, rep.LastBatch, acked)
+		}
+		checkAgainstOracle(t, e2, oracleAt(n, script, acked))
+
+		// Retry the lost batch and the rest: the stream must converge to
+		// the no-crash final state.
+		for b := acked; b < batches; b++ {
+			if _, err := e2.Apply(Batch{ID: uint64(b + 1), Ops: script[b]}); err != nil {
+				t.Fatalf("crash@%d: retry batch %d: %v", crashAt, b+1, err)
+			}
+		}
+		checkAgainstOracle(t, e2, oracleAt(n, script, batches))
+	}
+}
+
+// TestCrashAfterAppendRecovery covers the other crash window: the record is
+// durable but the client never saw the ack. Recovery replays it, and the
+// client's retry acknowledges as a duplicate instead of double-applying.
+func TestCrashAfterAppendRecovery(t *testing.T) {
+	const (
+		n       = 32
+		batches = 20
+		opsPer  = 5
+		seed    = 13
+	)
+	script := scriptBatches(seed, n, batches, opsPer)
+	for _, crashAt := range []int{1, 4, 9, 15} {
+		dir := t.TempDir()
+		cfg := Config{
+			Vertices: n, Dir: dir, Sync: SyncAlways, SnapshotEvery: 6,
+			Fault: &fault.Plan{Crashes: []fault.Crash{{Node: FaultNodeAck, At: crashAt}}},
+		}
+		e, _, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		for b := 0; b < batches; b++ {
+			if _, err := e.Apply(Batch{ID: uint64(b + 1), Ops: script[b]}); err != nil {
+				if !errors.Is(err, ErrCrashed) {
+					t.Fatal(err)
+				}
+				break
+			}
+			acked++
+		}
+		e.Close()
+		if acked != crashAt {
+			t.Fatalf("crash@%d acked %d", crashAt, acked)
+		}
+
+		cfg.Fault = nil
+		e2, rep := mustOpen(t, cfg)
+		if rep.Torn {
+			t.Fatalf("crash@%d: a fully appended record recovered as torn: %+v", crashAt, rep)
+		}
+		// The unacked batch was durable: high-water is one past the acks.
+		if rep.LastBatch != uint64(acked+1) {
+			t.Fatalf("crash@%d: recovered high-water %d, want %d", crashAt, rep.LastBatch, acked+1)
+		}
+		checkAgainstOracle(t, e2, oracleAt(n, script, acked+1))
+
+		// The client retries the batch it never heard about: duplicate ack.
+		res, err := e2.Apply(Batch{ID: uint64(acked + 1), Ops: script[acked]})
+		if err != nil || !res.Duplicate {
+			t.Fatalf("crash@%d: retry res=%+v err=%v", crashAt, res, err)
+		}
+		checkAgainstOracle(t, e2, oracleAt(n, script, acked+1))
+	}
+}
+
+// TestCrashRecoverCrashAgain chains two crash-stops with a recovery in
+// between: durability must compose across repeated failures.
+func TestCrashRecoverCrashAgain(t *testing.T) {
+	const (
+		n       = 24
+		batches = 30
+		seed    = 5
+	)
+	script := scriptBatches(seed, n, batches, 4)
+	dir := t.TempDir()
+	base := Config{Vertices: n, Dir: dir, Sync: SyncAlways, SnapshotEvery: 4}
+
+	applyFrom := func(e *Engine, from int) (acked int) {
+		for b := from; b < batches; b++ {
+			if _, err := e.Apply(Batch{ID: uint64(b + 1), Ops: script[b]}); err != nil {
+				if !errors.Is(err, ErrCrashed) {
+					t.Fatal(err)
+				}
+				return b
+			}
+		}
+		return batches
+	}
+
+	cfg := base
+	cfg.Fault = &fault.Plan{Crashes: []fault.Crash{{Node: FaultNodeAppend, At: 11}}}
+	e, _, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := applyFrom(e, 0); got != 11 {
+		t.Fatalf("first crash at %d, want 11", got)
+	}
+	e.Close()
+
+	cfg = base
+	// Second lifetime crashes again 6 applied batches later (rounds are
+	// per-process ordinals).
+	cfg.Fault = &fault.Plan{Crashes: []fault.Crash{{Node: FaultNodeAppend, At: 6}}}
+	e2, rep, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || rep.LastBatch != 11 {
+		t.Fatalf("first recovery: %+v", rep)
+	}
+	if got := applyFrom(e2, 11); got != 17 {
+		t.Fatalf("second crash at %d, want 17", got)
+	}
+	e2.Close()
+
+	e3, rep2 := mustOpen(t, base)
+	if !rep2.Torn || rep2.LastBatch != 17 {
+		t.Fatalf("second recovery: %+v", rep2)
+	}
+	checkAgainstOracle(t, e3, oracleAt(n, script, 17))
+	if got := applyFrom(e3, 17); got != batches {
+		t.Fatalf("final run crashed at %d", got)
+	}
+	checkAgainstOracle(t, e3, oracleAt(n, script, batches))
+}

@@ -1,0 +1,899 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"time"
+
+	"llpmst/internal/fault"
+	"llpmst/internal/graph"
+	"llpmst/internal/mst"
+	"llpmst/internal/obs"
+	"llpmst/internal/par"
+)
+
+// Sentinel errors of the streaming engine.
+var (
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = errors.New("stream: engine closed")
+	// ErrCrashed is returned once an injected crash-stop has killed the
+	// engine; all further operations fail until the state is recovered by
+	// a fresh Open.
+	ErrCrashed = errors.New("stream: engine crashed (injected fault)")
+	// ErrCorruptSnapshot wraps snapshot decode failures during recovery.
+	// The WAL below the snapshot's high-water mark is compacted away, so a
+	// broken snapshot is unrecoverable and Open fails loudly instead of
+	// silently serving an empty stream.
+	ErrCorruptSnapshot = errors.New("stream: corrupt snapshot")
+	// ErrIDsExhausted is returned when the engine has assigned all 2^32
+	// edge identities of one process lifetime; a snapshot + reopen
+	// compacts identities back to the live edge count.
+	ErrIDsExhausted = errors.New("stream: edge identities exhausted")
+)
+
+// BatchError reports a batch rejected by validation before anything was
+// logged or applied. Op is the offending op's index, or -1 for batch-level
+// problems.
+type BatchError struct {
+	BatchID uint64
+	Op      int
+	Reason  string
+}
+
+func (e *BatchError) Error() string {
+	if e.Op < 0 {
+		return fmt.Sprintf("stream: batch %d rejected: %s", e.BatchID, e.Reason)
+	}
+	return fmt.Sprintf("stream: batch %d op %d rejected: %s", e.BatchID, e.Op, e.Reason)
+}
+
+// Op is one edge mutation. Inserts add the edge (U, V, W) to the live
+// multigraph; deletes remove the earliest-inserted live edge matching
+// (U, V, W) exactly (a no-op when none matches).
+type Op struct {
+	Delete bool    `json:"delete"`
+	U      uint32  `json:"u"`
+	V      uint32  `json:"v"`
+	W      float32 `json:"w"`
+}
+
+// Batch is an atomically applied group of ops. IDs are client-assigned,
+// start at 1, and must be strictly increasing per stream; a batch at or
+// below the engine's high-water mark acknowledges as a duplicate without
+// re-applying (idempotent retry).
+type Batch struct {
+	ID  uint64
+	Ops []Op
+}
+
+// ApplyResult acknowledges one batch.
+type ApplyResult struct {
+	BatchID     uint64  `json:"batch_id"`
+	Duplicate   bool    `json:"duplicate"`
+	Inserted    int     `json:"inserted"`
+	Deleted     int     `json:"deleted"`
+	Noops       int     `json:"noops"`
+	Swaps       int     `json:"swaps"`
+	Recomputes  int     `json:"recomputes"`
+	ForestEdges int     `json:"forest_edges"`
+	Trees       int     `json:"trees"`
+	Weight      float64 `json:"weight"`
+}
+
+// RecoveryReport is what Open found on disk: the snapshot it started from,
+// the WAL records it replayed or skipped, and whether the log ended in a
+// torn or corrupt record (which is truncated away, never applied).
+type RecoveryReport struct {
+	// SnapshotBatch is the high-water batch ID of the loaded snapshot
+	// (0 when no snapshot existed).
+	SnapshotBatch uint64 `json:"snapshot_batch"`
+	// SnapshotEdges is the live edge count restored from the snapshot.
+	SnapshotEdges int `json:"snapshot_edges"`
+	// ReplayedBatches is the number of WAL batches re-applied.
+	ReplayedBatches int `json:"replayed_batches"`
+	// SkippedRecords is the number of intact WAL records at or below the
+	// snapshot's high-water mark (left over from a crash between snapshot
+	// install and WAL truncation).
+	SkippedRecords int `json:"skipped_records"`
+	// LastBatch is the stream's high-water batch ID after recovery.
+	LastBatch uint64 `json:"last_batch"`
+	// Torn reports that replay stopped before the end of the log.
+	Torn bool `json:"torn"`
+	// TornOffset is the byte offset of the first unusable record.
+	TornOffset int64 `json:"torn_offset,omitempty"`
+	// TornReason says what was wrong with it.
+	TornReason string `json:"torn_reason,omitempty"`
+	// WALTruncated reports that the unusable tail was cut off so future
+	// appends start from a clean record boundary.
+	WALTruncated bool `json:"wal_truncated"`
+}
+
+// EngineStats is a snapshot of an engine's lifetime counters and current
+// forest shape.
+type EngineStats struct {
+	Batches     uint64
+	Duplicates  uint64
+	Inserts     uint64
+	Deletes     uint64
+	Noops       uint64
+	Swaps       uint64
+	Recomputes  uint64
+	Snapshots   uint64
+	LiveEdges   int
+	ForestEdges int
+	Trees       int
+	Weight      float64
+	LastBatch   uint64
+}
+
+// Fault-injection node roles for crash-stop schedules (fault.Crash.Node).
+// Rounds are the engine's 0-based applied-batch ordinals within one process
+// lifetime.
+const (
+	// FaultNodeAppend tears the WAL append of the round's batch: a prefix
+	// of the record reaches the log and the engine dies before
+	// acknowledging. Recovery must detect and truncate the torn record.
+	FaultNodeAppend uint32 = 0
+	// FaultNodeAck kills the engine after the append is durable but before
+	// the acknowledgement: the batch survives recovery even though the
+	// client never saw an ack, and its retry acknowledges as a duplicate.
+	FaultNodeAck uint32 = 1
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Vertices is the fixed vertex count of the stream's graph.
+	Vertices int
+	// Dir is the durability directory (WAL + snapshots). Empty means a
+	// volatile in-memory engine: no logging, no recovery.
+	Dir string
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the flush cadence under SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	// SnapshotEvery compacts the WAL into a snapshot every that many
+	// batches; 0 disables automatic snapshots.
+	SnapshotEvery int
+	// Workers bounds the parallel recompute fallback; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// ReplaceScanBudget is how many live-edge incidences a delete's
+	// replacement search may scan before falling back to recomputing the
+	// affected component (default 4096).
+	ReplaceScanBudget int
+	// RecomputeParallelEdges is the component edge count at which the
+	// recompute fallback switches from sequential Kruskal to parallel
+	// Boruvka (default 4096).
+	RecomputeParallelEdges int
+	// Observer receives stream counters and per-batch round marks. Only
+	// counters and round marks are emitted, so a shared FlightRecorder is
+	// safe even with concurrent solves elsewhere.
+	Observer obs.Collector
+	// Fault, when non-nil, drives deterministic crash-stop injection; see
+	// FaultNodeAppend and FaultNodeAck.
+	Fault *fault.Plan
+}
+
+// Engine maintains the canonical minimum spanning forest of a live edge
+// multiset under insert/delete batches, with write-ahead durability.
+// Methods are safe for concurrent use (batch application is serialized).
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+	n   int
+
+	inc       *mst.Incremental
+	live      map[uint64][2]uint32 // packed key -> endpoints, all live edges
+	adj       [][]uint64           // per-vertex live incident keys
+	forestAdj [][]uint64           // per-vertex forest incident keys
+	nextID    uint32
+
+	lastBatch uint64 // high-water applied batch ID
+	applied   uint64 // batches applied this process (fault rounds, obs rounds)
+	sinceSnap int
+
+	wal *wal
+	col obs.Collector
+	inj *fault.Injector
+
+	dead   bool
+	closed bool
+
+	// split/scan scratch
+	mark      []uint32
+	markEpoch uint32
+	queueA    []uint32
+	queueB    []uint32
+	forestBuf []graph.Edge
+
+	stats EngineStats
+}
+
+// Open creates or recovers the engine for cfg. With a durability directory
+// it loads the latest valid snapshot, replays the WAL above its high-water
+// mark, truncates any torn tail, and reports what it did; without one it
+// returns a fresh in-memory engine and an empty report.
+func Open(cfg Config) (*Engine, *RecoveryReport, error) {
+	if cfg.Vertices <= 0 {
+		return nil, nil, fmt.Errorf("stream: vertex count %d must be positive", cfg.Vertices)
+	}
+	if cfg.ReplaceScanBudget <= 0 {
+		cfg.ReplaceScanBudget = 4096
+	}
+	if cfg.RecomputeParallelEdges <= 0 {
+		cfg.RecomputeParallelEdges = 4096
+	}
+	e := &Engine{
+		cfg:       cfg,
+		n:         cfg.Vertices,
+		inc:       mst.NewIncremental(cfg.Vertices),
+		live:      make(map[uint64][2]uint32),
+		adj:       make([][]uint64, cfg.Vertices),
+		forestAdj: make([][]uint64, cfg.Vertices),
+		col:       obs.Or(cfg.Observer),
+		mark:      make([]uint32, cfg.Vertices),
+	}
+	if cfg.Fault != nil {
+		e.inj = fault.New(*cfg.Fault)
+	}
+	rep := &RecoveryReport{}
+	if cfg.Dir == "" {
+		return e, rep, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	// A leftover temp file is a snapshot that never completed; the real
+	// snapshot (if any) is still intact.
+	_ = os.Remove(filepath.Join(cfg.Dir, snapTempFile))
+
+	snap, ok, err := loadSnapshot(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ok {
+		if snap.N != e.n {
+			return nil, nil, fmt.Errorf("%w: snapshot has %d vertices, engine configured for %d",
+				ErrCorruptSnapshot, snap.N, e.n)
+		}
+		if err := e.restoreSnapshot(snap); err != nil {
+			return nil, nil, err
+		}
+		e.lastBatch = snap.HighWater
+		rep.SnapshotBatch = snap.HighWater
+		rep.SnapshotEdges = len(snap.Edges)
+	}
+
+	walPath := filepath.Join(cfg.Dir, walFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	consumed, torn := decodeWAL(data, func(b Batch) error {
+		if b.ID <= e.lastBatch {
+			rep.SkippedRecords++
+			return nil
+		}
+		if err := e.validateOps(b.ID, b.Ops); err != nil {
+			return err
+		}
+		if _, err := e.applyOps(b.Ops); err != nil {
+			return err
+		}
+		e.lastBatch = b.ID
+		rep.ReplayedBatches++
+		e.col.Count(obs.CtrRecoverReplayed, 1)
+		return nil
+	})
+	if torn != nil {
+		rep.Torn = true
+		rep.TornOffset = torn.Offset
+		rep.TornReason = torn.Reason
+		e.col.Count(obs.CtrRecoverTorn, 1)
+	}
+	w, err := openWAL(walPath, cfg.Sync, cfg.SyncInterval, e.col)
+	if err != nil {
+		return nil, nil, err
+	}
+	if consumed < int64(len(data)) {
+		if err := w.TruncateTo(consumed); err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+		rep.WALTruncated = true
+	}
+	e.wal = w
+	e.sinceSnap = rep.ReplayedBatches
+	rep.LastBatch = e.lastBatch
+	return e, rep, nil
+}
+
+// restoreSnapshot rebuilds the live set and forest from a decoded snapshot.
+// Edges are stored in canonical order, so identities are reassigned densely
+// (0..K-1) without disturbing the canonical total order.
+func (e *Engine) restoreSnapshot(snap snapshotState) error {
+	for i, se := range snap.Edges {
+		key := par.PackKey(se.W, uint32(i))
+		e.live[key] = [2]uint32{se.U, se.V}
+		e.adj[se.U] = append(e.adj[se.U], key)
+		e.adj[se.V] = append(e.adj[se.V], key)
+		if !se.Forest {
+			continue
+		}
+		added, _, hadEvict, err := e.inc.InsertKeyed(se.U, se.V, key)
+		if err != nil {
+			return fmt.Errorf("%w: edge %d: %v", ErrCorruptSnapshot, i, err)
+		}
+		if !added || hadEvict {
+			return fmt.Errorf("%w: edge %d flagged as forest but does not link two trees",
+				ErrCorruptSnapshot, i)
+		}
+		e.forestAdj[se.U] = append(e.forestAdj[se.U], key)
+		e.forestAdj[se.V] = append(e.forestAdj[se.V], key)
+	}
+	e.nextID = uint32(len(snap.Edges))
+	return nil
+}
+
+// validateOps rejects a batch before anything is logged: endpoints must be
+// in range, weights finite and non-negative, inserts must not be
+// self-loops. Deletes of absent edges are legal no-ops (retried batches
+// must not fail), so they pass validation.
+func (e *Engine) validateOps(batchID uint64, ops []Op) error {
+	if len(ops) > MaxBatchOps {
+		return &BatchError{BatchID: batchID, Op: -1, Reason: fmt.Sprintf("%d ops exceed the %d-op limit", len(ops), MaxBatchOps)}
+	}
+	for i, op := range ops {
+		if int(op.U) >= e.n || int(op.V) >= e.n {
+			return &BatchError{BatchID: batchID, Op: i,
+				Reason: fmt.Sprintf("endpoints (%d,%d) out of range (n=%d)", op.U, op.V, e.n)}
+		}
+		if op.W != op.W || op.W < 0 || op.W > maxFiniteW {
+			return &BatchError{BatchID: batchID, Op: i, Reason: fmt.Sprintf("invalid weight %v", op.W)}
+		}
+		if !op.Delete && op.U == op.V {
+			return &BatchError{BatchID: batchID, Op: i, Reason: "self-loop insert"}
+		}
+	}
+	return nil
+}
+
+const maxFiniteW = 3.4028234663852886e38 // math.MaxFloat32; +Inf and NaN fail the comparisons
+
+// Apply commits one batch: validate, append to the WAL (fsync per policy),
+// mutate the forest, maybe snapshot. The returned ApplyResult is the
+// acknowledgement; once it is returned under SyncAlways, the batch
+// survives any crash.
+func (e *Engine) Apply(b Batch) (ApplyResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ApplyResult{}, ErrClosed
+	}
+	if e.dead {
+		return ApplyResult{}, ErrCrashed
+	}
+	if b.ID == 0 {
+		return ApplyResult{}, &BatchError{BatchID: 0, Op: -1, Reason: "batch ID 0 is reserved"}
+	}
+	if b.ID <= e.lastBatch {
+		e.stats.Duplicates++
+		return ApplyResult{
+			BatchID:     b.ID,
+			Duplicate:   true,
+			ForestEdges: e.inc.Edges(),
+			Trees:       e.inc.Trees(),
+			Weight:      e.inc.Weight(),
+		}, nil
+	}
+	if err := e.validateOps(b.ID, b.Ops); err != nil {
+		return ApplyResult{}, err
+	}
+	if uint64(e.nextID)+uint64(len(b.Ops)) > 1<<32-1 {
+		return ApplyResult{}, ErrIDsExhausted
+	}
+
+	if e.wal != nil {
+		rec := appendRecord(nil, b)
+		if e.inj != nil && !e.inj.Alive(FaultNodeAppend, int(e.applied)) {
+			// Injected crash mid-append: a deterministic prefix of the
+			// record reaches the log; the batch is never acknowledged.
+			prefix := 1 + int(b.ID%uint64(len(rec)-1))
+			_ = e.wal.appendRaw(rec[:prefix])
+			e.dead = true
+			return ApplyResult{}, ErrCrashed
+		}
+		if err := e.wal.Append(rec); err != nil {
+			return ApplyResult{}, err
+		}
+		if e.inj != nil && !e.inj.Alive(FaultNodeAck, int(e.applied)) {
+			// Injected crash after the append: durable but unacknowledged.
+			e.dead = true
+			return ApplyResult{}, ErrCrashed
+		}
+	}
+
+	ost, err := e.applyOps(b.Ops)
+	if err != nil {
+		// Unreachable after validation; surface loudly rather than
+		// desyncing memory from the log.
+		return ApplyResult{}, err
+	}
+	e.lastBatch = b.ID
+	e.applied++
+	e.sinceSnap++
+	e.stats.Batches++
+	e.col.Count(obs.CtrStreamBatch, 1)
+	obs.MarkRound(e.col, int64(e.applied))
+
+	if e.wal != nil && e.cfg.SnapshotEvery > 0 && e.sinceSnap >= e.cfg.SnapshotEvery {
+		if err := e.snapshotLocked(); err != nil {
+			return ApplyResult{}, fmt.Errorf("stream: snapshot after batch %d: %w", b.ID, err)
+		}
+	}
+
+	return ApplyResult{
+		BatchID:     b.ID,
+		Inserted:    ost.inserted,
+		Deleted:     ost.deleted,
+		Noops:       ost.noops,
+		Swaps:       ost.swaps,
+		Recomputes:  ost.recomputes,
+		ForestEdges: e.inc.Edges(),
+		Trees:       e.inc.Trees(),
+		Weight:      e.inc.Weight(),
+	}, nil
+}
+
+type opStats struct {
+	inserted, deleted, noops, swaps, recomputes int
+}
+
+// applyOps mutates the live set and forest for one validated batch.
+func (e *Engine) applyOps(ops []Op) (opStats, error) {
+	var st opStats
+	for _, op := range ops {
+		if op.Delete {
+			kind, err := e.applyDelete(op.U, op.V, op.W, &st)
+			if err != nil {
+				return st, err
+			}
+			if kind {
+				st.deleted++
+			} else {
+				st.noops++
+			}
+			continue
+		}
+		if err := e.applyInsert(op.U, op.V, op.W, &st); err != nil {
+			return st, err
+		}
+		st.inserted++
+	}
+	e.stats.Inserts += uint64(st.inserted)
+	e.stats.Deletes += uint64(st.deleted)
+	e.stats.Noops += uint64(st.noops)
+	e.stats.Swaps += uint64(st.swaps)
+	e.stats.Recomputes += uint64(st.recomputes)
+	return st, nil
+}
+
+func (e *Engine) applyInsert(u, v uint32, w float32, st *opStats) error {
+	key := par.PackKey(w, e.nextID)
+	e.nextID++
+	e.live[key] = [2]uint32{u, v}
+	e.adj[u] = append(e.adj[u], key)
+	e.adj[v] = append(e.adj[v], key)
+	added, evicted, hadEvict, err := e.inc.InsertKeyed(u, v, key)
+	if err != nil {
+		return err
+	}
+	if added {
+		e.forestAdj[u] = append(e.forestAdj[u], key)
+		e.forestAdj[v] = append(e.forestAdj[v], key)
+	}
+	if hadEvict {
+		e.forestAdjRemove(evicted)
+		st.swaps++
+		e.col.Count(obs.CtrStreamSwap, 1)
+	}
+	return nil
+}
+
+// applyDelete removes the earliest live edge matching (u, v, w) exactly.
+// It reports whether an edge was deleted (false = no-op).
+func (e *Engine) applyDelete(u, v uint32, w float32, st *opStats) (bool, error) {
+	key, ok := e.findLive(u, v, w)
+	if !ok {
+		return false, nil
+	}
+	if !e.inc.HasEdge(key) {
+		// Non-forest edge: drop it and the forest is untouched.
+		e.dropLive(key)
+		return true, nil
+	}
+	return true, e.deleteForestEdge(key, st)
+}
+
+// findLive locates the minimum-key (earliest-inserted) live edge matching
+// (u, v, w) exactly, scanning the sparser endpoint's incidence list.
+func (e *Engine) findLive(u, v uint32, w float32) (uint64, bool) {
+	from, other := u, v
+	if len(e.adj[v]) < len(e.adj[u]) {
+		from, other = v, u
+	}
+	best := ^uint64(0)
+	found := false
+	for _, k := range e.adj[from] {
+		ends := e.live[k]
+		o := ends[0]
+		if o == from {
+			o = ends[1]
+		}
+		if o != other || par.KeyWeight(k) != w {
+			continue
+		}
+		if k < best {
+			best, found = k, true
+		}
+	}
+	return best, found
+}
+
+// dropLive removes key from the live map and both incidence lists.
+func (e *Engine) dropLive(key uint64) {
+	ends := e.live[key]
+	delete(e.live, key)
+	e.adj[ends[0]] = removeKey(e.adj[ends[0]], key)
+	e.adj[ends[1]] = removeKey(e.adj[ends[1]], key)
+}
+
+// forestAdjRemove removes key from both forest incidence lists.
+func (e *Engine) forestAdjRemove(key uint64) {
+	ends := e.live[key]
+	e.forestAdj[ends[0]] = removeKey(e.forestAdj[ends[0]], key)
+	e.forestAdj[ends[1]] = removeKey(e.forestAdj[ends[1]], key)
+}
+
+// removeKey swap-deletes the first occurrence of key.
+func removeKey(list []uint64, key uint64) []uint64 {
+	for i, k := range list {
+		if k == key {
+			last := len(list) - 1
+			list[i] = list[last]
+			return list[:last]
+		}
+	}
+	return list
+}
+
+// deleteForestEdge cuts a forest edge and restores minimality: link the
+// minimum-key live edge crossing the cut (the canonical replacement under
+// the cut property), or — when the scan exceeds the budget — recompute the
+// affected component from scratch.
+func (e *Engine) deleteForestEdge(key uint64, st *opStats) error {
+	u, v, ok := e.inc.Cut(key)
+	if !ok {
+		return fmt.Errorf("stream: internal: forest edge %#x not cuttable", key)
+	}
+	e.forestAdjRemove(key)
+	e.dropLive(key)
+
+	side, sideMark, otherRoot, otherMark := e.splitSides(u, v)
+
+	// Scan the smaller side's live incidences for the cheapest crossing
+	// edge. Everything incident to this side stays within the old
+	// component, so "not marked ours" means "other side".
+	budget := e.cfg.ReplaceScanBudget
+	scanned := 0
+	best := ^uint64(0)
+	found := false
+	for _, x := range side {
+		for _, k := range e.adj[x] {
+			scanned++
+			if scanned > budget {
+				return e.recomputeComponent(side, otherRoot, otherMark, st)
+			}
+			ends := e.live[k]
+			o := ends[0]
+			if o == x {
+				o = ends[1]
+			}
+			if e.mark[o] == sideMark {
+				continue // internal to this side (or the far arc of an internal edge)
+			}
+			if k < best {
+				best, found = k, true
+			}
+		}
+	}
+	if found {
+		ends := e.live[best]
+		added, _, hadEvict, err := e.inc.InsertKeyed(ends[0], ends[1], best)
+		if err != nil {
+			return err
+		}
+		if !added || hadEvict {
+			return fmt.Errorf("stream: internal: replacement %#x did not link cleanly", best)
+		}
+		e.forestAdj[ends[0]] = append(e.forestAdj[ends[0]], best)
+		e.forestAdj[ends[1]] = append(e.forestAdj[ends[1]], best)
+		st.swaps++
+		e.col.Count(obs.CtrStreamSwap, 1)
+	}
+	return nil
+}
+
+// splitSides enumerates the two trees left by a cut with a lockstep BFS
+// from each endpoint over the forest adjacency, returning the side that
+// exhausted first (the smaller one, fully enumerated and marked with
+// sideMark) plus the other side's root and mark for completion on demand.
+func (e *Engine) splitSides(u, v uint32) (side []uint32, sideMark uint32, otherRoot uint32, otherMark uint32) {
+	if e.markEpoch > ^uint32(0)-3 {
+		clear(e.mark)
+		e.markEpoch = 0
+	}
+	e.markEpoch += 2
+	mu, mv := e.markEpoch, e.markEpoch+1
+
+	qa := append(e.queueA[:0], u)
+	qb := append(e.queueB[:0], v)
+	e.mark[u] = mu
+	e.mark[v] = mv
+	ia, ib := 0, 0
+	for {
+		if ia >= len(qa) {
+			e.queueA, e.queueB = qa, qb
+			return qa, mu, v, mv
+		}
+		qa = e.expand(qa, ia, mu)
+		ia++
+		if ib >= len(qb) {
+			e.queueA, e.queueB = qa, qb
+			return qb, mv, u, mu
+		}
+		qb = e.expand(qb, ib, mv)
+		ib++
+	}
+}
+
+// expand processes queue[i]'s forest neighbors under mark m.
+func (e *Engine) expand(queue []uint32, i int, m uint32) []uint32 {
+	x := queue[i]
+	for _, k := range e.forestAdj[x] {
+		ends := e.live[k]
+		o := ends[0]
+		if o == x {
+			o = ends[1]
+		}
+		if e.mark[o] != m {
+			e.mark[o] = m
+			queue = append(queue, o)
+		}
+	}
+	return queue
+}
+
+// recomputeComponent rebuilds the forest of the component that just lost
+// an edge: gather the component's vertices (both cut sides), collect its
+// live edges in canonical order, cut its current forest edges, and re-link
+// the MSF computed from scratch — parallel Boruvka when the component is
+// big enough to pay for workers, Kruskal otherwise.
+func (e *Engine) recomputeComponent(side []uint32, otherRoot uint32, otherMark uint32, st *opStats) error {
+	// Complete the other side's BFS (it was abandoned as the larger side).
+	other := e.otherQueue(side)
+	for i := 0; i < len(other); i++ {
+		other = e.expand(other, i, otherMark)
+	}
+	comp := make([]uint32, 0, len(side)+len(other))
+	comp = append(comp, side...)
+	comp = append(comp, other...)
+	e.storeOtherQueue(side, other)
+
+	// Live edges of the component, each collected once (at its first
+	// endpoint), then sorted ascending so local edge indices follow the
+	// canonical (weight, id) order and any MSF algorithm reproduces the
+	// canonical forest.
+	var keys []uint64
+	for _, x := range comp {
+		for _, k := range e.adj[x] {
+			if e.live[k][0] == x {
+				keys = append(keys, k)
+			}
+		}
+	}
+	slices.Sort(keys)
+
+	// Cut the component's surviving forest edges.
+	for _, x := range comp {
+		for _, k := range e.forestAdj[x] {
+			e.inc.Cut(k) // second endpoint's visit finds it already cut
+		}
+		e.forestAdj[x] = e.forestAdj[x][:0]
+	}
+
+	local := make(map[uint32]uint32, len(comp))
+	for i, x := range comp {
+		local[x] = uint32(i)
+	}
+	edges := make([]graph.Edge, len(keys))
+	for i, k := range keys {
+		ends := e.live[k]
+		edges[i] = graph.Edge{U: local[ends[0]], V: local[ends[1]], W: par.KeyWeight(k)}
+	}
+	workers := par.Workers(e.cfg.Workers)
+	sub, err := graph.FromEdges(workers, len(comp), edges)
+	if err != nil {
+		return fmt.Errorf("stream: internal: recompute subgraph: %w", err)
+	}
+	var forest *mst.Forest
+	if len(edges) >= e.cfg.RecomputeParallelEdges && workers > 1 {
+		forest, err = mst.ParallelBoruvka(sub, mst.Options{Workers: workers})
+		if err != nil {
+			forest = nil // fall through to Kruskal
+		}
+	}
+	if forest == nil {
+		forest = mst.Kruskal(sub)
+	}
+	for _, id := range forest.EdgeIDs {
+		k := keys[id]
+		ends := e.live[k]
+		added, _, hadEvict, err := e.inc.InsertKeyed(ends[0], ends[1], k)
+		if err != nil {
+			return err
+		}
+		if !added || hadEvict {
+			return fmt.Errorf("stream: internal: recomputed edge %#x did not link cleanly", k)
+		}
+		e.forestAdj[ends[0]] = append(e.forestAdj[ends[0]], k)
+		e.forestAdj[ends[1]] = append(e.forestAdj[ends[1]], k)
+	}
+	st.recomputes++
+	e.col.Count(obs.CtrStreamRecompute, 1)
+	return nil
+}
+
+// otherQueue returns whichever BFS scratch queue is not side, so the
+// abandoned larger-side traversal can resume where it stopped.
+func (e *Engine) otherQueue(side []uint32) []uint32 {
+	if &side[0] == &e.queueA[0] {
+		return e.queueB
+	}
+	return e.queueA
+}
+
+// storeOtherQueue writes the completed traversal back to its scratch slot.
+func (e *Engine) storeOtherQueue(side []uint32, other []uint32) {
+	if &side[0] == &e.queueA[0] {
+		e.queueB = other
+	} else {
+		e.queueA = other
+	}
+}
+
+// snapshotLocked writes a compacted snapshot and truncates the WAL.
+func (e *Engine) snapshotLocked() error {
+	st := snapshotState{HighWater: e.lastBatch, N: e.n}
+	keys := make([]uint64, 0, len(e.live))
+	for k := range e.live {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	st.Edges = make([]snapEdge, len(keys))
+	for i, k := range keys {
+		ends := e.live[k]
+		st.Edges[i] = snapEdge{U: ends[0], V: ends[1], W: par.KeyWeight(k), Forest: e.inc.HasEdge(k)}
+	}
+	if err := writeSnapshot(e.cfg.Dir, st); err != nil {
+		return err
+	}
+	if err := e.wal.TruncateTo(0); err != nil {
+		return err
+	}
+	e.sinceSnap = 0
+	e.stats.Snapshots++
+	return nil
+}
+
+// Snapshot forces a compaction now (engines without a durability directory
+// decline silently).
+func (e *Engine) Snapshot() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.dead {
+		return ErrCrashed
+	}
+	if e.wal == nil {
+		return nil
+	}
+	return e.snapshotLocked()
+}
+
+// Sync flushes the WAL to stable storage regardless of policy.
+func (e *Engine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.wal == nil {
+		return nil
+	}
+	return e.wal.Sync()
+}
+
+// Close flushes and closes the WAL. Further operations return ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.wal != nil {
+		return e.wal.Close()
+	}
+	return nil
+}
+
+// Vertices returns the stream's fixed vertex count.
+func (e *Engine) Vertices() int { return e.n }
+
+// LastBatch returns the high-water applied batch ID.
+func (e *Engine) LastBatch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastBatch
+}
+
+// Forest returns the maintained forest in canonical order.
+func (e *Engine) Forest() []graph.Edge {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.forestBuf = e.inc.ForestEdgesInto(e.forestBuf)
+	return append([]graph.Edge(nil), e.forestBuf...)
+}
+
+// ForestInto appends the maintained forest to buf[:0] in canonical order.
+// With a large enough buffer the serving path allocates nothing.
+func (e *Engine) ForestInto(buf []graph.Edge) []graph.Edge {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inc.ForestEdgesInto(buf)
+}
+
+// LiveEdges returns every live edge in canonical order (tests' oracle
+// input).
+func (e *Engine) LiveEdges() []graph.Edge {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keys := make([]uint64, 0, len(e.live))
+	for k := range e.live {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	out := make([]graph.Edge, len(keys))
+	for i, k := range keys {
+		ends := e.live[k]
+		out[i] = graph.Edge{U: ends[0], V: ends[1], W: par.KeyWeight(k)}
+	}
+	return out
+}
+
+// Stats returns lifetime counters and the current forest shape.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.LiveEdges = len(e.live)
+	st.ForestEdges = e.inc.Edges()
+	st.Trees = e.inc.Trees()
+	st.Weight = e.inc.Weight()
+	st.LastBatch = e.lastBatch
+	return st
+}

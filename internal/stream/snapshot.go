@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout ("compacted" state: the live edge set replaces the
+// whole WAL prefix up to the high-water batch):
+//
+//	[0:8)    magic "LLPSNAP1"
+//	[8:16)   high-water batch ID (every batch <= this is reflected)
+//	[16:20)  vertex count n
+//	[20:24)  live edge count K
+//	[24:24+13K) edges in canonical (weight, id) order:
+//	         u, v, weight bits, flags (bit 0 = forest member)
+//	last 4   CRC32-C of bytes [8 : len-4)
+//
+// The writer goes through a temp file + rename + directory fsync, so the
+// snapshot path always holds either the previous complete snapshot or the
+// new complete snapshot — never a torn one.
+const (
+	snapMagic       = "LLPSNAP1"
+	snapHeaderBytes = 24
+	snapEdgeBytes   = 13
+	snapFile        = "snapshot"
+	snapTempFile    = "snapshot.tmp"
+	walFile         = "wal.log"
+)
+
+// snapEdge is one live edge in a snapshot, in canonical order; Forest marks
+// membership in the maintained MSF.
+type snapEdge struct {
+	U, V   uint32
+	W      float32
+	Forest bool
+}
+
+// snapshotState is the decoded snapshot.
+type snapshotState struct {
+	HighWater uint64
+	N         int
+	Edges     []snapEdge
+}
+
+// encodeSnapshot renders st to its file bytes.
+func encodeSnapshot(st snapshotState) []byte {
+	buf := make([]byte, snapHeaderBytes+snapEdgeBytes*len(st.Edges)+4)
+	copy(buf, snapMagic)
+	binary.LittleEndian.PutUint64(buf[8:], st.HighWater)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(st.N))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(st.Edges)))
+	off := snapHeaderBytes
+	for _, e := range st.Edges {
+		binary.LittleEndian.PutUint32(buf[off:], e.U)
+		binary.LittleEndian.PutUint32(buf[off+4:], e.V)
+		binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(e.W))
+		if e.Forest {
+			buf[off+12] = 1
+		}
+		off += snapEdgeBytes
+	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[8:off], crcTable))
+	return buf
+}
+
+// decodeSnapshot parses and validates snapshot bytes.
+func decodeSnapshot(data []byte) (snapshotState, error) {
+	var st snapshotState
+	if len(data) < snapHeaderBytes+4 {
+		return st, fmt.Errorf("snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != snapMagic {
+		return st, fmt.Errorf("bad snapshot magic %q", data[:8])
+	}
+	st.HighWater = binary.LittleEndian.Uint64(data[8:])
+	st.N = int(binary.LittleEndian.Uint32(data[16:]))
+	count := int(binary.LittleEndian.Uint32(data[20:]))
+	if want := snapHeaderBytes + snapEdgeBytes*count + 4; len(data) != want {
+		return st, fmt.Errorf("snapshot %d bytes, want %d for %d edges", len(data), want, count)
+	}
+	crcOff := len(data) - 4
+	want := binary.LittleEndian.Uint32(data[crcOff:])
+	if got := crc32.Checksum(data[8:crcOff], crcTable); got != want {
+		return st, fmt.Errorf("snapshot checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	st.Edges = make([]snapEdge, count)
+	off := snapHeaderBytes
+	for i := range st.Edges {
+		u := binary.LittleEndian.Uint32(data[off:])
+		v := binary.LittleEndian.Uint32(data[off+4:])
+		w := math.Float32frombits(binary.LittleEndian.Uint32(data[off+8:]))
+		flags := data[off+12]
+		if int(u) >= st.N || int(v) >= st.N || u == v {
+			return st, fmt.Errorf("snapshot edge %d: endpoints (%d,%d) invalid for n=%d", i, u, v, st.N)
+		}
+		if w != w || math.IsInf(float64(w), 0) || w < 0 {
+			return st, fmt.Errorf("snapshot edge %d: invalid weight %v", i, w)
+		}
+		if flags > 1 {
+			return st, fmt.Errorf("snapshot edge %d: unknown flags %#x", i, flags)
+		}
+		st.Edges[i] = snapEdge{U: u, V: v, W: w, Forest: flags == 1}
+		off += snapEdgeBytes
+	}
+	return st, nil
+}
+
+// writeSnapshot atomically installs st as dir's snapshot: write a temp
+// file, fsync it, rename over the snapshot path, fsync the directory.
+func writeSnapshot(dir string, st snapshotState) error {
+	tmp := filepath.Join(dir, snapTempFile)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeSnapshot(st)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads dir's snapshot if one exists. ok is false when the
+// stream has never snapshotted.
+func loadSnapshot(dir string) (snapshotState, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapFile))
+	if os.IsNotExist(err) {
+		return snapshotState{}, false, nil
+	}
+	if err != nil {
+		return snapshotState{}, false, err
+	}
+	st, err := decodeSnapshot(data)
+	if err != nil {
+		return snapshotState{}, false, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	return st, true, nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

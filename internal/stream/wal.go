@@ -1,0 +1,325 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"llpmst/internal/obs"
+)
+
+// SyncPolicy selects when the WAL calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged batch survives
+	// even a machine crash. Highest latency.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker: an acknowledged batch
+	// survives process kills immediately and machine crashes after at most
+	// one flush interval.
+	SyncInterval
+	// SyncOff never fsyncs during operation (Close still flushes): batches
+	// survive process kills — the OS holds the written bytes — but a
+	// machine crash can lose anything since the last OS flush.
+	SyncOff
+)
+
+// String names the policy the way the -stream-sync flag spells it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses "always", "interval", or "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("stream: unknown sync policy %q (want always, interval, or off)", s)
+}
+
+// WAL record layout. Every record is length-prefixed and checksummed so a
+// torn tail is detectable:
+//
+//	[0:4)  payload length N, little endian
+//	[4:8)  CRC32-C (Castagnoli) of the payload
+//	[8:8+N) payload
+//
+// Payload layout:
+//
+//	[0:8)   batch ID
+//	[8:12)  op count K
+//	[12:12+13K) ops: kind (0=insert, 1=delete), u, v, weight bits
+const (
+	recordHeaderBytes = 8
+	batchHeaderBytes  = 12
+	opBytes           = 13
+	// maxRecordBytes bounds a record's claimed payload length; anything
+	// larger is treated as corruption, not an allocation request.
+	maxRecordBytes = 1 << 26
+	// MaxBatchOps is the largest op count a single batch may carry.
+	MaxBatchOps = (maxRecordBytes - batchHeaderBytes) / opBytes
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends the full WAL record (header + payload) for b to dst.
+func appendRecord(dst []byte, b Batch) []byte {
+	payloadLen := batchHeaderBytes + opBytes*len(b.Ops)
+	start := len(dst)
+	dst = append(dst, make([]byte, recordHeaderBytes+payloadLen)...)
+	payload := dst[start+recordHeaderBytes:]
+	binary.LittleEndian.PutUint64(payload[0:], b.ID)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(b.Ops)))
+	off := batchHeaderBytes
+	for _, op := range b.Ops {
+		kind := byte(0)
+		if op.Delete {
+			kind = 1
+		}
+		payload[off] = kind
+		binary.LittleEndian.PutUint32(payload[off+1:], op.U)
+		binary.LittleEndian.PutUint32(payload[off+5:], op.V)
+		binary.LittleEndian.PutUint32(payload[off+9:], math.Float32bits(op.W))
+		off += opBytes
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// decodeBatch decodes one record payload. It validates structure (counts,
+// op kinds) and weights (finite, non-negative), but not endpoint ranges —
+// those depend on the engine's vertex count and are checked at apply time.
+func decodeBatch(payload []byte) (Batch, error) {
+	if len(payload) < batchHeaderBytes {
+		return Batch{}, fmt.Errorf("payload %d bytes, want >= %d", len(payload), batchHeaderBytes)
+	}
+	id := binary.LittleEndian.Uint64(payload[0:])
+	if id == 0 {
+		return Batch{}, fmt.Errorf("batch ID 0 is reserved")
+	}
+	count := binary.LittleEndian.Uint32(payload[8:])
+	if count > MaxBatchOps {
+		return Batch{}, fmt.Errorf("op count %d exceeds limit %d", count, MaxBatchOps)
+	}
+	if want := batchHeaderBytes + opBytes*int(count); len(payload) != want {
+		return Batch{}, fmt.Errorf("payload %d bytes, want %d for %d ops", len(payload), want, count)
+	}
+	ops := make([]Op, count)
+	off := batchHeaderBytes
+	for i := range ops {
+		kind := payload[off]
+		if kind > 1 {
+			return Batch{}, fmt.Errorf("op %d: unknown kind %d", i, kind)
+		}
+		w := math.Float32frombits(binary.LittleEndian.Uint32(payload[off+9:]))
+		if w != w || math.IsInf(float64(w), 0) || w < 0 {
+			return Batch{}, fmt.Errorf("op %d: invalid weight %v", i, w)
+		}
+		ops[i] = Op{
+			Delete: kind == 1,
+			U:      binary.LittleEndian.Uint32(payload[off+1:]),
+			V:      binary.LittleEndian.Uint32(payload[off+5:]),
+			W:      w,
+		}
+		off += opBytes
+	}
+	return Batch{ID: id, Ops: ops}, nil
+}
+
+// TornInfo describes where and why WAL replay stopped before the end of
+// the log: the byte offset of the first unusable record and the reason.
+type TornInfo struct {
+	Offset int64
+	Reason string
+}
+
+// decodeWAL walks data record by record, calling fn for each intact batch.
+// It returns the number of bytes consumed by intact records and, when the
+// walk stopped early, a TornInfo for the first torn or corrupt record. An
+// fn error also stops the walk (the record is structurally fine but
+// semantically unusable — e.g. endpoints out of range for the stream).
+func decodeWAL(data []byte, fn func(Batch) error) (consumed int64, torn *TornInfo) {
+	off := 0
+	for {
+		rem := len(data) - off
+		if rem == 0 {
+			return int64(off), nil
+		}
+		if rem < recordHeaderBytes {
+			return int64(off), &TornInfo{int64(off), fmt.Sprintf("short header (%d bytes)", rem)}
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n > maxRecordBytes {
+			return int64(off), &TornInfo{int64(off), fmt.Sprintf("implausible record length %d", n)}
+		}
+		if rem-recordHeaderBytes < n {
+			return int64(off), &TornInfo{int64(off), fmt.Sprintf("short payload (%d of %d bytes)", rem-recordHeaderBytes, n)}
+		}
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+recordHeaderBytes : off+recordHeaderBytes+n]
+		if got := crc32.Checksum(payload, crcTable); got != want {
+			return int64(off), &TornInfo{int64(off), fmt.Sprintf("checksum mismatch (got %08x, want %08x)", got, want)}
+		}
+		b, err := decodeBatch(payload)
+		if err != nil {
+			return int64(off), &TornInfo{int64(off), "bad payload: " + err.Error()}
+		}
+		if err := fn(b); err != nil {
+			return int64(off), &TornInfo{int64(off), "unusable batch: " + err.Error()}
+		}
+		off += recordHeaderBytes + n
+	}
+}
+
+// wal is the append side of the write-ahead log. It owns the file handle
+// and is internally locked: the interval-sync ticker goroutine calls Sync
+// concurrently with engine appends.
+type wal struct {
+	mu     sync.Mutex
+	f      *os.File
+	policy SyncPolicy
+	col    obs.Collector
+	dirty  bool
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// openWAL opens (creating if needed) the log file for appending.
+func openWAL(path string, policy SyncPolicy, interval time.Duration, col obs.Collector) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{f: f, policy: policy, col: obs.Or(col)}
+	if policy == SyncInterval {
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop(interval)
+	}
+	return w, nil
+}
+
+func (w *wal) syncLoop(interval time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			_ = w.Sync()
+		}
+	}
+}
+
+// Append writes one full record and, under SyncAlways, fsyncs before
+// returning — the batch is then durable when the caller acknowledges it.
+func (w *wal) Append(rec []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	w.col.Count(obs.CtrWALAppend, 1)
+	w.dirty = true
+	if w.policy == SyncAlways {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// appendRaw writes bytes without record framing or syncing — the fault
+// injector's torn-write primitive (a crash mid-append leaves a prefix).
+func (w *wal) appendRaw(prefix []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	_, err := w.f.Write(prefix)
+	return err
+}
+
+// Sync flushes written records to stable storage.
+func (w *wal) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || !w.dirty {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *wal) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.col.Count(obs.CtrWALFsync, 1)
+	return nil
+}
+
+// TruncateTo cuts the file to size — recovery removing a torn tail, or a
+// fresh snapshot compacting the log to zero.
+func (w *wal) TruncateTo(size int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.f.Truncate(size); err != nil {
+		return err
+	}
+	// O_APPEND writes continue at the new end; seek only matters for
+	// platforms tracking the offset explicitly.
+	_, err := w.f.Seek(size, 0)
+	w.dirty = true
+	return err
+}
+
+// Close stops the sync ticker, flushes once more, and closes the file.
+func (w *wal) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
