@@ -10,8 +10,9 @@
 //	mstbench -exp perf -json-out .        # snapshot BENCH_perf.json for the trajectory
 //
 // Experiments: tableI, fig2, fig3, fig4, sizesweep, ablation, work, perf,
-// conv, dist, chaos (also via -chaos, seeded by -chaos-seed), hedge (also
-// via -hedge: tail latency through the resilient runner, with and without
+// semi (semiring vs pointer-based Boruvka across a density sweep), conv,
+// dist, chaos (also via -chaos, seeded by -chaos-seed), hedge (also via
+// -hedge: tail latency through the resilient runner, with and without
 // hedging), all.
 // Scales: test (~1k vertices), s (~65k), m (~260k), l (~1M).
 package main
@@ -45,7 +46,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mstbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|perf|conv|dist|chaos|hedge|all")
+		exp        = fs.String("exp", "all", "experiment: tableI|fig2|fig3|fig4|sizesweep|ablation|work|perf|semi|conv|dist|chaos|hedge|all")
 		scale      = fs.String("scale", "s", "dataset scale: test|s|m|l")
 		trials     = fs.Int("trials", 3, "trials per cell (best time is reported)")
 		threads    = fs.String("threads", "", "comma-separated worker counts for fig3 (default 1,2,4,8,16,32)")
@@ -189,6 +190,7 @@ func run(args []string, stdout io.Writer) error {
 		{"sizesweep", func() ([]bench.Result, error) { return bench.SizeSweepCtx(ctx, stdout, sc, *trials, *workers) }},
 		{"ablation", func() ([]bench.Result, error) { return bench.AblationCtx(ctx, stdout, sc, *trials, *workers) }},
 		{"perf", func() ([]bench.Result, error) { return bench.PerfCtx(ctx, stdout, sc, *trials) }},
+		{"semi", func() ([]bench.Result, error) { return bench.SemiCtx(ctx, stdout, sc, *trials) }},
 		{"conv", func() ([]bench.Result, error) { return bench.ConvergenceCtx(ctx, stdout, sc, *workers) }},
 		{"dist", func() ([]bench.Result, error) {
 			rows, err := bench.DistributedCtx(ctx, stdout, sc)

@@ -6,6 +6,7 @@
 //
 //	mstverify -graph road.llpg
 //	mstverify -graph road.gr -alg llp-boruvka -against prim -workers 8
+//	mstverify -graph dense.llpg -alg semi-boruvka -against kruskal
 //
 // Exits non-zero if any check fails.
 package main

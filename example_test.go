@@ -35,7 +35,7 @@ func ExampleLLPBoruvka() {
 
 func ExampleRun() {
 	g := paperGraph()
-	for _, alg := range []llpmst.Algorithm{llpmst.AlgPrim, llpmst.AlgKruskal, llpmst.AlgKKT} {
+	for _, alg := range []llpmst.Algorithm{llpmst.AlgPrim, llpmst.AlgKruskal, llpmst.AlgSemiringBoruvka, llpmst.AlgKKT} {
 		f, err := llpmst.Run(alg, g, llpmst.Options{Workers: 2})
 		if err != nil {
 			panic(err)
@@ -45,7 +45,32 @@ func ExampleRun() {
 	// Output:
 	// prim 16
 	// kruskal 16
+	// semi-boruvka 16
 	// kkt 16
+}
+
+func ExampleSemiringBoruvka() {
+	// Pick the backend by density, the same split the resilient portfolio
+	// uses: the semiring (sparse-matrix) formulation earns its keep when the
+	// graph is very dense (m >= 16n) and rows are long enough to amortize
+	// the matrix build; the pointer-based LLP-Boruvka wins on sparse inputs.
+	g := paperGraph()
+	alg := llpmst.AlgLLPBoruvka
+	if g.NumEdges() >= 16*g.NumVertices() {
+		alg = llpmst.AlgSemiringBoruvka
+	}
+	f, err := llpmst.Run(alg, g, llpmst.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alg, f.Weight)
+
+	// Forcing the semiring backend directly gives the identical forest:
+	// every backend returns the unique MSF under the (weight, id) order.
+	fmt.Println(llpmst.SemiringBoruvka(g, llpmst.Options{Workers: 2}).Weight)
+	// Output:
+	// llp-boruvka 16
+	// 16
 }
 
 func ExampleMinimumSpanningForestCtx() {

@@ -31,7 +31,7 @@ func PerfCtx(ctx context.Context, w io.Writer, sc Scale, trials int) ([]Result, 
 	}
 	parAlgs := []mst.Algorithm{
 		mst.AlgLLPPrim, mst.AlgLLPPrimParallel, mst.AlgLLPPrimAsync,
-		mst.AlgParallelBoruvka, mst.AlgLLPBoruvka,
+		mst.AlgParallelBoruvka, mst.AlgLLPBoruvka, mst.AlgSemiringBoruvka,
 	}
 	var results []Result
 	for _, ds := range []string{"road", "rmat"} {

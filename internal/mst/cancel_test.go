@@ -14,6 +14,7 @@ import (
 // ctxAlgs are the algorithms with cooperative cancellation support.
 var ctxAlgs = []Algorithm{
 	AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync, AlgParallelBoruvka, AlgLLPBoruvka,
+	AlgSemiringBoruvka,
 }
 
 func TestRunCtxPreCancelledDoesNoWork(t *testing.T) {
@@ -101,7 +102,7 @@ func TestRunCtxCancelMidRun(t *testing.T) {
 func TestRunCtxCancelNoGoroutineLeak(t *testing.T) {
 	g := gen.ErdosRenyi(1, 2000, 20000, gen.WeightUniform, 10)
 	before := runtime.NumGoroutine()
-	for _, alg := range []Algorithm{AlgLLPPrimParallel, AlgLLPPrimAsync, AlgParallelBoruvka, AlgLLPBoruvka} {
+	for _, alg := range []Algorithm{AlgLLPPrimParallel, AlgLLPPrimAsync, AlgParallelBoruvka, AlgLLPBoruvka, AlgSemiringBoruvka} {
 		for i := 0; i < 5; i++ {
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {

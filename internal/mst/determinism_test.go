@@ -37,6 +37,9 @@ func TestParallelDeterminismStress(t *testing.T) {
 			if f := must(LLPBoruvka(g, opts)); !f.Equal(oracle) {
 				t.Fatalf("%s run %d (w=%d): llp-boruvka nondeterministic", name, i, workers)
 			}
+			if f := must(SemiringBoruvka(g, opts)); !f.Equal(oracle) {
+				t.Fatalf("%s run %d (w=%d): semi-boruvka nondeterministic", name, i, workers)
+			}
 			if f := FilterKruskal(g, opts); !f.Equal(oracle) {
 				t.Fatalf("%s run %d (w=%d): filter-kruskal nondeterministic", name, i, workers)
 			}

@@ -1,0 +1,38 @@
+// Package mst implements the paper's contribution and its baselines: the
+// minimum spanning forest algorithms LLP-Prim (Algorithm 5) and LLP-Boruvka
+// (Algorithm 6), the classical Prim (Algorithm 2, indexed-heap and lazy-heap
+// variants), sequential Boruvka (Algorithm 3), a GBBS-style parallel Boruvka
+// baseline, a semiring (sparse-matrix) Boruvka whose per-round minimum-edge
+// selection is a min-plus SpMV over the contracted graph's adjacency matrix,
+// Kruskal and Filter-Kruskal, the randomized KKT algorithm, and two
+// verifiers.
+//
+// Every algorithm produces the same unique minimum spanning forest, because
+// all comparisons use the packed (weight, edge id) total order — the paper's
+// "make weights unique by incorporating identities" device. The test suite
+// exploits this: all algorithms are cross-checked edge-for-edge.
+//
+// # Choosing a backend
+//
+// Run and RunCtx dispatch on an Algorithm constant; Algorithms() enumerates
+// the registered set. As a rule of thumb:
+//
+//   - AlgKruskal / AlgFilterKruskal: sequential oracles; FilterKruskal wins
+//     when most edges are heavier than the forest.
+//   - AlgPrim / AlgPrimLazy / AlgBoruvka: textbook baselines (Algorithms 2
+//     and 3 of the paper).
+//   - AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync: the paper's
+//     LLP-Prim family — fixed-point advance on the vertex lattice, from
+//     sequential to fully asynchronous.
+//   - AlgParallelBoruvka / AlgLLPBoruvka: pointer-based parallel Boruvka
+//     (GBBS-style write-min, and the paper's LLP formulation).
+//   - AlgSemiringBoruvka: the sparse-matrix formulation — branch-free
+//     row-blocked min reductions with no atomics in the inner loop; it
+//     shines on dense graphs and is the resilient portfolio's pick when
+//     m >= 16n.
+//   - AlgKKT: randomized linear-work Karger–Klein–Tarjan.
+//
+// Parallel algorithms draw all O(n+m) scratch from an Options.Workspace
+// arena (or a pooled default), so steady-state runs allocate O(1); see
+// Workspace and EstimateScratchBytes.
+package mst

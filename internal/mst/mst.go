@@ -1,13 +1,3 @@
-// Package mst implements the paper's contribution and its baselines: the
-// minimum spanning forest algorithms LLP-Prim (Algorithm 5) and LLP-Boruvka
-// (Algorithm 6), the classical Prim (Algorithm 2, indexed-heap and lazy-heap
-// variants), sequential Boruvka (Algorithm 3), a GBBS-style parallel Boruvka
-// baseline, Kruskal and Filter-Kruskal, and two verifiers.
-//
-// Every algorithm produces the same unique minimum spanning forest, because
-// all comparisons use the packed (weight, edge id) total order — the paper's
-// "make weights unique by incorporating identities" device. The test suite
-// exploits this: all algorithms are cross-checked edge-for-edge.
 package mst
 
 import (
@@ -201,6 +191,7 @@ const (
 	AlgBoruvka         Algorithm = "boruvka"        // Algorithm 3, sequential BFS-based
 	AlgParallelBoruvka Algorithm = "boruvka-par"    // GBBS-style parallel baseline
 	AlgLLPBoruvka      Algorithm = "llp-boruvka"    // Algorithm 6
+	AlgSemiringBoruvka Algorithm = "semi-boruvka"   // min-plus sparse-matrix backend
 	AlgKruskal         Algorithm = "kruskal"        // sort + union-find
 	AlgFilterKruskal   Algorithm = "filter-kruskal" // parallel filter variant
 	AlgKKT             Algorithm = "kkt"            // Karger-Klein-Tarjan randomized linear-time
@@ -210,7 +201,7 @@ const (
 func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgPrim, AlgPrimLazy, AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync,
-		AlgBoruvka, AlgParallelBoruvka, AlgLLPBoruvka,
+		AlgBoruvka, AlgParallelBoruvka, AlgLLPBoruvka, AlgSemiringBoruvka,
 		AlgKruskal, AlgFilterKruskal, AlgKKT,
 	}
 }
@@ -241,6 +232,8 @@ func Run(alg Algorithm, g *graph.CSR, opts Options) (*Forest, error) {
 		return ParallelBoruvka(g, opts)
 	case AlgLLPBoruvka:
 		return LLPBoruvka(g, opts)
+	case AlgSemiringBoruvka:
+		return SemiringBoruvka(g, opts)
 	case AlgKruskal:
 		return kruskal(g, opts.Metrics), nil
 	case AlgFilterKruskal:

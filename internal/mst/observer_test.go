@@ -74,6 +74,7 @@ func TestObserverSpansCoverAlgorithms(t *testing.T) {
 		AlgLLPPrimAsync:    "llp-prim-async",
 		AlgParallelBoruvka: "boruvka-par",
 		AlgLLPBoruvka:      "llp-boruvka",
+		AlgSemiringBoruvka: "semi-boruvka",
 	}
 	for alg, span := range want {
 		rec := obs.NewRecording()

@@ -13,7 +13,8 @@ import (
 
 // Workspace is an arena of reusable scratch buffers for the parallel MSF
 // algorithms. Every call to LLPPrim, LLPPrimParallel, LLPPrimAsync,
-// ParallelBoruvka, or LLPBoruvka needs O(n+m) scratch state (tentative-key
+// ParallelBoruvka, LLPBoruvka, or SemiringBoruvka needs O(n+m) scratch
+// state (tentative-key
 // arrays, fixed flags, contraction ping-pong edge buffers, heaps, work
 // bags); without a workspace that state is allocated per call and becomes
 // garbage at return — exactly the overhead a server answering repeated MSF
@@ -60,9 +61,14 @@ type Workspace struct {
 	// Per-edge scratch (sized to m).
 	cedges []cedge  // contracted edge list
 	cspare []cedge  // contraction ping-pong target
-	eIDs   []uint32 // live edge ids
+	eIDs   []uint32 // live edge ids / canonical-id -> row-entry index
 	eSpare []uint32 // live-edge compaction ping-pong target
 	eFlags []uint32 // atomic 0/1 per edge: inT
+
+	// Semiring (sparse-matrix) scratch: the per-round row structure of the
+	// contracted adjacency matrix (sized to n+1 and 2m).
+	rowOff  []int64  // row offsets into arcKeys (CSR-style, nv+1 live)
+	arcKeys []uint64 // row-major packed (weight, id) matrix entries
 
 	// Per-worker cache-line-padded counter block (sized to workers).
 	counters []int64
@@ -109,10 +115,12 @@ func EstimateScratchBytes(n, m, workers int) int64 {
 		4*4 + // ids, bag, stage, picks
 		waveRecBytes + // recs (one wave record per fixed vertex)
 		8 + // union-find parent+rank words
-		8) // pointer-jump shadow state
+		8 + // pointer-jump shadow state
+		8) // semiring row offsets
 	perEdge := int64(2*cedgeBytes + // cedges + cspare
 		2*4 + // eIDs + eSpare
 		4 + // eFlags
+		2*8 + // semiring matrix entries (one per arc, two per edge)
 		16) // lazy-heap entries (worst case: every arc relaxation staged)
 	perWorker := int64(8*par.PadStride) + 512 // counters + scheduler deque headers
 	return int64(n)*perVertex + int64(m)*perEdge + int64(workers)*perWorker
@@ -191,6 +199,12 @@ func (w *Workspace) poison() {
 	for i := range w.counters {
 		w.counters[i] = -1
 	}
+	for i := range w.rowOff {
+		w.rowOff[i] = -0x5EED
+	}
+	for i := range w.arcKeys {
+		w.arcKeys[i] = p64
+	}
 	for i := range w.recs {
 		w.recs[i] = waveRec{v: p32, eid: p32}
 	}
@@ -226,6 +240,12 @@ func (w *Workspace) cspareBuf(m int) []cedge  { return grow(&w.cspare, m) }
 func (w *Workspace) eIDsBuf(m int) []uint32   { return grow(&w.eIDs, m) }
 func (w *Workspace) eSpareBuf(m int) []uint32 { return grow(&w.eSpare, m) }
 func (w *Workspace) eFlagsBuf(m int) []uint32 { return grow(&w.eFlags, m) }
+
+// rowOffBuf returns the semiring backend's row-offset table (n+1 entries
+// for an n-row matrix); arcKeysBuf returns its row-major entry array (two
+// entries per undirected edge).
+func (w *Workspace) rowOffBuf(n int) []int64    { return grow(&w.rowOff, n) }
+func (w *Workspace) arcKeysBuf(m2 int) []uint64 { return grow(&w.arcKeys, m2) }
 
 // countersBuf returns the padded per-worker counter block for p workers
 // (par.PadStride int64s per worker — one cache line each).

@@ -10,6 +10,7 @@ import (
 // parallelAlgs are the algorithms that draw scratch from Options.Workspace.
 var parallelAlgs = []Algorithm{
 	AlgLLPPrim, AlgLLPPrimParallel, AlgLLPPrimAsync, AlgParallelBoruvka, AlgLLPBoruvka,
+	AlgSemiringBoruvka,
 }
 
 // TestWorkspaceReuseDifferential reuses ONE workspace across every parallel
@@ -79,6 +80,7 @@ func TestWorkspaceSteadyStateAllocs(t *testing.T) {
 		AlgLLPPrimAsync:    16,
 		AlgParallelBoruvka: 32,
 		AlgLLPBoruvka:      96,
+		AlgSemiringBoruvka: 96,
 	}
 	for _, alg := range parallelAlgs {
 		t.Run(string(alg), func(t *testing.T) {

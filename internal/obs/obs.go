@@ -97,6 +97,15 @@ const (
 	// CtrRecoverTorn counts torn or corrupt WAL tails detected (and
 	// truncated) during recovery.
 	CtrRecoverTorn
+	// CtrSemiSpmvRows counts matrix rows reduced by the semiring backend's
+	// min-plus SpMV sweeps (one row per live component per round).
+	CtrSemiSpmvRows
+	// CtrSemiSpmvArcs counts packed keys streamed by those row reductions
+	// (two per live edge per round: an edge appears in both endpoint rows).
+	CtrSemiSpmvArcs
+	// CtrSemiShards counts cache-sized row shards handed to the work-
+	// stealing scheduler by the semiring backend's SpMV phases.
+	CtrSemiShards
 
 	// NumCounters is the number of defined counters (array sizing).
 	NumCounters
@@ -179,6 +188,12 @@ func (c Counter) String() string {
 		return "recover.replayed"
 	case CtrRecoverTorn:
 		return "recover.torn"
+	case CtrSemiSpmvRows:
+		return "semi.spmv.rows"
+	case CtrSemiSpmvArcs:
+		return "semi.spmv.arcs"
+	case CtrSemiShards:
+		return "semi.shards"
 	}
 	return "counter(?)"
 }

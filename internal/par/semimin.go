@@ -1,0 +1,51 @@
+package par
+
+// Min-plus (tropical) semiring reduction kernels.
+//
+// The sparse-matrix MSF formulation (Baer–Kanakagiri–Solomonik) turns each
+// Boruvka round's "every component picks its minimum outgoing edge" into a
+// min-plus SpMV: y[r] = ⊕_a A[r][a] where ⊕ is min over the packed
+// (weight, edge id) keys of atomicmin.go. Because the matrix rows are
+// materialized contiguously and each row has exactly one owner, the
+// reduction needs no atomics — unlike the WriteMin scatter the
+// pointer-based algorithms use — and the inner loop is a regular forward
+// stream over a []uint64, the raw-speed property the formulation is for.
+
+// minReduceUnroll is MinKeys' unroll factor: four independent accumulators
+// hide the latency of the serial min dependency chain (each lane's
+// compare-select depends only on its own previous value, so a superscalar
+// core retires all four per cycle group).
+const minReduceUnroll = 4
+
+// MinKeys returns the minimum of keys under the packed (weight, id) total
+// order, and InfKey for an empty slice. The loop body is branch-free: the
+// builtin integer min compiles to compare+conditional-select, so throughput
+// does not depend on the input's ordering (a sorted-descending row costs
+// the same as a sorted-ascending one — no branch mispredictions).
+func MinKeys(keys []uint64) uint64 {
+	m0, m1, m2, m3 := InfKey, InfKey, InfKey, InfKey
+	i := 0
+	for ; i+minReduceUnroll <= len(keys); i += minReduceUnroll {
+		m0 = min(m0, keys[i])
+		m1 = min(m1, keys[i+1])
+		m2 = min(m2, keys[i+2])
+		m3 = min(m3, keys[i+3])
+	}
+	for ; i < len(keys); i++ {
+		m0 = min(m0, keys[i])
+	}
+	return min(min(m0, m1), min(m2, m3))
+}
+
+// MinRowsInto reduces consecutive key rows into y: row r spans
+// keys[off[r]:off[r+1]] and y[r] receives its MinKeys (InfKey for an empty
+// row). off must be non-decreasing with len(off) == len(y)+1; its values
+// index keys directly, so a shard reduces rows [lo, hi) of a larger matrix
+// by passing y[lo:hi], off[lo:hi+1], and the full key array. Disjoint
+// shards then write disjoint y ranges and the whole sweep is race-free
+// without atomics.
+func MinRowsInto(y []uint64, off []int64, keys []uint64) {
+	for r := range y {
+		y[r] = MinKeys(keys[off[r]:off[r+1]])
+	}
+}

@@ -1,0 +1,26 @@
+// Package registry holds named, preprocessed graphs resident in memory so
+// that serving a hot graph costs one solve no matter how many concurrent
+// clients ask for it.
+//
+// Three mechanisms stack:
+//
+//   - Snapshots: each Put stores an immutable CSR under a (id, version)
+//     pair with a monotonically increasing version per id. Only the latest
+//     version stays resident; superseded snapshots — and their cached
+//     results — vanish atomically with the Put that replaced them. Total
+//     resident bytes are LRU-bounded: when a Put pushes the registry over
+//     its memory budget, the least-recently-used unpinned snapshots are
+//     evicted (a snapshot with an in-flight solve is pinned and never
+//     evicted under it).
+//   - Result cache + singleflight: Solve is keyed by (id, version, options
+//     key). A completed solve is cached until its version is superseded or
+//     its snapshot evicted; concurrent misses for the same key collapse
+//     into one underlying Solver call whose result every waiter shares.
+//     The underlying solve runs on a detached context, so one impatient
+//     client cancelling cannot abort the work the other waiters still
+//     want.
+//   - Quotas: every Solve first spends a token from its tenant's bucket.
+//     An empty bucket rejects with a typed *QuotaError (HTTP 429) without
+//     touching the solver, so one tenant's flood sheds at that tenant's
+//     limit instead of consuming the global admission gate.
+package registry

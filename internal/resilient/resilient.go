@@ -21,9 +21,10 @@ import (
 // 2×GOMAXPROCS, no memory budget, and no sampled minimality verification.
 type Config struct {
 	// Primary and Backup name the portfolio. Empty = auto: the runner picks
-	// by graph density (dense graphs lead with the Prim family, sparse with
-	// the Boruvka family — the paper's §VII split) and reorders by learned
-	// per-bucket latency once it has samples.
+	// by graph density (very dense graphs lead with the semiring sparse-
+	// matrix backend, dense with the Prim family, sparse with the Boruvka
+	// family — the paper's §VII split) and reorders by learned per-bucket
+	// latency once it has samples.
 	Primary mst.Algorithm
 	Backup  mst.Algorithm
 
@@ -267,16 +268,22 @@ func primFamily(alg mst.Algorithm) bool {
 }
 
 // pick chooses the portfolio order for g: configured algorithms when set,
-// else a density heuristic (dense → Prim family first; sparse → Boruvka
-// family first, the §VII split), then a swap when the learned per-bucket
-// latencies say the backup is actually faster here.
+// else a density heuristic (very dense → the semiring sparse-matrix
+// backend, whose regular row streaming wins exactly when rows are long;
+// dense → Prim family first; sparse → Boruvka family first, the §VII
+// split), then a swap when the learned per-bucket latencies say the backup
+// is actually faster here.
 func (r *Runner) pick(g *graph.CSR, bucket int) (primary, backup mst.Algorithm) {
 	primary, backup = r.cfg.Primary, r.cfg.Backup
 	dense := g.NumEdges() >= 4*g.NumVertices()
+	veryDense := g.NumEdges() >= 16*g.NumVertices()
 	if primary == "" {
-		if dense {
+		switch {
+		case veryDense:
+			primary = mst.AlgSemiringBoruvka
+		case dense:
 			primary = mst.AlgLLPPrimAsync
-		} else {
+		default:
 			primary = mst.AlgLLPBoruvka
 		}
 	}

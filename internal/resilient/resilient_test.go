@@ -184,6 +184,33 @@ func oracle(t *testing.T, g *graph.CSR) *mst.Forest {
 	return f
 }
 
+// TestPickDensitySplit pins the auto portfolio's density heuristic: sparse
+// graphs lead with LLP-Boruvka, dense with LLP-Prim-Async, and very dense
+// (m >= 16n) with the semiring sparse-matrix backend; the backup always
+// comes from the other family. Explicit configuration overrides all of it.
+func TestPickDensitySplit(t *testing.T) {
+	r := New(Config{})
+	cases := []struct {
+		name            string
+		g               *graph.CSR
+		primary, backup mst.Algorithm
+	}{
+		{"sparse", gen.ErdosRenyi(1, 400, 900, gen.WeightUniform, 3), mst.AlgLLPBoruvka, mst.AlgLLPPrimAsync},
+		{"dense", gen.ErdosRenyi(1, 200, 1600, gen.WeightUniform, 4), mst.AlgLLPPrimAsync, mst.AlgLLPBoruvka},
+		{"very-dense", gen.ErdosRenyi(1, 100, 3200, gen.WeightUniform, 5), mst.AlgSemiringBoruvka, mst.AlgLLPPrimAsync},
+	}
+	for _, tc := range cases {
+		primary, backup := r.pick(tc.g, sizeBucket(tc.g))
+		if primary != tc.primary || backup != tc.backup {
+			t.Errorf("%s: pick = (%s, %s), want (%s, %s)", tc.name, primary, backup, tc.primary, tc.backup)
+		}
+	}
+	cfg := New(Config{Primary: mst.AlgKruskal, Backup: mst.AlgPrim})
+	if primary, backup := cfg.pick(cases[2].g, 0); primary != mst.AlgKruskal || backup != mst.AlgPrim {
+		t.Errorf("configured pick = (%s, %s), want (kruskal, prim)", primary, backup)
+	}
+}
+
 func TestSolveMatchesKruskalAcrossShapes(t *testing.T) {
 	r := New(Config{Workers: 2, VerifyRate: 1})
 	graphs := []*graph.CSR{

@@ -95,6 +95,7 @@ const (
 	AlgBoruvka         = mst.AlgBoruvka
 	AlgParallelBoruvka = mst.AlgParallelBoruvka
 	AlgLLPBoruvka      = mst.AlgLLPBoruvka
+	AlgSemiringBoruvka = mst.AlgSemiringBoruvka
 	AlgKruskal         = mst.AlgKruskal
 	AlgFilterKruskal   = mst.AlgFilterKruskal
 	AlgKKT             = mst.AlgKKT
@@ -176,6 +177,13 @@ func ParallelBoruvka(g *Graph, opts Options) *Forest { f, _ := mst.ParallelBoruv
 
 // LLPBoruvka runs LLP-Boruvka (Algorithm 6).
 func LLPBoruvka(g *Graph, opts Options) *Forest { f, _ := mst.LLPBoruvka(g, opts); return f }
+
+// SemiringBoruvka runs the sparse-matrix (GraphBLAS-style) Boruvka backend:
+// per-round min-edge selection as a min-plus semiring SpMV over the packed
+// (weight, id) keys, with no atomics in the row-reduction loop. It produces
+// the same unique MSF as every other algorithm here, and is the portfolio's
+// preferred backend on very dense graphs.
+func SemiringBoruvka(g *Graph, opts Options) *Forest { f, _ := mst.SemiringBoruvka(g, opts); return f }
 
 // Kruskal runs the classical Kruskal's algorithm.
 func Kruskal(g *Graph) *Forest { return mst.Kruskal(g) }
