@@ -6,6 +6,7 @@ package llpmst
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -108,5 +109,44 @@ func TestAPIMatrixMarketAndMETIS(t *testing.T) {
 	}
 	if bin.Len() == 0 {
 		t.Fatal("empty binary output")
+	}
+}
+
+func TestAPITraceStoreRoundTrip(t *testing.T) {
+	tid, parent, flags, ok := ParseTraceparent(
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if !ok {
+		t.Fatal("traceparent did not parse")
+	}
+	st := NewTraceStore(TraceStoreConfig{Capacity: 4})
+	root := st.StartTrace("api.solve", tid, parent, flags)
+	if !root.Valid() {
+		t.Fatal("no trace slot available")
+	}
+	if got := FormatTraceparent(root.TraceID(), root.ID(), flags); len(got) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", got, len(got))
+	}
+	ctx := ContextWithTrace(context.Background(), root.Ref())
+	ref := TraceRefFromContext(ctx)
+	if !ref.Valid() || ref.TraceID() != tid {
+		t.Fatalf("context ref = %+v, want trace %v", ref, tid)
+	}
+	child := ref.Start("api.child")
+	child.SetInt("edges", 42)
+	child.End()
+	root.Finish()
+
+	// The inbound sampled flag forces a tail-sample keep.
+	d, ok := st.Get(tid)
+	if !ok {
+		t.Fatal("sampled trace was not kept")
+	}
+	if d.KeepReason != "forced" || len(d.Spans) != 2 {
+		t.Fatalf("kept trace = reason %q with %d spans, want forced with 2",
+			d.KeepReason, len(d.Spans))
+	}
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf); err != nil || buf.Len() == 0 {
+		t.Fatalf("chrome export: err=%v len=%d", err, buf.Len())
 	}
 }

@@ -37,15 +37,28 @@
 //	GET    /streams           list streams
 //	GET    /streams/{id}      one stream's stats and last recovery report
 //	DELETE /streams/{id}      close the stream and delete its WAL/snapshot
+//	GET    /traces            trace index: recent, slowest, and errored
+//	                          kept traces plus tail-sampling stats
+//	GET    /traces/{id}       one kept trace's span tree as JSON;
+//	                          ?format=chrome emits Chrome-trace JSON for
+//	                          Perfetto / chrome://tracing
 //	GET    /healthz           200 while serving; 503 while replaying
 //	                          stream WALs at startup ("recovering") and
 //	                          once draining ("draining")
 //	GET    /metrics           Prometheus text: flight-recorder counters
 //	                          and spans, breaker states, runner lifetime
-//	                          stats, and registry/cache/quota counters
+//	                          stats, registry/cache/quota counters,
+//	                          per-route RED series, trace-store sampling
+//	                          stats, and per-stream gauges
 //
 // Every route is method-scoped: a wrong-method hit on a known route gets
 // 405 with an Allow header, not 404.
+//
+// Every request runs under a trace: an inbound W3C traceparent header is
+// honored (and echoed on the response), registry/resilient/stream layers
+// contribute child spans, and the tail-sampling trace store (-trace-*)
+// always keeps errored and slow-tail traces. One structured log line per
+// request (-log-format, -log-level) carries the trace ID.
 //
 // SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503 so load
 // balancers stop routing, in-flight solves (and their hedge losers) finish,
@@ -65,6 +78,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -103,8 +117,16 @@ type serverConfig struct {
 	registryMem int64
 	quotaRate   float64
 	quotaBurst  float64
-	resilient   resilient.Config
-	streams     streamConfig
+	traceCap    int
+	traceSpans  int
+	traceSample float64
+	logFormat   string
+	logLevel    slog.Level
+	// logW receives the structured request log; nil means os.Stderr. Tests
+	// inject a buffer here.
+	logW      io.Writer
+	resilient resilient.Config
+	streams   streamConfig
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -139,9 +161,21 @@ func run(args []string, stdout io.Writer) error {
 		streamSyncInt = fs.Duration("stream-sync-interval", 100*time.Millisecond, "flush period under -stream-sync=interval")
 		snapshotEvery = fs.Int("snapshot-every", 1024, "batches between stream snapshot compactions (0 = default)")
 		recoverHold   = fs.Duration("stream-recover-hold", 0, "artificially stretch startup recovery (drill knob for observing the 503 window)")
+		traceCap      = fs.Int("trace-capacity", 512, "tail-sampled traces kept in memory")
+		traceSpans    = fs.Int("trace-spans", 128, "span slots per trace (excess spans are counted, not stored)")
+		traceSample   = fs.Float64("trace-sample", 0.1, "probability a healthy fast trace is kept anyway (errors and the slow tail are always kept)")
+		logFormat     = fs.String("log-format", "text", "request log encoding: text or json")
+		logLevel      = fs.String("log-level", "info", "request log threshold: debug, info, warn, or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
 	}
 	syncPolicy, err := stream.ParseSyncPolicy(*streamSync)
 	if err != nil {
@@ -162,6 +196,11 @@ func run(args []string, stdout io.Writer) error {
 		registryMem: *registryMem,
 		quotaRate:   *quotaRate,
 		quotaBurst:  *quotaBurst,
+		traceCap:    *traceCap,
+		traceSpans:  *traceSpans,
+		traceSample: *traceSample,
+		logFormat:   *logFormat,
+		logLevel:    level,
 		streams: streamConfig{
 			dir:           *streamDir,
 			sync:          syncPolicy,
@@ -252,12 +291,16 @@ func knownAlgorithm(alg mst.Algorithm) bool {
 }
 
 // server bundles the resilient runner, the graph registry, the flight
-// recorder, and drain state.
+// recorder, the tracing spine (trace store, RED metrics, request log), and
+// drain state.
 type server struct {
 	cfg      serverConfig
 	runner   *resilient.Runner
 	reg      *registry.Registry
 	flight   *obs.FlightRecorder
+	traces   *obs.TraceStore
+	httpm    *obs.HTTPMetrics
+	log      *slog.Logger
 	streams  *streamManager
 	draining atomic.Bool
 }
@@ -283,7 +326,31 @@ func newServer(cfg serverConfig) *server {
 	if scfg.workers == 0 {
 		scfg.workers = cfg.workers
 	}
-	return &server{cfg: cfg, runner: runner, reg: reg, flight: flight, streams: newStreamManager(scfg)}
+	traces := obs.NewTraceStore(obs.TraceStoreConfig{
+		Capacity:   cfg.traceCap,
+		SpanCap:    cfg.traceSpans,
+		SampleRate: cfg.traceSample,
+	})
+	logW := cfg.logW
+	if logW == nil {
+		logW = os.Stderr
+	}
+	logger, err := obs.NewLogger(logW, cfg.logFormat, cfg.logLevel)
+	if err != nil {
+		// run() validates the flag; a direct construction with a bad format
+		// falls back to text rather than failing the server.
+		logger, _ = obs.NewLogger(logW, "", cfg.logLevel)
+	}
+	return &server{
+		cfg:     cfg,
+		runner:  runner,
+		reg:     reg,
+		flight:  flight,
+		traces:  traces,
+		httpm:   obs.NewHTTPMetrics(),
+		log:     logger,
+		streams: newStreamManager(scfg),
+	}
 }
 
 // handler builds the method-scoped route table. Method scoping is what
@@ -291,20 +358,32 @@ func newServer(cfg serverConfig) *server {
 // the 404 (or, worse, a 200 from a GET-assuming handler) it used to get.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", s.handleSolve)
-	mux.HandleFunc("PUT /graphs/{id}", s.handlePutGraph)
-	mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
-	mux.HandleFunc("DELETE /graphs/{id}", s.handleDeleteGraph)
-	mux.HandleFunc("GET /graphs", s.handleListGraphs)
-	mux.HandleFunc("POST /graphs/{id}/solve", s.handleRegistrySolve)
-	mux.HandleFunc("PUT /streams/{id}", s.handlePutStream)
-	mux.HandleFunc("GET /streams/{id}", s.handleGetStream)
-	mux.HandleFunc("DELETE /streams/{id}", s.handleDeleteStream)
-	mux.HandleFunc("GET /streams", s.handleListStreams)
-	mux.HandleFunc("POST /streams/{id}/update", s.handleStreamUpdate)
-	mux.HandleFunc("GET /streams/{id}/forest", s.handleStreamForest)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Every route goes through the tracing middleware keyed by its pattern,
+	// so the route label in metrics and logs is the registration string, not
+	// a high-cardinality concrete path.
+	for _, rt := range []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /solve", s.handleSolve},
+		{"PUT /graphs/{id}", s.handlePutGraph},
+		{"GET /graphs/{id}", s.handleGetGraph},
+		{"DELETE /graphs/{id}", s.handleDeleteGraph},
+		{"GET /graphs", s.handleListGraphs},
+		{"POST /graphs/{id}/solve", s.handleRegistrySolve},
+		{"PUT /streams/{id}", s.handlePutStream},
+		{"GET /streams/{id}", s.handleGetStream},
+		{"DELETE /streams/{id}", s.handleDeleteStream},
+		{"GET /streams", s.handleListStreams},
+		{"POST /streams/{id}/update", s.handleStreamUpdate},
+		{"GET /streams/{id}/forest", s.handleStreamForest},
+		{"GET /traces", s.handleTraces},
+		{"GET /traces/{id}", s.handleTraceByID},
+		{"GET /healthz", s.handleHealthz},
+		{"GET /metrics", s.handleMetrics},
+	} {
+		mux.HandleFunc(rt.pattern, s.traced(rt.pattern, rt.h))
+	}
 	return mux
 }
 
@@ -597,7 +676,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// The Prometheus text exposition format requires the charset parameter;
+	// scrapers are lenient but conformance checkers are not.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var buf bytes.Buffer
 	if err := s.flight.WritePrometheus(&buf); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -606,6 +687,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeBreakerMetrics(&buf, s.runner)
 	writeRunnerMetrics(&buf, s.runner.Stats())
 	writeRegistryMetrics(&buf, s.reg.Stats())
+	_ = s.httpm.WritePrometheus(&buf)
+	writeTraceStoreMetrics(&buf, s.traces.Stats(), s.traces.KeptCount())
+	writeStreamMetrics(&buf, s.streams)
 	_, _ = w.Write(buf.Bytes())
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -27,6 +28,7 @@ func testServer(t *testing.T, mutate func(*serverConfig)) *server {
 		deadline:    10 * time.Second,
 		maxDeadline: 30 * time.Second,
 		maxBody:     64 << 20,
+		logW:        io.Discard, // request log is asserted via a buffer where a test cares
 		resilient:   resilient.Config{Workers: 2, VerifyRate: 1},
 	}
 	if mutate != nil {
@@ -253,6 +255,8 @@ func TestEveryRouteMethodMatrix(t *testing.T) {
 		{"/streams/some-id", map[string]bool{http.MethodPut: true, http.MethodGet: true, http.MethodHead: true, http.MethodDelete: true}},
 		{"/streams/some-id/update", map[string]bool{http.MethodPost: true}},
 		{"/streams/some-id/forest", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
+		{"/traces", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
+		{"/traces/some-id", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/healthz", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/metrics", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -342,7 +343,7 @@ func (s *server) handleStreamUpdate(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := e.Apply(stream.Batch{ID: body.Batch, Ops: body.Ops})
+	res, err := e.ApplyCtx(req.Context(), stream.Batch{ID: body.Batch, Ops: body.Ops})
 	if err != nil {
 		writeStreamError(w, err)
 		return
@@ -460,4 +461,40 @@ func (s *server) handleDeleteStream(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeStreamMetrics appends per-stream engine gauges to the Prometheus
+// export. Stream IDs are client-chosen strings, so the label value goes
+// through PromEscape — a quote or newline in an ID must not be able to
+// break the exposition format.
+func writeStreamMetrics(w io.Writer, m *streamManager) {
+	ids := m.ids()
+	if len(ids) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# HELP llpmst_stream_gauge Per-stream engine state by kind.")
+	fmt.Fprintln(w, "# TYPE llpmst_stream_gauge gauge")
+	for _, id := range ids {
+		e, err := m.get(id)
+		if err != nil {
+			continue
+		}
+		st := e.Stats()
+		esc := obs.PromEscape(id)
+		for _, kv := range []struct {
+			kind string
+			v    float64
+		}{
+			{"live_edges", float64(st.LiveEdges)},
+			{"forest_edges", float64(st.ForestEdges)},
+			{"trees", float64(st.Trees)},
+			{"weight", st.Weight},
+			{"last_batch", float64(st.LastBatch)},
+			{"batches", float64(st.Batches)},
+			{"recomputes", float64(st.Recomputes)},
+			{"snapshots", float64(st.Snapshots)},
+		} {
+			fmt.Fprintf(w, "llpmst_stream_gauge{stream=\"%s\",kind=%q} %g\n", esc, kv.kind, kv.v)
+		}
+	}
 }

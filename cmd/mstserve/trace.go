@@ -1,0 +1,293 @@
+// Request tracing: the middleware that roots a trace per request, the
+// /traces serving endpoints, and the round-summary bridge from a
+// per-request flight recorder into the trace's span tree.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"llpmst/internal/obs"
+)
+
+// statusWriter captures the status code a handler writes so the middleware
+// can log and meter it after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// roundEventCap bounds the per-request flight recorder handed to deep-traced
+// (inbound sampled flag) requests: 4096 events is a few hundred Boruvka
+// rounds with counters, in ~128 KiB that dies with the request.
+const roundEventCap = 1 << 12
+
+// gatedRecorder wraps a per-request FlightRecorder so it can be read after
+// the response goes out. A hedge-loser leg outlives the handler and keeps
+// recording; FlightRecorder reads are only safe once writers stop. The
+// RWMutex establishes that edge: writers hold RLock per event, close takes
+// the write lock, flips the gate, and reads the series — late events from
+// losers are dropped at the gate instead of racing the read.
+type gatedRecorder struct {
+	mu     sync.RWMutex
+	rec    *obs.FlightRecorder
+	closed bool
+}
+
+func (g *gatedRecorder) Span(name string) func() {
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return func() {}
+	}
+	end := g.rec.Span(name)
+	g.mu.RUnlock()
+	return func() {
+		g.mu.RLock()
+		if !g.closed {
+			end()
+		}
+		g.mu.RUnlock()
+	}
+}
+
+func (g *gatedRecorder) Count(c obs.Counter, delta int64) {
+	g.mu.RLock()
+	if !g.closed {
+		g.rec.Count(c, delta)
+	}
+	g.mu.RUnlock()
+}
+
+func (g *gatedRecorder) Gauge(gg obs.Gauge, v int64) {
+	g.mu.RLock()
+	if !g.closed {
+		g.rec.Gauge(gg, v)
+	}
+	g.mu.RUnlock()
+}
+
+func (g *gatedRecorder) Round(r int64) {
+	g.mu.RLock()
+	if !g.closed {
+		g.rec.Round(r)
+	}
+	g.mu.RUnlock()
+}
+
+// close shuts the gate and returns the recorded round series. Safe to call
+// exactly once; events arriving afterwards are discarded.
+func (g *gatedRecorder) close() []obs.RoundStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	return g.rec.RoundSeries()
+}
+
+// maxRoundSpans caps how many per-round child spans the round summary adds
+// to a trace; the span array is the trace's scarce resource and the solve's
+// own spans have first claim on it.
+const maxRoundSpans = 32
+
+// traced wraps a route handler with the request-scoped tracing spine:
+//
+//   - an inbound W3C traceparent header is honored (same trace ID, caller's
+//     span as root parent; the sampled flag forces the trace to be kept),
+//     otherwise a fresh trace ID is minted;
+//   - the response echoes the trace ID in a traceparent header, so callers
+//     can correlate and CI can assert propagation;
+//   - the root span's ref rides req.Context() — registry, resilient, and
+//     stream layers hang their child spans off it;
+//   - an inbound sampled flag additionally attaches a per-request flight
+//     recorder whose round marks become an "algorithm rounds" child span;
+//   - after the handler returns: status/tenant attrs, SetError on 5xx (a
+//     tail-sample keep), RED metrics, and one structured log line.
+func (s *server) traced(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		tid, parent, flags, _ := obs.ParseTraceparent(req.Header.Get(obs.TraceparentHeader))
+		root := s.traces.StartTrace(pattern, tid, parent, flags)
+		ctx := req.Context()
+		var rec *gatedRecorder
+		if root.Valid() {
+			w.Header().Set(obs.TraceparentHeader, obs.FormatTraceparent(root.TraceID(), root.ID(), flags))
+			ctx = obs.ContextWithTrace(ctx, root.Ref())
+			if flags&obs.FlagSampled != 0 {
+				// Deep trace: give the request its own flight recorder so the
+				// solve's round marks can be folded into the span tree. It
+				// tees with the server-wide recorder inside the layers, and is
+				// gated because hedge-loser legs outlive the handler.
+				rec = &gatedRecorder{rec: obs.NewFlightRecorder(1, roundEventCap)}
+				ctx = obs.NewContext(ctx, rec)
+			}
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, req.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+
+		// Capture the ID before Finish: sealing may recycle the slot, after
+		// which the handle's ID accessor races the next trace.
+		logID := root.TraceID()
+		if root.Valid() {
+			if rec != nil {
+				attachRounds(root, rec.close(), start)
+			}
+			root.SetInt("status", int64(sw.status))
+			root.SetAttr("tenant", tenantFor(req))
+			if sw.status >= 500 {
+				root.SetErrorString(http.StatusText(sw.status))
+			}
+		}
+		root.Finish()
+		s.httpm.Observe(pattern, sw.status, dur, logID)
+
+		lvl := slog.LevelInfo
+		if sw.status >= 500 {
+			lvl = slog.LevelWarn
+		}
+		s.log.LogAttrs(req.Context(), lvl, "request",
+			slog.String("method", req.Method),
+			slog.String("route", pattern),
+			slog.Int("status", sw.status),
+			slog.String("tenant", tenantFor(req)),
+			slog.Duration("duration", dur),
+			obs.TraceAttr(logID),
+		)
+	}
+}
+
+// attachRounds folds the per-request flight recorder's round segments into
+// the trace as an "algorithm.rounds" span with one child per round. The
+// recorder's origin is the request start, so segment offsets translate
+// directly to wall-clock span times.
+func attachRounds(root obs.Span, series []obs.RoundStats, origin time.Time) {
+	if len(series) == 0 {
+		return
+	}
+	sum := root.Ref().StartAt("algorithm.rounds", origin.Add(series[0].Start))
+	if !sum.Valid() {
+		return
+	}
+	sum.SetInt("rounds", int64(len(series)))
+	n := len(series)
+	if n > maxRoundSpans {
+		sum.SetInt("rounds_truncated", int64(n-maxRoundSpans))
+		n = maxRoundSpans
+	}
+	for _, rs := range series[:n] {
+		sp := sum.Ref().StartAt(fmt.Sprintf("round %d", rs.Round), origin.Add(rs.Start))
+		sp.EndAt(origin.Add(rs.End))
+	}
+	sum.EndAt(origin.Add(series[len(series)-1].End))
+}
+
+// traceIndexReply is the GET /traces body: three views over the kept ring
+// plus the store's lifetime sampling stats.
+type traceIndexReply struct {
+	Recent  []obs.TraceSummary  `json:"recent"`
+	Slowest []obs.TraceSummary  `json:"slowest"`
+	Errored []obs.TraceSummary  `json:"errored"`
+	Stats   obs.TraceStoreStats `json:"stats"`
+}
+
+// traceIndexLimit bounds each view in the /traces index.
+const traceIndexLimit = 50
+
+func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	sums := s.traces.Summaries() // newest first
+	reply := traceIndexReply{
+		Recent:  clampTraces(sums),
+		Slowest: make([]obs.TraceSummary, len(sums)),
+		Stats:   s.traces.Stats(),
+	}
+	copy(reply.Slowest, sums)
+	sort.SliceStable(reply.Slowest, func(i, j int) bool {
+		return reply.Slowest[i].DurMS > reply.Slowest[j].DurMS
+	})
+	reply.Slowest = clampTraces(reply.Slowest)
+	for _, t := range sums {
+		if t.Error {
+			reply.Errored = append(reply.Errored, t)
+		}
+	}
+	reply.Errored = clampTraces(reply.Errored)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+func clampTraces(ts []obs.TraceSummary) []obs.TraceSummary {
+	if len(ts) > traceIndexLimit {
+		return ts[:traceIndexLimit]
+	}
+	return ts
+}
+
+// handleTraceByID serves one kept trace: JSON span tree by default,
+// Chrome-trace JSON (load into Perfetto / chrome://tracing) with
+// ?format=chrome.
+func (s *server) handleTraceByID(w http.ResponseWriter, req *http.Request) {
+	tid, ok := obs.ParseTraceID(req.PathValue("id"))
+	if !ok {
+		http.Error(w, "bad trace id (want 32 lowercase hex digits)", http.StatusBadRequest)
+		return
+	}
+	d, ok := s.traces.Get(tid)
+	if !ok {
+		http.Error(w, "trace not kept (still open, sampled out, or evicted)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if req.URL.Query().Get("format") == "chrome" {
+		_ = d.WriteChromeTrace(w)
+		return
+	}
+	_ = d.WriteJSON(w)
+}
+
+// writeTraceStoreMetrics appends the trace store's sampling stats to the
+// Prometheus export.
+func writeTraceStoreMetrics(w io.Writer, st obs.TraceStoreStats, kept int) {
+	fmt.Fprintln(w, "# HELP llpmst_trace_total Lifetime trace store stats by kind.")
+	fmt.Fprintln(w, "# TYPE llpmst_trace_total counter")
+	for _, kv := range []struct {
+		kind string
+		v    int64
+	}{
+		{"started", st.Started},
+		{"dropped_no_slot", st.DroppedNoSlot},
+		{"finished", st.Finished},
+		{"kept", st.Kept},
+		{"kept_forced", st.KeptForced},
+		{"kept_error", st.KeptError},
+		{"kept_slow", st.KeptSlow},
+		{"kept_sampled", st.KeptSampled},
+	} {
+		fmt.Fprintf(w, "llpmst_trace_total{kind=%q} %d\n", kv.kind, kv.v)
+	}
+	fmt.Fprintln(w, "# HELP llpmst_trace_kept Traces currently resident in the kept ring.")
+	fmt.Fprintln(w, "# TYPE llpmst_trace_kept gauge")
+	fmt.Fprintf(w, "llpmst_trace_kept %d\n", kept)
+}

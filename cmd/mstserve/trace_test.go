@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"llpmst/internal/gen"
+	"llpmst/internal/graph"
+	"llpmst/internal/obs"
+)
+
+// dimacsBody renders a small test graph in DIMACS form.
+func dimacsBody(t *testing.T) []byte {
+	t.Helper()
+	g := gen.ErdosRenyi(1, 60, 240, gen.WeightUniform, 11)
+	var buf bytes.Buffer
+	if err := graph.WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fetchTrace polls GET /traces/{id} until the trace seals: hedge losers can
+// hold a trace open briefly after the response goes out.
+func fetchTrace(t *testing.T, h http.Handler, id string) obs.TraceData {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/"+id, nil))
+		if rec.Code == http.StatusOK {
+			var d obs.TraceData
+			if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+				t.Fatalf("trace body: %v\n%s", err, rec.Body.String())
+			}
+			return d
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("trace %s never became fetchable", id)
+	return obs.TraceData{}
+}
+
+func spanNames(d obs.TraceData) map[string]int {
+	names := make(map[string]int)
+	for _, sp := range d.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+func TestSolveHonorsAndEchoesTraceparent(t *testing.T) {
+	h := testServer(t, nil).handler()
+	inTID := obs.NewTraceID()
+	inbound := obs.FormatTraceparent(inTID, obs.SpanID{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}, obs.FlagSampled)
+
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(dimacsBody(t)))
+	req.Header.Set("traceparent", inbound)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	echo := rec.Header().Get("traceparent")
+	gotTID, _, flags, ok := obs.ParseTraceparent(echo)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", echo)
+	}
+	if gotTID != inTID {
+		t.Fatalf("response trace ID %v, want inbound %v", gotTID, inTID)
+	}
+	if flags&obs.FlagSampled == 0 {
+		t.Fatalf("response flags %#x lost the sampled bit", flags)
+	}
+
+	d := fetchTrace(t, h, inTID.String())
+	names := spanNames(d)
+	if names["POST /solve"] != 1 {
+		t.Fatalf("trace missing HTTP root span: %v", names)
+	}
+	if names["resilient.solve"] != 1 || names["resilient.leg"] < 1 {
+		t.Fatalf("trace missing resilient spans: %v", names)
+	}
+	// The sampled flag also buys a per-request round summary from the
+	// flight recorder.
+	if names["algorithm.rounds"] != 1 {
+		t.Fatalf("deep trace missing algorithm.rounds summary: %v", names)
+	}
+	if d.KeepReason != "forced" {
+		t.Fatalf("keep reason %q, want forced (inbound sampled flag)", d.KeepReason)
+	}
+
+	// ?format=chrome renders the same trace for Perfetto.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/"+inTID.String()+"?format=chrome", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("chrome format: status %d", rec.Code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome trace is empty")
+	}
+
+	// The index lists the trace under recent.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/traces: status %d", rec.Code)
+	}
+	var idx traceIndexReply
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("/traces body: %v", err)
+	}
+	var found bool
+	for _, s := range idx.Recent {
+		if s.TraceID == inTID.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/traces recent does not list %s", inTID)
+	}
+}
+
+func TestRegistrySolveTraceShowsCacheProvenance(t *testing.T) {
+	h := testServer(t, nil).handler()
+	if rec := do(h, http.MethodPut, "/graphs/g1", dimacsBody(t), nil); rec.Code != http.StatusCreated {
+		t.Fatalf("put graph: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	solve := func() obs.TraceData {
+		tid := obs.NewTraceID()
+		hdr := map[string]string{"traceparent": obs.FormatTraceparent(tid, obs.SpanID{1}, obs.FlagSampled)}
+		if rec := do(h, http.MethodPost, "/graphs/g1/solve", nil, hdr); rec.Code != http.StatusOK {
+			t.Fatalf("registry solve: status %d: %s", rec.Code, rec.Body.String())
+		}
+		return fetchTrace(t, h, tid.String())
+	}
+
+	cacheAttr := func(d obs.TraceData) any {
+		t.Helper()
+		for _, sp := range d.Spans {
+			if sp.Name == "registry.solve" {
+				return sp.Attrs["cache"]
+			}
+		}
+		t.Fatalf("trace has no registry.solve span: %+v", d.Spans)
+		return nil
+	}
+
+	first := solve()
+	if got := cacheAttr(first); got != "miss" {
+		t.Fatalf("first solve cache attr = %v, want miss", got)
+	}
+	if names := spanNames(first); names["registry.flight"] != 1 {
+		t.Fatalf("miss trace missing registry.flight span: %v", names)
+	}
+	second := solve()
+	if got := cacheAttr(second); got != "hit" {
+		t.Fatalf("second solve cache attr = %v, want hit", got)
+	}
+}
+
+func TestRequestLogCarriesTraceID(t *testing.T) {
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	srv := testServer(t, func(cfg *serverConfig) {
+		cfg.logW = &syncWriter{mu: &mu, w: &logBuf}
+		cfg.logFormat = "json"
+	})
+	h := srv.handler()
+
+	tid := obs.NewTraceID()
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(dimacsBody(t)))
+	req.Header.Set("traceparent", obs.FormatTraceparent(tid, obs.SpanID{1}, 0))
+	req.Header.Set("X-API-Key", "team-a")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve: status %d", rec.Code)
+	}
+
+	mu.Lock()
+	line := logBuf.String()
+	mu.Unlock()
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &entry); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, line)
+	}
+	if entry["msg"] != "request" || entry["method"] != "POST" || entry["route"] != "POST /solve" {
+		t.Fatalf("log line fields wrong: %v", entry)
+	}
+	if entry["status"] != float64(200) || entry["tenant"] != "team-a" {
+		t.Fatalf("log line status/tenant wrong: %v", entry)
+	}
+	if entry["trace_id"] != tid.String() {
+		t.Fatalf("log line trace_id = %v, want %s", entry["trace_id"], tid)
+	}
+	if entry["level"] != "INFO" {
+		t.Fatalf("2xx logged at %v, want INFO", entry["level"])
+	}
+}
+
+func TestRequestLogLevelThreshold(t *testing.T) {
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	srv := testServer(t, func(cfg *serverConfig) {
+		cfg.logW = &syncWriter{mu: &mu, w: &logBuf}
+		cfg.logLevel = slog.LevelWarn
+	})
+	h := srv.handler()
+
+	// A 404 logs at Info, which a warn threshold suppresses.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/graphs/missing", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing graph: status %d", rec.Code)
+	}
+	mu.Lock()
+	got := logBuf.String()
+	mu.Unlock()
+	if got != "" {
+		t.Fatalf("-log-level=warn still logged a 404: %q", got)
+	}
+}
+
+// syncWriter serializes writes; slog handlers already lock, but the test
+// reads the buffer from the request goroutine's sibling.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestMetricsContentTypeAndREDSeries(t *testing.T) {
+	h := testServer(t, nil).handler()
+	if rec := postGraph(t, h, "/solve", dimacsBody(t)); rec.Code != http.StatusOK {
+		t.Fatalf("solve: status %d", rec.Code)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("metrics Content-Type = %q, want the 0.0.4 exposition type with charset", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`llpmst_http_requests_total{route="POST /solve",code="2xx"} 1`,
+		`llpmst_http_request_duration_seconds_count{route="POST /solve"} 1`,
+		`llpmst_trace_total{kind="started"}`,
+		`llpmst_trace_total{kind="finished"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestBadTraceIDAndUnknownTrace(t *testing.T) {
+	h := testServer(t, nil).handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/nope", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed trace id: status %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/"+obs.NewTraceID().String(), nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: status %d, want 404", rec.Code)
+	}
+}

@@ -1,0 +1,55 @@
+// log.go: structured logging glue. The serving layer logs through log/slog;
+// the helpers here build handlers from the -log-format / -log-level flag
+// values and standardize how a trace ID rides on every line, so a log line
+// and the /traces/{id} artifact for the same request are joinable on
+// trace_id.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// TraceIDKey is the slog attribute key every request-scoped log line
+// carries.
+const TraceIDKey = "trace_id"
+
+// ParseLogLevel maps a -log-level flag value (debug, info, warn, error;
+// case-insensitive) to a slog level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w in the given format ("text"
+// or "json") at the given level.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}
+
+// TraceAttr renders a trace ID as a slog attribute; the zero ID renders as
+// the empty string so un-traced lines stay greppable by the same key.
+func TraceAttr(id TraceID) slog.Attr {
+	if id.IsZero() {
+		return slog.String(TraceIDKey, "")
+	}
+	return slog.String(TraceIDKey, id.String())
+}

@@ -1,0 +1,472 @@
+// trace.go: request-scoped distributed-tracing spans with W3C trace-context
+// propagation.
+//
+// This file is the request-granularity counterpart to the flight recorder
+// (flight.go). The flight recorder answers "where did the *algorithm* spend
+// its time" with per-worker, per-round events; the trace layer answers "where
+// did *this request* spend its time" with a span tree that crosses layers:
+// HTTP root -> registry (cache hit/miss, singleflight link) -> resilient
+// (admission, hedged legs) -> stream (WAL append, fsync) -> algorithm round
+// summary.
+//
+// Design constraints, mirroring the flight recorder's discipline:
+//
+//   - Zero steady-state allocations on the un-sampled path. Spans are written
+//     into pre-allocated per-trace slots claimed with one atomic add; span
+//     handles (Span, TraceRef) are plain values.
+//   - Safe against late emitters. Hedged losers in internal/resilient keep
+//     running briefly after the winning response is sent; a loser must never
+//     write into a trace slot that has been recycled for a new request. Every
+//     trace slot carries a packed atomic state word [gen:32|fin:1|open:31]:
+//     starting a span CAS-increments the open count only if the generation
+//     matches and the trace is not finished, so stale handles degrade to
+//     no-ops instead of corrupting a recycled slot.
+//   - Tail sampling. The keep/drop decision happens at trace *completion*
+//     (see tracestore.go), so "keep all errors and the p99-slow tail" is
+//     decidable exactly, not guessed up front.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 128-bit W3C trace-context trace ID.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String returns the 32-hex-digit form. It allocates; serving and logging
+// paths only.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses the 32-hex-digit lowercase form ("" and the all-zero
+// ID are rejected, matching the W3C rule).
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !isHexLower(s) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	if id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// SpanID is a 64-bit W3C trace-context span (parent) ID.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String returns the 16-hex-digit form. It allocates.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// NewTraceID returns a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		a := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+		}
+	}
+	return id
+}
+
+// TraceparentHeader is the canonical W3C trace-context header name.
+const TraceparentHeader = "traceparent"
+
+// FlagSampled is the W3C trace-flags bit meaning "the caller sampled this
+// trace". The trace store honors it as a force-keep: a trace that arrives
+// with an explicit sampled flag is never dropped by tail sampling.
+const FlagSampled byte = 0x01
+
+// ParseTraceparent parses a W3C traceparent header of the form
+// "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>". It returns
+// ok=false for malformed values, unknown lengths, or the all-zero IDs the
+// spec forbids.
+func ParseTraceparent(s string) (tid TraceID, parent SpanID, flags byte, ok bool) {
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tid, parent, 0, false
+	}
+	// Version: two lowercase hex digits, 0xff is invalid per spec. We accept
+	// any other version and parse the version-00 prefix fields.
+	if !isHexLower(s[0:2]) || s[0:2] == "ff" {
+		return tid, parent, 0, false
+	}
+	if !isHexLower(s[3:35]) || !isHexLower(s[36:52]) || !isHexLower(s[53:55]) {
+		return tid, parent, 0, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(s[3:35])); err != nil {
+		return tid, parent, 0, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(s[36:52])); err != nil {
+		return tid, parent, 0, false
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(s[53:55])); err != nil {
+		return tid, parent, 0, false
+	}
+	if tid.IsZero() || parent.IsZero() {
+		return tid, parent, 0, false
+	}
+	return tid, parent, fb[0], true
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(tid TraceID, span SpanID, flags byte) string {
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], tid[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], span[:])
+	buf[52] = '-'
+	hex.Encode(buf[53:55], []byte{flags})
+	return string(buf[:])
+}
+
+// MaxSpanAttrs is the fixed number of attribute slots per span. Attributes
+// beyond it are dropped silently; span producers in this repo stay well under
+// the cap.
+const MaxSpanAttrs = 8
+
+// Attr is one span attribute: either a string or an int64 value.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// SpanRec is the fixed-size in-slot record of one span. Records live in a
+// per-trace array sized at store construction; they are claimed by atomic
+// index and each record is written by exactly one goroutine until the trace
+// seals.
+type SpanRec struct {
+	ID      SpanID
+	Parent  SpanID
+	Name    string
+	StartNS int64 // unix nanoseconds
+	DurNS   int64
+	Err     string
+	NAttrs  int32
+	Attrs   [MaxSpanAttrs]Attr
+}
+
+// Packed trace lifecycle state: [generation:32 | finished:1 | open:31].
+//
+//   - generation guards against stale handles: every recycle of the slot
+//     bumps it, so a TraceRef/Span held across a recycle can no longer
+//     acquire the slot.
+//   - open counts in-flight spans. Starting a span increments it (CAS, so
+//     the generation and finished checks are atomic with the claim); ending
+//     a span decrements it.
+//   - finished is set exactly once when the root span finishes. The trace
+//     seals (tail-sampling decision runs) at the unique transition to
+//     (finished && open == 0) — either at Finish itself or at the last
+//     straggler span's End.
+const (
+	traceFinBit   = uint64(1) << 31
+	traceOpenMask = traceFinBit - 1
+)
+
+// Trace is one in-flight or kept trace. Traces live in fixed slots owned by
+// a TraceStore and are recycled; user code never constructs one directly and
+// only touches it through Span / TraceRef value handles.
+type Trace struct {
+	store *TraceStore
+
+	state   atomic.Uint64
+	nspans  atomic.Int32
+	errored atomic.Bool // any span recorded an error; forces tail-sample keep
+
+	id      TraceID
+	flags   byte // inbound W3C trace flags (FlagSampled forces keep)
+	startNS int64
+	durNS   int64  // written by Finish, read after seal
+	reason  string // keep reason, written under store.mu at seal
+	spans   []SpanRec
+}
+
+// dropped returns how many span starts overflowed the per-trace span cap.
+func (t *Trace) droppedSpans() int {
+	n := int(t.nspans.Load()) - len(t.spans)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// acquire registers a new in-flight span if gen matches and the trace is not
+// finished. Returns false (caller must no-op) otherwise.
+func (t *Trace) acquire(gen uint32) bool {
+	for {
+		s := t.state.Load()
+		if uint32(s>>32) != gen || s&traceFinBit != 0 {
+			return false
+		}
+		if t.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// release ends one in-flight span; if the trace is finished and this was the
+// last open span, the releasing goroutine seals the trace.
+func (t *Trace) release() {
+	s := t.state.Add(^uint64(0)) // open--
+	if s&traceFinBit != 0 && s&traceOpenMask == 0 {
+		t.store.seal(t)
+	}
+}
+
+// TraceRef is a value handle naming a position in a trace's span tree:
+// "trace t at generation gen, under parent span parent". It is what flows
+// through contexts and across layer boundaries. The zero TraceRef is a valid
+// no-op: every operation on it does nothing, so un-traced requests pay no
+// branches beyond a nil check.
+type TraceRef struct {
+	t      *Trace
+	gen    uint32
+	parent SpanID
+}
+
+// Valid reports whether the ref points at a trace slot. A valid ref can
+// still be stale (its generation passed); stale refs degrade to no-ops.
+func (r TraceRef) Valid() bool { return r.t != nil }
+
+// TraceID returns the trace's ID. Only meaningful while the caller holds an
+// open span in the trace (i.e. between Start and End of the span the ref was
+// derived from); the zero ref returns the zero ID.
+func (r TraceRef) TraceID() TraceID {
+	if r.t == nil {
+		return TraceID{}
+	}
+	return r.t.id
+}
+
+// SpanID returns the parent span ID this ref points under.
+func (r TraceRef) SpanID() SpanID { return r.parent }
+
+// Start begins a child span under the ref's parent. On a zero or stale ref
+// it returns a no-op Span.
+func (r TraceRef) Start(name string) Span {
+	if r.t == nil {
+		return Span{}
+	}
+	return r.startAt(name, r.t.store.nowNS())
+}
+
+// StartAt is Start with an explicit start time; used to inject
+// retrospectively-known intervals (e.g. flight-recorder round summaries)
+// into the tree. Pair with EndAt.
+func (r TraceRef) StartAt(name string, at time.Time) Span {
+	if r.t == nil {
+		return Span{}
+	}
+	return r.startAt(name, at.UnixNano())
+}
+
+func (r TraceRef) startAt(name string, nowNS int64) Span {
+	t := r.t
+	if !t.acquire(r.gen) {
+		return Span{}
+	}
+	idx := t.nspans.Add(1) - 1
+	if int(idx) >= len(t.spans) {
+		// Span cap overflow: the span is dropped but the open-count hold is
+		// real, so End still releases and sealing stays correct.
+		return Span{t: t, gen: r.gen, idx: -1}
+	}
+	id := newSpanID()
+	t.spans[idx] = SpanRec{ID: id, Parent: r.parent, Name: name, StartNS: nowNS}
+	return Span{t: t, gen: r.gen, idx: idx, id: id}
+}
+
+// Span is a value handle on one in-flight span. The zero Span is a no-op.
+// A span must be ended exactly once, by any goroutine. SetAttr/SetInt/
+// SetError must be called by one goroutine at a time and strictly before
+// the trace seals — normally that means before End, by the owning
+// goroutine; the one sanctioned exception is a caller that received the
+// ended span over a channel (so the sends are ordered) annotating it before
+// the root span finishes, e.g. the hedge race marking its winner.
+type Span struct {
+	t   *Trace
+	gen uint32
+	idx int32
+	id  SpanID
+}
+
+// Valid reports whether the span records anything (false for no-op spans
+// from zero refs, stale refs, or span-cap overflow).
+func (s Span) Valid() bool { return s.t != nil && s.idx >= 0 }
+
+// ID returns the span's ID (zero for no-op spans).
+func (s Span) ID() SpanID { return s.id }
+
+// TraceID returns the owning trace's ID; only meaningful while the span is
+// open.
+func (s Span) TraceID() TraceID {
+	if s.t == nil {
+		return TraceID{}
+	}
+	return s.t.id
+}
+
+// Ref returns a TraceRef for starting children under this span.
+func (s Span) Ref() TraceRef {
+	if s.t == nil {
+		return TraceRef{}
+	}
+	return TraceRef{t: s.t, gen: s.gen, parent: s.id}
+}
+
+// SetAttr attaches a string attribute. Owner goroutine only, before End.
+func (s Span) SetAttr(key, val string) {
+	if !s.Valid() {
+		return
+	}
+	rec := &s.t.spans[s.idx]
+	if int(rec.NAttrs) >= MaxSpanAttrs {
+		return
+	}
+	rec.Attrs[rec.NAttrs] = Attr{Key: key, Str: val}
+	rec.NAttrs++
+}
+
+// SetInt attaches an integer attribute. Owner goroutine only, before End.
+func (s Span) SetInt(key string, val int64) {
+	if !s.Valid() {
+		return
+	}
+	rec := &s.t.spans[s.idx]
+	if int(rec.NAttrs) >= MaxSpanAttrs {
+		return
+	}
+	rec.Attrs[rec.NAttrs] = Attr{Key: key, Int: val, IsInt: true}
+	rec.NAttrs++
+}
+
+// SetError records an error on the span and marks the whole trace errored,
+// which forces the tail sampler to keep it.
+func (s Span) SetError(err error) {
+	if err == nil {
+		return
+	}
+	s.SetErrorString(err.Error())
+}
+
+// SetErrorString is SetError for a pre-rendered message.
+func (s Span) SetErrorString(msg string) {
+	if !s.Valid() {
+		return
+	}
+	s.t.spans[s.idx].Err = msg
+	s.t.errored.Store(true)
+}
+
+// End finishes the span at the store clock's now.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.endNS(s.t.store.nowNS())
+	s.t.release()
+}
+
+// EndAt is End with an explicit end time; pair with StartAt.
+func (s Span) EndAt(at time.Time) {
+	if s.t == nil {
+		return
+	}
+	s.endNS(at.UnixNano())
+	s.t.release()
+}
+
+func (s Span) endNS(nowNS int64) {
+	if s.idx < 0 {
+		return
+	}
+	rec := &s.t.spans[s.idx]
+	rec.DurNS = nowNS - rec.StartNS
+}
+
+// Finish ends the root span and marks the trace finished. The trace seals —
+// and becomes visible in the store, if kept — as soon as the last open span
+// ends (immediately, if the root is the last). Only the Span returned by
+// TraceStore.StartTrace should be Finished.
+func (s Span) Finish() {
+	t := s.t
+	if t == nil {
+		return
+	}
+	nowNS := t.store.nowNS()
+	s.endNS(nowNS)
+	t.durNS = nowNS - t.startNS
+	for {
+		st := t.state.Load()
+		if uint32(st>>32) != s.gen || st&traceFinBit != 0 {
+			return
+		}
+		// Set finished and release the root's own open hold in one step.
+		ns := (st | traceFinBit) - 1
+		if t.state.CompareAndSwap(st, ns) {
+			if ns&traceOpenMask == 0 {
+				t.store.seal(t)
+			}
+			return
+		}
+	}
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context carrying the trace ref. Layers below
+// recover it with TraceRefFromContext; an absent or zero ref makes all span
+// operations no-ops.
+func ContextWithTrace(ctx context.Context, ref TraceRef) context.Context {
+	if !ref.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, ref)
+}
+
+// TraceRefFromContext returns the trace ref carried by ctx, or the zero
+// (no-op) ref.
+func TraceRefFromContext(ctx context.Context) TraceRef {
+	if ctx == nil {
+		return TraceRef{}
+	}
+	ref, _ := ctx.Value(traceCtxKey{}).(TraceRef)
+	return ref
+}

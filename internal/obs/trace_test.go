@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := NewTraceID()
+	sid := newSpanID()
+	hdr := FormatTraceparent(tid, sid, FlagSampled)
+	if len(hdr) != 55 {
+		t.Fatalf("traceparent length = %d, want 55 (%q)", len(hdr), hdr)
+	}
+	gotTID, gotSID, flags, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own Format output", hdr)
+	}
+	if gotTID != tid || gotSID != sid || flags != FlagSampled {
+		t.Fatalf("round trip: got (%v, %v, %#x), want (%v, %v, %#x)",
+			gotTID, gotSID, flags, tid, sid, FlagSampled)
+	}
+}
+
+func TestTraceparentRejectsInvalid(t *testing.T) {
+	valid := FormatTraceparent(NewTraceID(), newSpanID(), 0)
+	bad := []string{
+		"",
+		valid[:54],                  // too short
+		valid + "0",                 // too long
+		strings.ToUpper(valid),      // uppercase hex
+		"ff" + valid[2:],            // version ff is reserved
+		"zz" + valid[2:],            // non-hex version
+		valid[:3] + "_" + valid[4:], // corrupted dash position
+		"00-00000000000000000000000000000000-" + valid[36:], // zero trace ID
+		valid[:36] + "0000000000000000-00",                  // zero span ID
+	}
+	for _, s := range bad {
+		if _, _, _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want rejection", s)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	tid := NewTraceID()
+	got, ok := ParseTraceID(tid.String())
+	if !ok || got != tid {
+		t.Fatalf("ParseTraceID(%q) = (%v, %v), want (%v, true)", tid.String(), got, ok, tid)
+	}
+	for _, s := range []string{"", "abc", strings.ToUpper(tid.String()), strings.Repeat("0", 32), tid.String() + "00"} {
+		if _, ok := ParseTraceID(s); ok {
+			t.Errorf("ParseTraceID(%q) = ok, want rejection", s)
+		}
+	}
+}
+
+// fakeClock is a hand-advanced clock for deterministic durations.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// run completes one trace of the given duration on st and reports whether
+// it was kept.
+func runTrace(st *TraceStore, clk *fakeClock, d time.Duration, flags byte, fail bool) TraceID {
+	root := st.StartTrace("test", TraceID{}, SpanID{}, flags)
+	id := root.TraceID()
+	if fail {
+		root.SetErrorString("boom")
+	}
+	clk.Advance(d)
+	root.Finish()
+	return id
+}
+
+func TestTraceTailSamplingKeepRules(t *testing.T) {
+	clk := newFakeClock()
+	st := NewTraceStore(TraceStoreConfig{
+		Capacity: 8, MaxActive: 4, SampleRate: 0,
+		SlowWarmup: 1 << 30, // slow rule disabled for this test
+		Now:        clk.Now,
+	})
+
+	plain := runTrace(st, clk, time.Millisecond, 0, false)
+	if _, ok := st.Get(plain); ok {
+		t.Fatalf("plain fast trace was kept; want tail-sampled out")
+	}
+	forced := runTrace(st, clk, time.Millisecond, FlagSampled, false)
+	if d, ok := st.Get(forced); !ok || d.KeepReason != "forced" {
+		t.Fatalf("forced trace: kept=%v reason=%q, want kept/forced", ok, d.KeepReason)
+	}
+	errored := runTrace(st, clk, time.Millisecond, 0, true)
+	if d, ok := st.Get(errored); !ok || d.KeepReason != "error" || !d.Error {
+		t.Fatalf("errored trace: kept=%v reason=%q error=%v, want kept/error/true", ok, d.KeepReason, d.Error)
+	}
+
+	stats := st.Stats()
+	if stats.Finished != 3 || stats.Kept != 2 || stats.KeptForced != 1 || stats.KeptError != 1 {
+		t.Fatalf("stats = %+v, want finished=3 kept=2 forced=1 error=1", stats)
+	}
+}
+
+func TestTraceSampleRateCoin(t *testing.T) {
+	clk := newFakeClock()
+	coin := 0.99 // above rate: drop
+	st := NewTraceStore(TraceStoreConfig{
+		Capacity: 8, SampleRate: 0.5, SlowWarmup: 1 << 30,
+		Now:       clk.Now,
+		RandFloat: func() float64 { return coin },
+	})
+	if id := runTrace(st, clk, time.Millisecond, 0, false); st.KeptCount() != 0 {
+		t.Fatalf("coin above rate kept trace %v", id)
+	}
+	coin = 0.01 // below rate: keep
+	id := runTrace(st, clk, time.Millisecond, 0, false)
+	if d, ok := st.Get(id); !ok || d.KeepReason != "sampled" {
+		t.Fatalf("coin below rate: kept=%v reason=%q, want kept/sampled", ok, d.KeepReason)
+	}
+}
+
+func TestTraceSlowTailAlwaysKept(t *testing.T) {
+	clk := newFakeClock()
+	st := NewTraceStore(TraceStoreConfig{
+		Capacity: 8, SampleRate: 0, SlowQuantile: 0.9, SlowWarmup: 8,
+		Now: clk.Now,
+	})
+	for i := 0; i < 20; i++ {
+		runTrace(st, clk, time.Millisecond, 0, false)
+	}
+	slow := runTrace(st, clk, 100*time.Millisecond, 0, false)
+	d, ok := st.Get(slow)
+	if !ok || d.KeepReason != "slow" {
+		t.Fatalf("100ms trace after 20x 1ms: kept=%v reason=%q, want kept/slow", ok, d.KeepReason)
+	}
+	if st.Stats().KeptSlow != 1 {
+		t.Fatalf("KeptSlow = %d, want 1", st.Stats().KeptSlow)
+	}
+}
+
+func TestTraceUniformLatencyKeepsNothingSlow(t *testing.T) {
+	clk := newFakeClock()
+	st := NewTraceStore(TraceStoreConfig{
+		Capacity: 8, SampleRate: 0, SlowQuantile: 0.9, SlowWarmup: 8,
+		Now: clk.Now,
+	})
+	// Identical durations: every trace lands in the quantile's own bucket,
+	// and "slow" requires a strictly greater bucket.
+	for i := 0; i < 50; i++ {
+		runTrace(st, clk, time.Millisecond, 0, false)
+	}
+	if n := st.KeptCount(); n != 0 {
+		t.Fatalf("uniform latency kept %d traces; want 0", n)
+	}
+}
+
+func TestTraceRingOverwriteNeverLosesLiveTrace(t *testing.T) {
+	clk := newFakeClock()
+	st := NewTraceStore(TraceStoreConfig{
+		Capacity: 2, MaxActive: 2, SampleRate: 0, SlowWarmup: 1 << 30,
+		Now: clk.Now,
+	})
+
+	// A live (unfinished) trace sits outside the ring, so ring churn can
+	// never reclaim its slot.
+	live := st.StartTrace("live", TraceID{}, SpanID{}, 0)
+	liveID := live.TraceID()
+	child := live.Ref().Start("work")
+
+	// Churn the ring well past capacity: every kept trace evicts an older
+	// one once the ring is full.
+	for i := 0; i < 10; i++ {
+		runTrace(st, clk, time.Millisecond, FlagSampled, false)
+	}
+
+	clk.Advance(5 * time.Millisecond)
+	child.SetErrorString("late failure")
+	child.End()
+	live.Finish()
+
+	d, ok := st.Get(liveID)
+	if !ok {
+		t.Fatalf("live trace %v lost during ring churn", liveID)
+	}
+	if d.KeepReason != "error" || len(d.Spans) != 2 {
+		t.Fatalf("live trace: reason=%q spans=%d, want error/2", d.KeepReason, len(d.Spans))
+	}
+}
+
+func TestTraceSlotExhaustionDegradesToNoop(t *testing.T) {
+	st := NewTraceStore(TraceStoreConfig{Capacity: 1, MaxActive: 1, SlowWarmup: 1 << 30})
+	a := st.StartTrace("a", TraceID{}, SpanID{}, 0)
+	b := st.StartTrace("b", TraceID{}, SpanID{}, 0)
+	c := st.StartTrace("c", TraceID{}, SpanID{}, 0)
+	if !a.Valid() || !b.Valid() {
+		t.Fatalf("first two traces should get slots")
+	}
+	if c.Valid() {
+		t.Fatalf("third trace got a slot from a 2-slot pool")
+	}
+	// The no-op handle must absorb the full span API.
+	c.SetAttr("k", "v")
+	sp := c.Ref().Start("child")
+	sp.End()
+	c.Finish()
+	if got := st.Stats().DroppedNoSlot; got != 1 {
+		t.Fatalf("DroppedNoSlot = %d, want 1", got)
+	}
+	a.Finish()
+	b.Finish()
+	if d := st.StartTrace("d", TraceID{}, SpanID{}, 0); !d.Valid() {
+		t.Fatalf("slots not recycled after traces finished")
+	}
+}
+
+func TestTraceSpanOverflowCounted(t *testing.T) {
+	st := NewTraceStore(TraceStoreConfig{Capacity: 4, SpanCap: 4, SlowWarmup: 1 << 30})
+	root := st.StartTrace("root", TraceID{}, SpanID{}, FlagSampled)
+	for i := 0; i < 10; i++ {
+		sp := root.Ref().Start("child")
+		sp.SetAttr("k", "v") // must not crash on overflowed spans
+		sp.End()
+	}
+	id := root.TraceID()
+	root.Finish()
+	d, ok := st.Get(id)
+	if !ok {
+		t.Fatalf("forced trace not kept")
+	}
+	if len(d.Spans) != 4 {
+		t.Fatalf("stored spans = %d, want SpanCap = 4", len(d.Spans))
+	}
+	if d.DroppedSpans != 7 { // 1 root + 10 children = 11 started, 4 stored
+		t.Fatalf("DroppedSpans = %d, want 7", d.DroppedSpans)
+	}
+}
+
+func TestTraceStaleHandlesAfterRecycle(t *testing.T) {
+	st := NewTraceStore(TraceStoreConfig{Capacity: 2, MaxActive: 1, SlowWarmup: 1 << 30})
+	root := st.StartTrace("root", TraceID{}, SpanID{}, 0)
+	ref := root.Ref()
+	root.Finish() // dropped and recycled: generation bumps
+
+	// The recycled slot is immediately reused by a new trace; stale handles
+	// from the old incarnation must not touch it.
+	next := st.StartTrace("next", TraceID{}, SpanID{}, FlagSampled)
+	if sp := ref.Start("stale"); sp.Valid() {
+		t.Fatalf("stale ref opened a span on a recycled slot")
+	}
+	nextID := next.TraceID()
+	next.Finish()
+	d, ok := st.Get(nextID)
+	if !ok || len(d.Spans) != 1 || d.Spans[0].Name != "next" {
+		t.Fatalf("new incarnation corrupted by stale handle: kept=%v spans=%+v", ok, d.Spans)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	st := NewTraceStore(TraceStoreConfig{Capacity: 4, SpanCap: 1024, SlowWarmup: 1 << 30})
+	root := st.StartTrace("root", TraceID{}, SpanID{}, FlagSampled)
+	const workers = 8
+	const perWorker = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := root.Ref().Start("leg")
+				sp.SetAttr("k", "v")
+				sp.SetInt("i", int64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	id := root.TraceID()
+	root.Finish()
+	d, ok := st.Get(id)
+	if !ok {
+		t.Fatalf("trace not kept")
+	}
+	if want := 1 + workers*perWorker; len(d.Spans)+d.DroppedSpans != want {
+		t.Fatalf("spans stored %d + dropped %d != started %d", len(d.Spans), d.DroppedSpans, want)
+	}
+}
+
+func TestTraceUnsampledPathZeroAllocs(t *testing.T) {
+	st := NewTraceStore(TraceStoreConfig{
+		Capacity: 16, SampleRate: 0, SlowWarmup: 1 << 30,
+	})
+	allocs := testing.AllocsPerRun(200, func() {
+		root := st.StartTrace("POST /solve", TraceID{}, SpanID{}, 0)
+		sp := root.Ref().Start("resilient.solve")
+		sp.SetAttr("alg", "llp-boruvka")
+		sp.SetInt("attempts", 1)
+		sp.End()
+		root.SetInt("status", 200)
+		root.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled trace path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTraceSummariesNewestFirst(t *testing.T) {
+	clk := newFakeClock()
+	st := NewTraceStore(TraceStoreConfig{Capacity: 8, SlowWarmup: 1 << 30, Now: clk.Now})
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, runTrace(st, clk, time.Millisecond, FlagSampled, false))
+	}
+	sums := st.Summaries()
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries, want 3", len(sums))
+	}
+	for i, s := range sums {
+		if want := ids[len(ids)-1-i].String(); s.TraceID != want {
+			t.Fatalf("summary[%d] = %s, want %s (newest first)", i, s.TraceID, want)
+		}
+	}
+}
+
+func TestTraceChromeExport(t *testing.T) {
+	clk := newFakeClock()
+	st := NewTraceStore(TraceStoreConfig{Capacity: 4, SlowWarmup: 1 << 30, Now: clk.Now})
+	root := st.StartTrace("POST /solve", TraceID{}, SpanID{}, FlagSampled)
+	sp := root.Ref().Start("resilient.solve")
+	clk.Advance(2 * time.Millisecond)
+	sp.End()
+	id := root.TraceID()
+	root.Finish()
+
+	d, ok := st.Get(id)
+	if !ok {
+		t.Fatalf("trace not kept")
+	}
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete int
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "X" {
+			complete++
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("chrome trace has %d complete events, want 2:\n%s", complete, buf.String())
+	}
+}

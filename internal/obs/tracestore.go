@@ -1,0 +1,484 @@
+// tracestore.go: fixed-memory, tail-sampling storage for request traces.
+//
+// The store owns a fixed population of trace slots (MaxActive + Capacity,
+// each with a pre-allocated span array) that circulate between three places
+// and are never freed or grown:
+//
+//	free list --StartTrace--> active (held by a request) --seal/keep--> ring
+//	    ^                                   |                            |
+//	    +---------------seal/drop-----------+------------ring evict------+
+//
+// The keep/drop decision runs at trace *completion* (tail sampling), under
+// the store mutex, exactly once per trace — at the unique transition of the
+// packed state word to (finished && open == 0):
+//
+//	keep if the inbound traceparent carried the sampled flag (forced),
+//	  or any span recorded an error,
+//	  or the trace's duration lands in a log-2 bucket strictly above the
+//	    configured slow quantile of all completed traces (p99 by default),
+//	  or a coin flip at SampleRate says so.
+//
+// Because the ring only ever holds *sealed* traces and live traces sit
+// outside it, ring overwrite can never clobber an unfinished trace; slot
+// exhaustion degrades StartTrace to a counted no-op instead.
+//
+// The un-sampled fast path — StartTrace, span Start/End, Finish, seal-drop —
+// performs zero heap allocations (asserted by TestTraceUnsampledPathZeroAllocs).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceStoreConfig configures a TraceStore. The zero value gets defaults.
+type TraceStoreConfig struct {
+	// Capacity is the number of kept (sealed, sampled-in) traces retained in
+	// the ring; the oldest is evicted when full. Default 256.
+	Capacity int
+	// MaxActive bounds how many traces can be in flight beyond the ring's
+	// free slots; StartTrace returns a no-op handle when the pool is
+	// exhausted. Default 128.
+	MaxActive int
+	// SpanCap is the number of span slots per trace; spans beyond it are
+	// dropped (counted). Default 128.
+	SpanCap int
+	// SampleRate is the probability a trace that is neither forced, errored,
+	// nor slow is kept anyway. Default 0 (pure tail sampling).
+	SampleRate float64
+	// SlowQuantile selects the "slow tail" that is always kept: a trace is
+	// slow if its duration's log-2 bucket is strictly above the bucket
+	// holding this quantile of all completed traces. Default 0.99.
+	SlowQuantile float64
+	// SlowWarmup is how many traces must complete before the slow-tail rule
+	// activates (the quantile estimate is meaningless on an empty
+	// histogram). Default 64.
+	SlowWarmup int
+
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+	// RandFloat overrides the sampling coin (tests). Default math/rand/v2.
+	RandFloat func() float64
+}
+
+func (c *TraceStoreConfig) setDefaults() {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 128
+	}
+	if c.SpanCap <= 0 {
+		c.SpanCap = 128
+	}
+	if c.SlowQuantile <= 0 || c.SlowQuantile >= 1 {
+		c.SlowQuantile = 0.99
+	}
+	if c.SlowWarmup <= 0 {
+		c.SlowWarmup = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.RandFloat == nil {
+		c.RandFloat = rand.Float64
+	}
+}
+
+// TraceStoreStats is a snapshot of the store's lifetime counters.
+type TraceStoreStats struct {
+	Started       int64 // traces begun
+	DroppedNoSlot int64 // StartTrace calls refused for want of a free slot
+	Finished      int64 // traces sealed
+	Kept          int64 // sealed traces retained in the ring
+	KeptForced    int64 //   ... because the inbound traceparent was sampled
+	KeptError     int64 //   ... because a span recorded an error
+	KeptSlow      int64 //   ... because the duration was in the slow tail
+	KeptSampled   int64 //   ... by the SampleRate coin
+}
+
+// TraceStore is a fixed-memory tail-sampling trace store. Safe for
+// concurrent use.
+type TraceStore struct {
+	cfg TraceStoreConfig
+
+	mu   sync.Mutex
+	free []*Trace
+	// ring of kept traces: ring[(head-1+len)%len] is the newest; count is
+	// how many entries are populated.
+	ring  []*Trace
+	head  int
+	count int
+	byID  map[TraceID]*Trace
+
+	// log-2 histogram of completed-trace durations (bucket = bits.Len64(ns)),
+	// feeding the slow-tail quantile.
+	durHist  [65]int64
+	durCount int64
+
+	stats TraceStoreStats
+}
+
+// NewTraceStore builds a store; all trace and span memory is allocated here.
+func NewTraceStore(cfg TraceStoreConfig) *TraceStore {
+	cfg.setDefaults()
+	st := &TraceStore{
+		cfg:  cfg,
+		ring: make([]*Trace, cfg.Capacity),
+		byID: make(map[TraceID]*Trace, cfg.Capacity),
+	}
+	total := cfg.Capacity + cfg.MaxActive
+	st.free = make([]*Trace, 0, total)
+	for i := 0; i < total; i++ {
+		st.free = append(st.free, &Trace{
+			store: st,
+			spans: make([]SpanRec, cfg.SpanCap),
+		})
+	}
+	return st
+}
+
+func (st *TraceStore) nowNS() int64 { return st.cfg.Now().UnixNano() }
+
+// StartTrace begins a trace and returns its root span. id may be the zero
+// TraceID to mint a fresh one (the usual case), or an inbound W3C trace ID
+// to continue a distributed trace; parent is then the inbound parent span
+// ID. flags are the inbound W3C trace flags: FlagSampled forces the trace
+// to be kept at seal time. If the slot pool is exhausted the returned Span
+// is a no-op and the refusal is counted.
+//
+// The caller must Finish the returned root span exactly once.
+func (st *TraceStore) StartTrace(name string, id TraceID, parent SpanID, flags byte) Span {
+	t := st.pop()
+	if t == nil {
+		return Span{}
+	}
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	nowNS := st.nowNS()
+	t.id = id
+	t.flags = flags
+	t.startNS = nowNS
+	t.durNS = 0
+	t.reason = ""
+	t.errored.Store(false)
+	t.nspans.Store(1)
+	gen := uint32(t.state.Load() >> 32)
+	// Exclusive owner until the handle escapes: plain Store is fine, and it
+	// sets open=1 for the root span's hold.
+	t.state.Store(uint64(gen)<<32 | 1)
+	sid := newSpanID()
+	t.spans[0] = SpanRec{ID: sid, Parent: parent, Name: name, StartNS: nowNS}
+	return Span{t: t, gen: gen, idx: 0, id: sid}
+}
+
+func (st *TraceStore) pop() *Trace {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stats.Started++
+	n := len(st.free)
+	if n == 0 {
+		st.stats.Started--
+		st.stats.DroppedNoSlot++
+		return nil
+	}
+	t := st.free[n-1]
+	st.free[n-1] = nil
+	st.free = st.free[:n-1]
+	return t
+}
+
+// seal runs the tail-sampling decision for a completed trace. Called exactly
+// once per trace lifetime, by whichever goroutine drove the packed state to
+// (finished && open == 0).
+func (st *TraceStore) seal(t *Trace) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	st.stats.Finished++
+	bkt := durBucket(t.durNS)
+	st.durHist[bkt]++
+	st.durCount++
+
+	reason := ""
+	switch {
+	case t.flags&FlagSampled != 0:
+		reason = "forced"
+		st.stats.KeptForced++
+	case t.errored.Load():
+		reason = "error"
+		st.stats.KeptError++
+	case st.durCount >= int64(st.cfg.SlowWarmup) && bkt > st.slowBucketLocked():
+		reason = "slow"
+		st.stats.KeptSlow++
+	case st.cfg.SampleRate > 0 && st.cfg.RandFloat() < st.cfg.SampleRate:
+		reason = "sampled"
+		st.stats.KeptSampled++
+	}
+	if reason == "" {
+		st.recycleLocked(t)
+		return
+	}
+	t.reason = reason
+	st.stats.Kept++
+	if st.count == len(st.ring) {
+		// Evict the oldest kept trace; its slot goes back to the free list.
+		old := st.ring[st.head]
+		st.ring[st.head] = nil
+		st.count--
+		st.recycleLocked(old)
+	}
+	st.ring[st.head] = t
+	st.head = (st.head + 1) % len(st.ring)
+	st.count++
+	st.byID[t.id] = t
+}
+
+// recycleLocked returns a sealed (or evicted) trace slot to the free list,
+// bumping its generation so every outstanding handle goes stale.
+func (st *TraceStore) recycleLocked(t *Trace) {
+	delete(st.byID, t.id)
+	gen := uint32(t.state.Load()>>32) + 1
+	t.state.Store(uint64(gen) << 32)
+	st.free = append(st.free, t)
+}
+
+// durBucket maps a duration in ns to its log-2 histogram bucket.
+func durBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// slowBucketLocked returns the histogram bucket containing the configured
+// slow quantile of completed-trace durations. A trace is "slow" if its own
+// bucket is strictly greater — so under perfectly uniform latency nothing
+// is slow, and a genuine tail (>= one bucket above the p99 mass) is always
+// kept.
+func (st *TraceStore) slowBucketLocked() int {
+	want := int64(float64(st.durCount)*st.cfg.SlowQuantile) + 1
+	if want > st.durCount {
+		want = st.durCount
+	}
+	var cum int64
+	for b, n := range st.durHist {
+		cum += n
+		if cum >= want {
+			return b
+		}
+	}
+	return len(st.durHist) - 1
+}
+
+// Stats returns a snapshot of the store's lifetime counters.
+func (st *TraceStore) Stats() TraceStoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// KeptCount returns how many sealed traces the ring currently retains.
+func (st *TraceStore) KeptCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.count
+}
+
+// SpanData is the serving-side view of one span.
+type SpanData struct {
+	SpanID  string         `json:"span_id"`
+	Parent  string         `json:"parent_span_id,omitempty"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_unix_ns"`
+	DurMS   float64        `json:"duration_ms"`
+	Error   string         `json:"error,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceData is the serving-side view of one kept trace.
+type TraceData struct {
+	TraceID      string     `json:"trace_id"`
+	Name         string     `json:"name"`
+	StartNS      int64      `json:"start_unix_ns"`
+	DurMS        float64    `json:"duration_ms"`
+	Error        bool       `json:"error"`
+	KeepReason   string     `json:"keep_reason"`
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// TraceSummary is one row of the trace index.
+type TraceSummary struct {
+	TraceID string  `json:"trace_id"`
+	Name    string  `json:"name"`
+	StartNS int64   `json:"start_unix_ns"`
+	DurMS   float64 `json:"duration_ms"`
+	Error   bool    `json:"error"`
+	Reason  string  `json:"keep_reason"`
+	Spans   int     `json:"spans"`
+}
+
+// Get returns a copy of the kept trace with the given ID. Traces become
+// visible only once sealed and kept; in-flight or sampled-out traces report
+// ok=false.
+func (st *TraceStore) Get(id TraceID) (TraceData, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.byID[id]
+	if !ok {
+		return TraceData{}, false
+	}
+	return snapshotLocked(t), true
+}
+
+// Summaries returns the kept traces, newest first.
+func (st *TraceStore) Summaries() []TraceSummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]TraceSummary, 0, st.count)
+	for i := 0; i < st.count; i++ {
+		// Walk backwards from the newest entry.
+		idx := (st.head - 1 - i + 2*len(st.ring)) % len(st.ring)
+		t := st.ring[idx]
+		if t == nil {
+			continue
+		}
+		n := int(t.nspans.Load())
+		if n > len(t.spans) {
+			n = len(t.spans)
+		}
+		out = append(out, TraceSummary{
+			TraceID: t.id.String(),
+			Name:    t.spans[0].Name,
+			StartNS: t.startNS,
+			DurMS:   float64(t.durNS) / 1e6,
+			Error:   t.errored.Load(),
+			Reason:  t.reason,
+			Spans:   n,
+		})
+	}
+	return out
+}
+
+func snapshotLocked(t *Trace) TraceData {
+	n := int(t.nspans.Load())
+	if n > len(t.spans) {
+		n = len(t.spans)
+	}
+	d := TraceData{
+		TraceID:      t.id.String(),
+		Name:         t.spans[0].Name,
+		StartNS:      t.startNS,
+		DurMS:        float64(t.durNS) / 1e6,
+		Error:        t.errored.Load(),
+		KeepReason:   t.reason,
+		DroppedSpans: t.droppedSpans(),
+		Spans:        make([]SpanData, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		rec := &t.spans[i]
+		sd := SpanData{
+			SpanID:  rec.ID.String(),
+			Name:    rec.Name,
+			StartNS: rec.StartNS,
+			DurMS:   float64(rec.DurNS) / 1e6,
+			Error:   rec.Err,
+		}
+		if !rec.Parent.IsZero() {
+			sd.Parent = rec.Parent.String()
+		}
+		if rec.NAttrs > 0 {
+			sd.Attrs = make(map[string]any, rec.NAttrs)
+			for a := int32(0); a < rec.NAttrs; a++ {
+				at := rec.Attrs[a]
+				if at.IsInt {
+					sd.Attrs[at.Key] = at.Int
+				} else {
+					sd.Attrs[at.Key] = at.Str
+				}
+			}
+		}
+		d.Spans = append(d.Spans, sd)
+	}
+	return d
+}
+
+// WriteJSON writes the trace as indented JSON.
+func (d TraceData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteChromeTrace writes the trace in Chrome Trace Event JSON (the same
+// format the FlightRecorder exports), loadable in Perfetto or
+// chrome://tracing. Spans are complete ("X") events; overlapping spans
+// (hedged legs racing, singleflight leader vs waiter) are laid out on
+// separate greedy-assigned lanes so nothing visually collides. Timestamps
+// are microseconds relative to the trace start.
+func (d TraceData) WriteChromeTrace(w io.Writer) error {
+	spans := make([]SpanData, len(d.Spans))
+	copy(spans, d.Spans)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartNS < spans[j].StartNS })
+
+	out := make([]chromeEvent, 0, len(spans)+2)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "trace " + d.TraceID},
+	})
+
+	// Greedy lane assignment: each span goes on the first lane whose last
+	// span has already ended.
+	var laneEnd []int64
+	for _, s := range spans {
+		startNS := s.StartNS - d.StartNS
+		endNS := startNS + int64(s.DurMS*1e6)
+		lane := -1
+		for l, e := range laneEnd {
+			if e <= startNS {
+				lane = l
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: lane,
+				Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+			})
+		}
+		laneEnd[lane] = endNS
+
+		args := map[string]any{"span_id": s.SpanID}
+		if s.Parent != "" {
+			args["parent_span_id"] = s.Parent
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		out = append(out, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(startNS) / 1e3,
+			Dur:  float64(s.DurMS) * 1e3,
+			PID:  1,
+			TID:  lane,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

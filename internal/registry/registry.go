@@ -127,6 +127,10 @@ type flight struct {
 	res             resilient.Result
 	err             error
 	vertices, edges int
+	// leaderTrace is the trace ID of the request that launched this flight
+	// (zero when the leader was un-traced). Waiters that join the flight
+	// record it on their own span, so the two traces are joinable.
+	leaderTrace obs.TraceID
 }
 
 // Registry is the named-graph store. Safe for concurrent use; one Registry
@@ -344,10 +348,54 @@ func (r *Registry) evictLocked(keep *entry) {
 // then an underlying Solver call. A caller whose ctx expires while waiting
 // gets ctx's error; the shared solve keeps running for the other waiters
 // and its result is cached.
+//
+// When ctx carries a trace ref (obs.ContextWithTrace), the gates are
+// recorded as a "registry.solve" span annotated cache=hit|miss|shared; a
+// waiter that joins another request's flight records the leader's trace ID,
+// and a leader's flight runs under a "registry.flight" child span that the
+// underlying resilient solve parents to.
 func (r *Registry) Solve(ctx context.Context, tenant, id string, version uint64, opts SolveOptions) (SolveResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sp := obs.TraceRefFromContext(ctx).Start("registry.solve")
+	if sp.Valid() {
+		sp.SetAttr("graph", id)
+		if tenant != "" {
+			sp.SetAttr("tenant", tenant)
+		}
+		// Children (the flight, and through it the resilient pipeline) hang
+		// below this span, not the HTTP root.
+		ctx = obs.ContextWithTrace(ctx, sp.Ref())
+	}
+	res, err := r.solveTraced(ctx, sp, tenant, id, version, opts)
+	if sp.Valid() {
+		switch {
+		case err == nil:
+			switch {
+			case res.Cached:
+				sp.SetAttr("cache", "hit")
+			case res.Shared:
+				sp.SetAttr("cache", "shared")
+			default:
+				sp.SetAttr("cache", "miss")
+			}
+			sp.SetInt("version", int64(res.Version))
+		case errors.As(err, new(*QuotaError)):
+			sp.SetAttr("outcome", "quota-shed")
+		case errors.As(err, new(*NotFoundError)):
+			sp.SetAttr("outcome", "not-found")
+		case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+			sp.SetAttr("outcome", "caller-gone")
+		default:
+			sp.SetErrorString(err.Error())
+		}
+	}
+	sp.End()
+	return res, err
+}
+
+func (r *Registry) solveTraced(ctx context.Context, sp obs.Span, tenant, id string, version uint64, opts SolveOptions) (SolveResult, error) {
 	if retry, ok := r.qts.take(tenant); !ok {
 		r.quotaShed.Add(1)
 		r.col.Count(obs.CtrQuotaShed, 1)
@@ -381,12 +429,17 @@ func (r *Registry) Solve(ctx context.Context, tenant, id string, version uint64,
 	if joined {
 		r.shared.Add(1)
 		r.col.Count(obs.CtrRegistryShared, 1)
+		// Link this waiter's span to the leader's trace so a slow shared
+		// solve is attributable from either side.
+		if sp.Valid() && !f.leaderTrace.IsZero() {
+			sp.SetAttr("leader_trace", f.leaderTrace.String())
+		}
 	} else {
 		if r.cfg.Solver == nil {
 			r.mu.Unlock()
 			return SolveResult{}, errors.New("registry: no solver configured")
 		}
-		f = &flight{done: make(chan struct{}), vertices: e.g.NumVertices(), edges: e.g.NumEdges()}
+		f = &flight{done: make(chan struct{}), vertices: e.g.NumVertices(), edges: e.g.NumEdges(), leaderTrace: sp.TraceID()}
 		r.flights[k] = f
 		e.pins++
 		r.misses.Add(1)
@@ -427,7 +480,18 @@ func (r *Registry) runFlight(ctx context.Context, g *graph.CSR, e *entry, k resu
 		sctx, cancel = context.WithTimeout(sctx, r.cfg.SolveTimeout)
 		defer cancel()
 	}
+	// WithoutCancel preserved values, so the leader's trace ref (and any
+	// per-request collector) flows into the detached solve.
+	fsp := obs.TraceRefFromContext(sctx).Start("registry.flight")
+	if fsp.Valid() {
+		fsp.SetAttr("graph", k.id)
+		sctx = obs.ContextWithTrace(sctx, fsp.Ref())
+	}
 	res, err := r.cfg.Solver.Solve(sctx, g)
+	if err != nil && !errors.Is(err, resilient.ErrOverloaded) {
+		fsp.SetErrorString(err.Error())
+	}
+	fsp.End()
 	f.res, f.err = res, err
 
 	r.mu.Lock()

@@ -1,0 +1,99 @@
+package registry
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"llpmst/internal/obs"
+)
+
+// TestSingleflightLinksWaiterTraceToLeader checks the trace joinability
+// contract: when a waiter's solve collapses onto another request's
+// in-flight solve, the waiter's trace records the leader's trace ID, and
+// the leader's trace contains the registry.flight span that did the work.
+func TestSingleflightLinksWaiterTraceToLeader(t *testing.T) {
+	blocker := &countingSolver{block: make(chan struct{})}
+	r := New(Config{Solver: blocker})
+	if _, err := r.Put("g", testGraph(7)); err != nil {
+		t.Fatal(err)
+	}
+	st := obs.NewTraceStore(obs.TraceStoreConfig{Capacity: 8, SlowWarmup: 1 << 30})
+
+	solveTraced := func(name string) (obs.TraceID, SolveResult, error) {
+		root := st.StartTrace(name, obs.TraceID{}, obs.SpanID{}, obs.FlagSampled)
+		ctx := obs.ContextWithTrace(context.Background(), root.Ref())
+		res, err := r.Solve(ctx, "tenant", "g", 0, SolveOptions{})
+		id := root.TraceID()
+		root.Finish()
+		return id, res, err
+	}
+
+	// Leader starts first and parks inside the blocked solver.
+	var leaderID obs.TraceID
+	var leaderRes SolveResult
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderID, leaderRes, leaderErr = solveTraced("leader")
+	}()
+	waitFor(t, func() bool { return blocker.calls.Load() == 1 })
+
+	// Waiter joins the same flight, then the solver is released.
+	var waiterID obs.TraceID
+	var waiterRes SolveResult
+	var waiterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		waiterID, waiterRes, waiterErr = solveTraced("waiter")
+	}()
+	waitFor(t, func() bool { return r.Stats().Shared >= 1 })
+	close(blocker.block)
+	wg.Wait()
+
+	if leaderErr != nil || waiterErr != nil {
+		t.Fatalf("solve errors: leader=%v waiter=%v", leaderErr, waiterErr)
+	}
+	if !waiterRes.Shared && !leaderRes.Shared {
+		t.Fatalf("no solve was marked shared: leader=%+v waiter=%+v", leaderRes, waiterRes)
+	}
+	// The roles can land either way (both goroutines race to create the
+	// flight); identify them by the Shared bit.
+	sharedID, ownID := waiterID, leaderID
+	if leaderRes.Shared {
+		sharedID, ownID = leaderID, waiterID
+	}
+
+	shared, ok := st.Get(sharedID)
+	if !ok {
+		t.Fatalf("waiter trace not kept")
+	}
+	var link string
+	for _, sp := range shared.Spans {
+		if sp.Name == "registry.solve" {
+			if v, ok := sp.Attrs["leader_trace"].(string); ok {
+				link = v
+			}
+		}
+	}
+	if link != ownID.String() {
+		t.Fatalf("waiter's leader_trace = %q, want leader's trace ID %q", link, ownID.String())
+	}
+
+	own, ok := st.Get(ownID)
+	if !ok {
+		t.Fatalf("leader trace not kept")
+	}
+	var flightSpans int
+	for _, sp := range own.Spans {
+		if sp.Name == "registry.flight" {
+			flightSpans++
+		}
+	}
+	if flightSpans != 1 {
+		t.Fatalf("leader trace has %d registry.flight spans, want 1 (spans: %+v)", flightSpans, own.Spans)
+	}
+}

@@ -231,13 +231,14 @@ func (r *Runner) breakerFor(alg mst.Algorithm) *breaker {
 	return b
 }
 
-// collector resolves the run's Collector: the configured one, else the one
-// carried by ctx, else the free Nop.
+// collector resolves the run's Collector: the configured one combined with
+// any Collector carried by ctx (obs.NewContext). Tee collapses nil sides,
+// so with no per-request collector this is exactly the configured Observer,
+// and with no Observer it is exactly the context's. The serving layer uses
+// the context side to attach a per-request FlightRecorder whose round
+// summary lands in the request's trace.
 func (r *Runner) collector(ctx context.Context) obs.Collector {
-	if r.cfg.Observer != nil {
-		return r.cfg.Observer
-	}
-	return obs.FromContext(ctx)
+	return obs.Tee(r.cfg.Observer, obs.FromContext(ctx))
 }
 
 // legNopEnd is countsOnly's shared span closer, so Span never allocates.
@@ -256,6 +257,12 @@ type countsOnly struct{ col obs.Collector }
 func (c countsOnly) Span(string) func()             { return legNopEnd }
 func (c countsOnly) Count(ctr obs.Counter, d int64) { c.col.Count(ctr, d) }
 func (c countsOnly) Gauge(g obs.Gauge, v int64)     { c.col.Gauge(g, v) }
+
+// Round forwards round marks: MarkRound is an atomic ring claim on the
+// FlightRecorder (unlike cursor spans it has no per-goroutine state), so
+// concurrent legs marking rounds is safe, and the per-request recorder a
+// trace attaches needs the marks to segment its round summary.
+func (c countsOnly) Round(r int64) { obs.MarkRound(c.col, r) }
 
 // primFamily reports whether alg belongs to the Prim family (heap-driven,
 // the paper's dense-graph winners).
@@ -332,18 +339,55 @@ type legOutcome struct {
 	err     error
 	hedge   bool // launched while another leg was in flight
 	elapsed time.Duration
+	span    obs.Span // the leg's trace span, already ended; race() marks the winner
 }
 
 // Solve answers one MSF request through the full resilience pipeline. It
 // returns a structurally verified forest or a typed error — never a silent
 // partial result. Rejections match errors.Is(err, ErrOverloaded); deadline
 // exhaustion matches context.DeadlineExceeded.
+//
+// When ctx carries a trace ref (obs.ContextWithTrace) the pipeline is
+// recorded as a "resilient.solve" span with one "resilient.leg" child per
+// portfolio leg, hedge legs and the winner marked.
 func (r *Runner) Solve(ctx context.Context, g *graph.CSR) (Result, error) {
-	if g == nil {
-		return Result{}, errors.New("resilient: nil graph")
-	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	sp := obs.TraceRefFromContext(ctx).Start("resilient.solve")
+	res, err := r.solve(ctx, sp, g)
+	if sp.Valid() {
+		sp.SetInt("attempts", int64(res.Attempts))
+		if res.Algorithm != "" {
+			sp.SetAttr("winner", string(res.Algorithm))
+		}
+		if res.Hedged {
+			sp.SetInt("hedged", 1)
+		}
+		if res.HedgeWon {
+			sp.SetInt("hedge_won", 1)
+		}
+		if res.FallbackUsed {
+			sp.SetInt("fallback", 1)
+		}
+		switch {
+		case err == nil:
+			sp.SetAttr("outcome", "ok")
+		case errors.Is(err, ErrOverloaded):
+			// Load shedding is the admission gate working as designed, not a
+			// fault: record it without forcing the trace into the error tail.
+			sp.SetAttr("outcome", "shed")
+		default:
+			sp.SetErrorString(err.Error())
+		}
+	}
+	sp.End()
+	return res, err
+}
+
+func (r *Runner) solve(ctx context.Context, sp obs.Span, g *graph.CSR) (Result, error) {
+	if g == nil {
+		return Result{}, errors.New("resilient: nil graph")
 	}
 	col := obs.Or(r.collector(ctx))
 	start := time.Now()
@@ -366,6 +410,13 @@ func (r *Runner) Solve(ctx context.Context, g *graph.CSR) (Result, error) {
 
 	bucket := sizeBucket(g)
 	primary, backup := r.pick(g, bucket)
+	if sp.Valid() {
+		sp.SetAttr("primary", string(primary))
+		if backup != "" {
+			sp.SetAttr("backup", string(backup))
+		}
+	}
+	legRef := sp.Ref()
 
 	res := Result{}
 	banned := make(map[mst.Algorithm]bool, 2)
@@ -383,7 +434,7 @@ func (r *Runner) Solve(ctx context.Context, g *graph.CSR) (Result, error) {
 		if len(algs) == 0 {
 			break
 		}
-		win, errs := r.race(ctx, col, g, bucket, algs, &res)
+		win, errs := r.race(ctx, col, legRef, g, bucket, algs, &res)
 		legErrs = append(legErrs, errs...)
 		if win == nil {
 			break
@@ -423,7 +474,11 @@ func (r *Runner) Solve(ctx context.Context, g *graph.CSR) (Result, error) {
 	res.Attempts++
 	r.fallbacks.Add(1)
 	col.Count(obs.CtrFallbackUsed, 1)
+	fsp := legRef.Start("resilient.fallback")
+	fsp.SetAttr("alg", string(mst.AlgKruskal))
 	f, err := mst.Run(mst.AlgKruskal, g, mst.Options{Ctx: ctx, Metrics: nil, Observer: countsOnly{col}})
+	fsp.SetError(err)
+	fsp.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("resilient: fallback kruskal failed: %w", errors.Join(append(legErrs, err)...))
 	}
@@ -443,7 +498,7 @@ func (r *Runner) Solve(ctx context.Context, g *graph.CSR) (Result, error) {
 // first fails), and the first CheckForest-clean forest wins; the loser's
 // context is cancelled. Returns the winner (nil if every leg failed) and
 // the losing legs' errors.
-func (r *Runner) race(ctx context.Context, col obs.Collector, g *graph.CSR, bucket int, algs []mst.Algorithm, res *Result) (*legOutcome, []error) {
+func (r *Runner) race(ctx context.Context, col obs.Collector, ref obs.TraceRef, g *graph.CSR, bucket int, algs []mst.Algorithm, res *Result) (*legOutcome, []error) {
 	legCtx, cancelLegs := context.WithCancel(ctx)
 	defer cancelLegs()
 	results := make(chan legOutcome, len(algs))
@@ -471,7 +526,7 @@ func (r *Runner) race(ctx context.Context, col obs.Collector, g *graph.CSR, buck
 			res.Attempts++
 			r.legs.Add(1)
 			r.wg.Add(1)
-			go r.runLeg(legCtx, col, g, alg, bucket, hedge, probe, &decided, results)
+			go r.runLeg(legCtx, col, ref, g, alg, bucket, hedge, probe, &decided, results)
 			return true
 		}
 		return false
@@ -509,6 +564,12 @@ func (r *Runner) race(ctx context.Context, col obs.Collector, g *graph.CSR, buck
 			if out.err == nil {
 				decided.Store(true)
 				cancelLegs()
+				// Only the receiving side knows which sound leg arrived
+				// first, so the winner mark lands here, after the leg span
+				// ended. That is safe: the attribute write is ordered before
+				// the trace can seal (this select precedes Solve's return,
+				// which precedes the root span's Finish).
+				out.span.SetAttr("leg", "winner")
 				return &out, errs
 			}
 			errs = append(errs, out.err)
@@ -530,8 +591,19 @@ func (r *Runner) race(ctx context.Context, col obs.Collector, g *graph.CSR, buck
 // (panics recovered into typed errors), the structural verification gate,
 // then breaker/latency/stat accounting. It always sends exactly one
 // legOutcome and never blocks (the results channel has one slot per leg).
-func (r *Runner) runLeg(ctx context.Context, col obs.Collector, g *graph.CSR, alg mst.Algorithm, bucket int, hedge, probe bool, decided *atomic.Bool, results chan<- legOutcome) {
+func (r *Runner) runLeg(ctx context.Context, col obs.Collector, ref obs.TraceRef, g *graph.CSR, alg mst.Algorithm, bucket int, hedge, probe bool, decided *atomic.Bool, results chan<- legOutcome) {
 	defer r.wg.Done()
+	// The leg span is started from a goroutine the request does not join
+	// (hedge losers outlive the response); the trace store's generation
+	// check makes this safe even if the slot has been recycled by then.
+	sp := ref.Start("resilient.leg")
+	sp.SetAttr("alg", string(alg))
+	if hedge {
+		sp.SetInt("hedge", 1)
+	}
+	if probe {
+		sp.SetAttr("breaker", "half-open")
+	}
 	start := time.Now()
 	var f *mst.Forest
 	var err error
@@ -564,8 +636,10 @@ func (r *Runner) runLeg(ctx context.Context, col obs.Collector, g *graph.CSR, al
 	case err == nil:
 		r.lat.observe(alg, bucket, elapsed)
 		b.record(true)
+		sp.SetAttr("outcome", "ok")
 		if decided.Load() {
 			r.losersCompleted.Add(1) // finished sound, but after the winner
+			sp.SetAttr("leg", "loser")
 		}
 	case errors.Is(err, context.Canceled):
 		// Cancelled, not failed: either a hedge loss (the winner's cancel)
@@ -573,8 +647,10 @@ func (r *Runner) runLeg(ctx context.Context, col obs.Collector, g *graph.CSR, al
 		if probe {
 			b.abortProbe()
 		}
+		sp.SetAttr("outcome", "cancelled")
 		if decided.Load() {
 			r.losersCancelled.Add(1)
+			sp.SetAttr("leg", "loser")
 		}
 	default:
 		// Panic, unsound forest, or a deadline blow-through: breaker
@@ -587,6 +663,9 @@ func (r *Runner) runLeg(ctx context.Context, col obs.Collector, g *graph.CSR, al
 			r.trips.Add(1)
 			col.Count(obs.CtrBreakerOpen, 1)
 		}
+		sp.SetAttr("outcome", "failed")
+		sp.SetErrorString(err.Error())
 	}
-	results <- legOutcome{alg: alg, forest: f, err: err, hedge: hedge, elapsed: elapsed}
+	sp.End()
+	results <- legOutcome{alg: alg, forest: f, err: err, hedge: hedge, elapsed: elapsed, span: sp}
 }

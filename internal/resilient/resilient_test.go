@@ -502,7 +502,7 @@ func TestFallbackWhenPortfolioPanics(t *testing.T) {
 	results := make(chan legOutcome, 1)
 	var decided atomic.Bool
 	r.wg.Add(1)
-	go r.runLeg(context.Background(), obs.Nop{}, g, mst.AlgLLPBoruvka, sizeBucket(g), false, false, &decided, results)
+	go r.runLeg(context.Background(), obs.Nop{}, obs.TraceRef{}, g, mst.AlgLLPBoruvka, sizeBucket(g), false, false, &decided, results)
 	out := <-results
 	var pe *par.PanicError
 	if out.err == nil || !errors.As(out.err, &pe) {

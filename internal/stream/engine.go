@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -369,6 +370,40 @@ const maxFiniteW = 3.4028234663852886e38 // math.MaxFloat32; +Inf and NaN fail t
 // acknowledgement; once it is returned under SyncAlways, the batch
 // survives any crash.
 func (e *Engine) Apply(b Batch) (ApplyResult, error) {
+	return e.ApplyCtx(context.Background(), b)
+}
+
+// ApplyCtx is Apply with a context whose trace ref (obs.ContextWithTrace),
+// if any, records the commit as a "stream.apply" span with "stream.wal.append",
+// "stream.wal.fsync", and "stream.snapshot" children — so a slow update
+// request is attributable to validation, the disk, or an incremental
+// recompute. The context is otherwise unused: batch commit is not
+// cancellable midway (the WAL append is the durability point).
+func (e *Engine) ApplyCtx(ctx context.Context, b Batch) (ApplyResult, error) {
+	sp := obs.TraceRefFromContext(ctx).Start("stream.apply")
+	res, err := e.apply(sp, b)
+	if sp.Valid() {
+		sp.SetInt("batch", int64(b.ID))
+		sp.SetInt("ops", int64(len(b.Ops)))
+		switch {
+		case err == nil && res.Duplicate:
+			sp.SetAttr("outcome", "duplicate")
+		case err == nil:
+			sp.SetAttr("outcome", "ok")
+			sp.SetInt("recomputes", int64(res.Recomputes))
+		case errors.As(err, new(*BatchError)):
+			sp.SetAttr("outcome", "rejected")
+		default:
+			// WAL or snapshot failure: exactly the durability incidents the
+			// trace store must retain.
+			sp.SetErrorString(err.Error())
+		}
+	}
+	sp.End()
+	return res, err
+}
+
+func (e *Engine) apply(sp obs.Span, b Batch) (ApplyResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -407,7 +442,12 @@ func (e *Engine) Apply(b Batch) (ApplyResult, error) {
 			e.dead = true
 			return ApplyResult{}, ErrCrashed
 		}
-		if err := e.wal.Append(rec); err != nil {
+		wsp := sp.Ref().Start("stream.wal.append")
+		wsp.SetInt("bytes", int64(len(rec)))
+		err := e.wal.Append(rec, wsp.Ref())
+		wsp.SetError(err)
+		wsp.End()
+		if err != nil {
 			return ApplyResult{}, err
 		}
 		if e.inj != nil && !e.inj.Alive(FaultNodeAck, int(e.applied)) {
@@ -431,7 +471,11 @@ func (e *Engine) Apply(b Batch) (ApplyResult, error) {
 	obs.MarkRound(e.col, int64(e.applied))
 
 	if e.wal != nil && e.cfg.SnapshotEvery > 0 && e.sinceSnap >= e.cfg.SnapshotEvery {
-		if err := e.snapshotLocked(); err != nil {
+		ssp := sp.Ref().Start("stream.snapshot")
+		err := e.snapshotLocked()
+		ssp.SetError(err)
+		ssp.End()
+		if err != nil {
 			return ApplyResult{}, fmt.Errorf("stream: snapshot after batch %d: %w", b.ID, err)
 		}
 	}

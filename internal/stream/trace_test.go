@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"llpmst/internal/obs"
+)
+
+// TestApplyCtxEmitsSpans checks the stream engine's trace contribution: a
+// durable batch apply hangs stream.apply → stream.wal.append →
+// stream.wal.fsync under the request's trace, and outcome attrs
+// distinguish applied, duplicate, and rejected batches.
+func TestApplyCtxEmitsSpans(t *testing.T) {
+	st := obs.NewTraceStore(obs.TraceStoreConfig{Capacity: 8, SlowWarmup: 1 << 30})
+	e, _ := mustOpen(t, Config{Vertices: 4, Dir: t.TempDir(), Sync: SyncAlways})
+
+	apply := func(name string, b Batch) (obs.TraceData, error) {
+		root := st.StartTrace(name, obs.TraceID{}, obs.SpanID{}, obs.FlagSampled)
+		ctx := obs.ContextWithTrace(context.Background(), root.Ref())
+		_, err := e.ApplyCtx(ctx, b)
+		id := root.TraceID()
+		root.Finish()
+		d, ok := st.Get(id)
+		if !ok {
+			t.Fatalf("%s: trace not kept", name)
+		}
+		return d, err
+	}
+
+	spanAttr := func(d obs.TraceData, name, key string) any {
+		t.Helper()
+		for _, sp := range d.Spans {
+			if sp.Name == name {
+				return sp.Attrs[key]
+			}
+		}
+		t.Fatalf("trace has no %q span: %+v", name, d.Spans)
+		return nil
+	}
+
+	ok1 := Batch{ID: 1, Ops: []Op{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}}}
+	d, err := apply("update", ok1)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if got := spanAttr(d, "stream.apply", "outcome"); got != "ok" {
+		t.Fatalf("apply outcome = %v, want ok", got)
+	}
+	if got := spanAttr(d, "stream.wal.append", "bytes"); got.(int64) <= 0 {
+		t.Fatalf("wal append span bytes = %v, want > 0", got)
+	}
+	var sawFsync bool
+	for _, sp := range d.Spans {
+		if sp.Name == "stream.wal.fsync" {
+			sawFsync = true
+		}
+	}
+	if !sawFsync {
+		t.Fatalf("SyncAlways apply trace missing stream.wal.fsync span: %+v", d.Spans)
+	}
+
+	// Replaying an acknowledged batch ID is idempotent and marked as such.
+	d, err = apply("duplicate", ok1)
+	if err != nil {
+		t.Fatalf("duplicate apply: %v", err)
+	}
+	if got := spanAttr(d, "stream.apply", "outcome"); got != "duplicate" {
+		t.Fatalf("duplicate outcome = %v, want duplicate", got)
+	}
+
+	// A malformed batch is a client error: outcome attr, not a span error
+	// (client mistakes must not force tail-sample keeps on the error rule).
+	d, err = apply("rejected", Batch{ID: 2, Ops: []Op{{U: 99, V: 1, W: 1}}})
+	if err == nil {
+		t.Fatalf("out-of-range endpoint accepted")
+	}
+	if got := spanAttr(d, "stream.apply", "outcome"); got != "rejected" {
+		t.Fatalf("rejected outcome = %v, want rejected", got)
+	}
+	if d.Error {
+		t.Fatalf("client-error batch marked the trace errored")
+	}
+}

@@ -238,7 +238,9 @@ func (w *wal) syncLoop(interval time.Duration) {
 
 // Append writes one full record and, under SyncAlways, fsyncs before
 // returning — the batch is then durable when the caller acknowledges it.
-func (w *wal) Append(rec []byte) error {
+// ref, when valid, parents a "stream.wal.fsync" span over the synchronous
+// fsync, the usual dominant cost of a durable append.
+func (w *wal) Append(rec []byte, ref obs.TraceRef) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -250,7 +252,11 @@ func (w *wal) Append(rec []byte) error {
 	w.col.Count(obs.CtrWALAppend, 1)
 	w.dirty = true
 	if w.policy == SyncAlways {
-		return w.syncLocked()
+		fsp := ref.Start("stream.wal.fsync")
+		err := w.syncLocked()
+		fsp.SetError(err)
+		fsp.End()
+		return err
 	}
 	return nil
 }

@@ -273,6 +273,66 @@ const (
 	GaugeHeapSize  = obs.GaugeHeapSize
 )
 
+// TraceID is a 128-bit W3C trace-context trace ID.
+type TraceID = obs.TraceID
+
+// SpanID is a 64-bit W3C trace-context span ID.
+type SpanID = obs.SpanID
+
+// TraceRef is a lightweight handle for opening child spans of an existing
+// span; the zero TraceRef is a valid no-op.
+type TraceRef = obs.TraceRef
+
+// Span is one open span of a request trace. Spans are value handles into a
+// TraceStore's pre-allocated storage; the zero Span is a valid no-op.
+type Span = obs.Span
+
+// TraceStore is a fixed-memory tail-sampling trace store: traces are
+// recorded unconditionally and the keep/drop decision runs at completion,
+// when the duration and error status are known. Errored traces and the
+// slow tail are always kept; the rest are coin-flipped at SampleRate.
+type TraceStore = obs.TraceStore
+
+// TraceStoreConfig sizes a TraceStore; the zero value picks usable
+// defaults. See obs.TraceStoreConfig.
+type TraceStoreConfig = obs.TraceStoreConfig
+
+// TraceStoreStats counts a TraceStore's sampling decisions.
+type TraceStoreStats = obs.TraceStoreStats
+
+// TraceData is a kept trace's exportable span tree; TraceSummary is its
+// index row. TraceData's WriteJSON and WriteChromeTrace render it for
+// humans (the latter loads into Perfetto / chrome://tracing).
+type (
+	TraceData    = obs.TraceData
+	TraceSummary = obs.TraceSummary
+)
+
+// NewTraceStore builds a TraceStore; all trace and span memory is
+// allocated up front, so the recording fast path stays allocation-free.
+func NewTraceStore(cfg TraceStoreConfig) *TraceStore { return obs.NewTraceStore(cfg) }
+
+// ParseTraceparent parses a W3C traceparent header value.
+func ParseTraceparent(s string) (tid TraceID, parent SpanID, flags byte, ok bool) {
+	return obs.ParseTraceparent(s)
+}
+
+// FormatTraceparent renders a W3C traceparent header value.
+func FormatTraceparent(tid TraceID, span SpanID, flags byte) string {
+	return obs.FormatTraceparent(tid, span, flags)
+}
+
+// ContextWithTrace returns ctx carrying ref; the library's serving layers
+// (registry, resilient runner, stream engine) open their child spans under
+// whatever trace ref the context carries.
+func ContextWithTrace(ctx context.Context, ref TraceRef) context.Context {
+	return obs.ContextWithTrace(ctx, ref)
+}
+
+// TraceRefFromContext returns the trace ref carried by ctx, or the no-op
+// zero TraceRef.
+func TraceRefFromContext(ctx context.Context) TraceRef { return obs.TraceRefFromContext(ctx) }
+
 // IncrementalMSF maintains a minimum spanning forest under online edge
 // insertions; see NewIncrementalMSF.
 type IncrementalMSF = mst.Incremental
