@@ -33,10 +33,28 @@
 //	                          "u":..,"v":..,"w":..},...]}; batch IDs are
 //	                          client-assigned and strictly increasing, so
 //	                          retrying an acknowledged ID is idempotent
-//	GET    /streams/{id}/forest the maintained minimum spanning forest
+//	GET    /streams/{id}/forest the maintained minimum spanning forest;
+//	                          ?min_batch=K is the read-your-writes fence:
+//	                          a replica still behind batch K answers 503 +
+//	                          Retry-After instead of a stale forest
 //	GET    /streams           list streams
-//	GET    /streams/{id}      one stream's stats and last recovery report
+//	GET    /streams/{id}      one stream's stats, last recovery report,
+//	                          and (under -replica-role) replication state
 //	DELETE /streams/{id}      close the stream and delete its WAL/snapshot
+//	POST   /streams/{id}/promote flip a follower stream to primary duty:
+//	                          it stops accepting replicated records (the
+//	                          deposed primary gets 410 and gives up) and
+//	                          starts accepting client writes
+//	POST   /replica/{id}/connect  replication handshake (follower role):
+//	                          body {"vertices":N}; creates the stream when
+//	                          missing and returns the high-water mark
+//	POST   /replica/{id}/ship?prev=P  ingest one framed WAL record; 409
+//	                          when the follower is not at P (the primary
+//	                          re-runs catch-up), fsync'd before the ack
+//	POST   /replica/{id}/snapshot ingest a full snapshot (catch-up past
+//	                          the primary's WAL retention, or divergence)
+//	GET    /replica/{id}/hw   heartbeat: refresh the lease clock and
+//	                          report the follower's high-water mark
 //	GET    /traces            trace index: recent, slowest, and errored
 //	                          kept traces plus tail-sampling stats
 //	GET    /traces/{id}       one kept trace's span tree as JSON;
@@ -64,6 +82,16 @@
 // balancers stop routing, in-flight solves (and their hedge losers) finish,
 // and the process exits 0.
 //
+// The -replica-* flags replicate every stream's WAL across servers. A
+// primary (-replica-role=primary -replica-followers=http://b:8081,...)
+// ships each batch's WAL record to its followers and, under
+// -replica-quorum=quorum|all, acknowledges the write only once enough
+// copies are fsync'd — otherwise the batch is rolled back locally and the
+// client gets 503 + Retry-After (the same batch ID is safe to retry). A
+// follower (-replica-role=follower) ingests records, rejects client
+// writes with 503 until POST /streams/{id}/promote, and reports itself
+// orphaned once the primary has been silent longer than -replica-lease.
+//
 // The -chaos-* flags inject seeded panics and delays into portfolio legs
 // (never the fallback) for resilience drills:
 //
@@ -86,6 +114,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -95,6 +124,7 @@ import (
 	"llpmst/internal/mst"
 	"llpmst/internal/obs"
 	"llpmst/internal/registry"
+	"llpmst/internal/replica"
 	"llpmst/internal/resilient"
 	"llpmst/internal/stream"
 )
@@ -166,6 +196,12 @@ func run(args []string, stdout io.Writer) error {
 		traceSample   = fs.Float64("trace-sample", 0.1, "probability a healthy fast trace is kept anyway (errors and the slow tail are always kept)")
 		logFormat     = fs.String("log-format", "text", "request log encoding: text or json")
 		logLevel      = fs.String("log-level", "info", "request log threshold: debug, info, warn, or error")
+		replicaRole   = fs.String("replica-role", "", "stream replication role: primary, follower, or empty (standalone)")
+		replicaFoll   = fs.String("replica-followers", "", "comma-separated follower base URLs, e.g. http://host:8081 (primary role only)")
+		replicaQuorum = fs.String("replica-quorum", "none", "copies required before a write acks: none, quorum, or all")
+		replicaAckTO  = fs.Duration("replica-ack-timeout", 5*time.Second, "per-follower bound on one ship or heartbeat call")
+		replicaHB     = fs.Duration("replica-heartbeat", time.Second, "liveness probe cadence for current followers")
+		replicaLease  = fs.Duration("replica-lease", 3*time.Second, "primary silence a follower tolerates before reporting itself orphaned")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,6 +215,25 @@ func run(args []string, stdout io.Writer) error {
 	}
 	syncPolicy, err := stream.ParseSyncPolicy(*streamSync)
 	if err != nil {
+		return err
+	}
+	replicaLevel, err := replica.ParseLevel(*replicaQuorum)
+	if err != nil {
+		return err
+	}
+	rcfg := replicaConfig{
+		role:       *replicaRole,
+		level:      replicaLevel,
+		ackTimeout: *replicaAckTO,
+		heartbeat:  *replicaHB,
+		lease:      *replicaLease,
+	}
+	for _, base := range strings.Split(*replicaFoll, ",") {
+		if base = strings.TrimSpace(base); base != "" {
+			rcfg.followers = append(rcfg.followers, strings.TrimRight(base, "/"))
+		}
+	}
+	if err := rcfg.validate(); err != nil {
 		return err
 	}
 	for _, name := range []string{*primary, *backup} {
@@ -208,6 +263,7 @@ func run(args []string, stdout io.Writer) error {
 			snapshotEvery: *snapshotEvery,
 			workers:       *workers,
 			recoverHold:   *recoverHold,
+			replica:       rcfg,
 		},
 		resilient: resilient.Config{
 			Primary:           mst.Algorithm(*primary),
@@ -341,6 +397,12 @@ func newServer(cfg serverConfig) *server {
 		// falls back to text rather than failing the server.
 		logger, _ = obs.NewLogger(logW, "", cfg.logLevel)
 	}
+	streams := newStreamManager(scfg)
+	// Replication state changes (follower connected / current / demoted)
+	// go through the structured request log.
+	streams.logf = func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
 	return &server{
 		cfg:     cfg,
 		runner:  runner,
@@ -349,7 +411,7 @@ func newServer(cfg serverConfig) *server {
 		traces:  traces,
 		httpm:   obs.NewHTTPMetrics(),
 		log:     logger,
-		streams: newStreamManager(scfg),
+		streams: streams,
 	}
 }
 
@@ -377,6 +439,11 @@ func (s *server) handler() http.Handler {
 		{"GET /streams", s.handleListStreams},
 		{"POST /streams/{id}/update", s.handleStreamUpdate},
 		{"GET /streams/{id}/forest", s.handleStreamForest},
+		{"POST /streams/{id}/promote", s.handleStreamPromote},
+		{"POST /replica/{id}/connect", s.handleReplicaConnect},
+		{"POST /replica/{id}/ship", s.handleReplicaShip},
+		{"POST /replica/{id}/snapshot", s.handleReplicaSnapshot},
+		{"GET /replica/{id}/hw", s.handleReplicaHW},
 		{"GET /traces", s.handleTraces},
 		{"GET /traces/{id}", s.handleTraceByID},
 		{"GET /healthz", s.handleHealthz},
@@ -671,6 +738,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
+	if code == http.StatusServiceUnavailable {
+		// Both 503 windows are transient (recovery finishes, the drained
+		// process restarts); tell pollers when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(code)
 	fmt.Fprintf(w, "{\"status\":%q,\"solves\":%d,\"shed\":%d}\n", status, st.Solves, st.Shed)
 }
@@ -690,6 +762,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = s.httpm.WritePrometheus(&buf)
 	writeTraceStoreMetrics(&buf, s.traces.Stats(), s.traces.KeptCount())
 	writeStreamMetrics(&buf, s.streams)
+	writeReplicaMetrics(&buf, s.streams)
 	_, _ = w.Write(buf.Bytes())
 }
 

@@ -255,6 +255,11 @@ func TestEveryRouteMethodMatrix(t *testing.T) {
 		{"/streams/some-id", map[string]bool{http.MethodPut: true, http.MethodGet: true, http.MethodHead: true, http.MethodDelete: true}},
 		{"/streams/some-id/update", map[string]bool{http.MethodPost: true}},
 		{"/streams/some-id/forest", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
+		{"/streams/some-id/promote", map[string]bool{http.MethodPost: true}},
+		{"/replica/some-id/connect", map[string]bool{http.MethodPost: true}},
+		{"/replica/some-id/ship", map[string]bool{http.MethodPost: true}},
+		{"/replica/some-id/snapshot", map[string]bool{http.MethodPost: true}},
+		{"/replica/some-id/hw", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/traces", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/traces/some-id", map[string]bool{http.MethodGet: true, http.MethodHead: true}},
 		{"/healthz", map[string]bool{http.MethodGet: true, http.MethodHead: true}},

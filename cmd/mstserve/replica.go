@@ -1,0 +1,405 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"llpmst/internal/obs"
+	"llpmst/internal/registry"
+	"llpmst/internal/replica"
+	"llpmst/internal/stream"
+)
+
+// replicaConfig is the -replica-* flag bundle. An empty role is a
+// standalone server: no replication machinery is attached to streams at
+// all.
+type replicaConfig struct {
+	role       string // "", "primary", or "follower"
+	followers  []string
+	level      replica.Level
+	ackTimeout time.Duration
+	heartbeat  time.Duration
+	// lease is how long a follower tolerates silence from its primary
+	// before reporting itself orphaned (lease_expired in stream info and
+	// metrics). Promotion stays an explicit operator action.
+	lease time.Duration
+}
+
+func (c replicaConfig) validate() error {
+	switch c.role {
+	case "", "primary", "follower":
+	default:
+		return fmt.Errorf("unknown replica role %q (want primary, follower, or empty)", c.role)
+	}
+	if c.role != "primary" && len(c.followers) > 0 {
+		return errors.New("-replica-followers requires -replica-role=primary")
+	}
+	if c.role == "primary" && c.level != replica.ReplicateNone && len(c.followers) == 0 {
+		return fmt.Errorf("-replica-quorum=%v requires at least one -replica-followers URL", c.level)
+	}
+	if c.role != "primary" && c.level != replica.ReplicateNone {
+		return errors.New("-replica-quorum requires -replica-role=primary")
+	}
+	return nil
+}
+
+// attachReplication wires a freshly opened engine into this server's
+// replication role: a primary gets a replica.Primary (which installs the
+// engine's ack gate and starts follower maintenance loops), a follower
+// gets a replica.Acceptor (the ingest side of the protocol). Standalone
+// servers attach nothing. Called with m.mu held.
+func (m *streamManager) attachReplication(id string, e *stream.Engine) error {
+	switch m.cfg.replica.role {
+	case "primary":
+		specs := make([]replica.FollowerSpec, len(m.cfg.replica.followers))
+		for i, base := range m.cfg.replica.followers {
+			specs[i] = replica.FollowerSpec{
+				Name: base,
+				Dial: replica.HTTPDialer(base, id, m.replicaClient),
+			}
+		}
+		p, err := replica.NewPrimary(e, replica.Config{
+			Stream:     id,
+			Level:      m.cfg.replica.level,
+			AckTimeout: m.cfg.replica.ackTimeout,
+			Heartbeat:  m.cfg.replica.heartbeat,
+			Observer:   m.cfg.observer,
+			Logf:       m.logf,
+		}, specs)
+		if err != nil {
+			return err
+		}
+		m.primaries[id] = p
+	case "follower":
+		m.acceptors[id] = replica.NewAcceptor(e)
+	}
+	return nil
+}
+
+func (m *streamManager) primary(id string) *replica.Primary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.primaries[id]
+}
+
+func (m *streamManager) acceptor(id string) *replica.Acceptor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acceptors[id]
+}
+
+// replicationInfo is the optional replication section of a stream's info
+// reply: which role this server plays for the stream and how the other
+// side of the protocol looks from here.
+type replicationInfo struct {
+	Role    string `json:"role"`
+	Level   string `json:"level,omitempty"`
+	Need    int    `json:"need,omitempty"`
+	Healthy bool   `json:"healthy,omitempty"`
+	// Followers is the primary's view of each follower.
+	Followers []replica.FollowerStatus `json:"followers,omitempty"`
+	// Promoted / SinceContactMS / LeaseExpired describe a follower.
+	Promoted       bool    `json:"promoted,omitempty"`
+	SinceContactMS float64 `json:"since_contact_ms,omitempty"`
+	LeaseExpired   bool    `json:"lease_expired,omitempty"`
+}
+
+func (m *streamManager) replicationInfo(id string) *replicationInfo {
+	switch m.cfg.replica.role {
+	case "primary":
+		p := m.primary(id)
+		if p == nil {
+			return nil
+		}
+		return &replicationInfo{
+			Role:      "primary",
+			Level:     p.Level().String(),
+			Need:      p.Need(),
+			Healthy:   p.Healthy(),
+			Followers: p.Status(),
+		}
+	case "follower":
+		a := m.acceptor(id)
+		if a == nil {
+			return nil
+		}
+		info := &replicationInfo{Role: "follower", Promoted: a.Promoted()}
+		if since, ok := a.SinceContact(); ok {
+			info.SinceContactMS = float64(since) / float64(time.Millisecond)
+			info.LeaseExpired = m.cfg.replica.lease > 0 && since > m.cfg.replica.lease
+		}
+		return info
+	}
+	return nil
+}
+
+// --- follower-side protocol handlers ---
+//
+// These speak the wire format replica.HTTPConn expects: every response
+// body is {"high_water":N} on success or {"error":"..."} on failure, with
+// 409 reserved for contiguity violations (the primary re-runs catch-up)
+// and 410 for "this follower is promoted" (the primary gives up on it).
+
+type replicaReply struct {
+	HighWater uint64 `json:"high_water"`
+}
+
+func writeReplicaJSONError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeReplicaError maps acceptor/engine errors onto protocol statuses.
+func writeReplicaError(w http.ResponseWriter, err error) {
+	var be *stream.BatchError
+	switch {
+	case errors.Is(err, stream.ErrOutOfOrder):
+		writeReplicaJSONError(w, http.StatusConflict, err)
+	case errors.Is(err, replica.ErrPromoted):
+		writeReplicaJSONError(w, http.StatusGone, err)
+	case errors.As(err, &be):
+		writeReplicaJSONError(w, http.StatusBadRequest, err)
+	case errors.Is(err, stream.ErrClosed), errors.Is(err, stream.ErrCrashed):
+		w.Header().Set("Retry-After", "1")
+		writeReplicaJSONError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeReplicaJSONError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeReplicaHW(w http.ResponseWriter, hw uint64) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(replicaReply{HighWater: hw})
+}
+
+// replicaAcceptor resolves the acceptor a protocol request targets, or
+// writes the error. Only follower-mode servers expose the ingest side.
+func (s *server) replicaAcceptor(w http.ResponseWriter, req *http.Request) *replica.Acceptor {
+	if s.cfg.streams.replica.role != "follower" {
+		writeReplicaJSONError(w, http.StatusNotFound,
+			fmt.Errorf("this server is not a replication follower (role %q)", s.cfg.streams.replica.role))
+		return nil
+	}
+	a := s.streams.acceptor(req.PathValue("id"))
+	if a == nil {
+		writeReplicaJSONError(w, http.StatusNotFound, errStreamNotFound)
+		return nil
+	}
+	return a
+}
+
+// handleReplicaConnect is the session handshake. It creates the stream on
+// the follower when it does not exist yet — the primary's maintenance loop
+// is what propagates stream creation across the cluster.
+func (s *server) handleReplicaConnect(w http.ResponseWriter, req *http.Request) {
+	if s.rejectDraining(w) || s.rejectNotReady(w) {
+		return
+	}
+	if s.cfg.streams.replica.role != "follower" {
+		writeReplicaJSONError(w, http.StatusNotFound,
+			fmt.Errorf("this server is not a replication follower (role %q)", s.cfg.streams.replica.role))
+		return
+	}
+	id := req.PathValue("id")
+	if err := registry.ValidateID(id); err != nil {
+		writeReplicaJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	var body struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(nil, req.Body, 1<<20)).Decode(&body); err != nil {
+		writeReplicaJSONError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if _, _, err := s.streams.create(id, body.Vertices); err != nil {
+		writeReplicaJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	a := s.streams.acceptor(id)
+	if a == nil {
+		writeReplicaJSONError(w, http.StatusInternalServerError, errors.New("stream has no acceptor"))
+		return
+	}
+	hw, err := a.Connect(body.Vertices)
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeReplicaHW(w, hw)
+}
+
+// handleReplicaShip ingests one framed WAL record at ?prev=P.
+func (s *server) handleReplicaShip(w http.ResponseWriter, req *http.Request) {
+	if s.rejectDraining(w) || s.rejectNotReady(w) {
+		return
+	}
+	a := s.replicaAcceptor(w, req)
+	if a == nil {
+		return
+	}
+	prev, err := strconv.ParseUint(req.URL.Query().Get("prev"), 10, 64)
+	if err != nil {
+		writeReplicaJSONError(w, http.StatusBadRequest, fmt.Errorf("bad prev: %w", err))
+		return
+	}
+	rec, err := io.ReadAll(http.MaxBytesReader(nil, req.Body, s.cfg.maxBody))
+	if err != nil {
+		writeReplicaJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	hw, err := a.Ship(prev, rec)
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeReplicaHW(w, hw)
+}
+
+// handleReplicaSnapshot replaces the follower's stream state wholesale —
+// the catch-up path when the primary compacted its log past this
+// follower's mark, or when the follower's log diverged.
+func (s *server) handleReplicaSnapshot(w http.ResponseWriter, req *http.Request) {
+	if s.rejectDraining(w) || s.rejectNotReady(w) {
+		return
+	}
+	a := s.replicaAcceptor(w, req)
+	if a == nil {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(nil, req.Body, s.cfg.maxBody))
+	if err != nil {
+		writeReplicaJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	hw, err := a.InstallSnapshot(data)
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeReplicaHW(w, hw)
+}
+
+// handleReplicaHW is the heartbeat: it refreshes the follower's lease
+// clock and reports its high-water mark.
+func (s *server) handleReplicaHW(w http.ResponseWriter, req *http.Request) {
+	if s.rejectNotReady(w) {
+		return
+	}
+	a := s.replicaAcceptor(w, req)
+	if a == nil {
+		return
+	}
+	hw, err := a.Heartbeat()
+	if err != nil {
+		writeReplicaError(w, err)
+		return
+	}
+	writeReplicaHW(w, hw)
+}
+
+// handleStreamPromote flips a follower stream to primary duty: it stops
+// accepting replicated records (the deposed primary gets 410 and gives
+// up) and starts accepting client writes. Idempotent.
+func (s *server) handleStreamPromote(w http.ResponseWriter, req *http.Request) {
+	if s.rejectDraining(w) || s.rejectNotReady(w) {
+		return
+	}
+	if s.cfg.streams.replica.role != "follower" {
+		http.Error(w, fmt.Sprintf("stream is not a replication follower (role %q)", s.cfg.streams.replica.role),
+			http.StatusBadRequest)
+		return
+	}
+	id := req.PathValue("id")
+	a := s.streams.acceptor(id)
+	if a == nil {
+		http.Error(w, errStreamNotFound.Error(), http.StatusNotFound)
+		return
+	}
+	hw := a.Promote()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		ID        string `json:"id"`
+		Promoted  bool   `json:"promoted"`
+		HighWater uint64 `json:"high_water"`
+	}{ID: id, Promoted: true, HighWater: hw})
+}
+
+// rejectFollower sheds client writes against an unpromoted follower
+// stream: until an operator promotes it, the only legal write path is the
+// replication protocol. Reports whether it wrote a response.
+func (s *server) rejectFollower(w http.ResponseWriter, id string) bool {
+	if s.cfg.streams.replica.role != "follower" {
+		return false
+	}
+	a := s.streams.acceptor(id)
+	if a == nil || a.Promoted() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "stream is a replication follower: read-only until promoted", http.StatusServiceUnavailable)
+	return true
+}
+
+// writeReplicaMetrics appends replication gauges to the Prometheus export:
+// the primary's per-follower progress and the follower's promotion/lease
+// state.
+func writeReplicaMetrics(w io.Writer, m *streamManager) {
+	if m.cfg.replica.role == "" {
+		return
+	}
+	ids := m.ids()
+	if len(ids) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# HELP llpmst_replica_gauge Per-stream replication state by kind.")
+	fmt.Fprintln(w, "# TYPE llpmst_replica_gauge gauge")
+	if m.cfg.replica.role == "primary" {
+		fmt.Fprintln(w, "# HELP llpmst_replica_follower The primary's view of each follower by kind.")
+		fmt.Fprintln(w, "# TYPE llpmst_replica_follower gauge")
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for _, id := range ids {
+		info := m.replicationInfo(id)
+		if info == nil {
+			continue
+		}
+		esc := obs.PromEscape(id)
+		switch info.Role {
+		case "primary":
+			fmt.Fprintf(w, "llpmst_replica_gauge{stream=\"%s\",kind=\"need\"} %d\n", esc, info.Need)
+			fmt.Fprintf(w, "llpmst_replica_gauge{stream=\"%s\",kind=\"healthy\"} %g\n", esc, b2f(info.Healthy))
+			for _, f := range info.Followers {
+				fesc := obs.PromEscape(f.Name)
+				for _, kv := range []struct {
+					kind string
+					v    float64
+				}{
+					{"connected", b2f(f.Connected)},
+					{"current", b2f(f.Current)},
+					{"high_water", float64(f.HighWater)},
+					{"reconnects", float64(f.Reconnects)},
+					{"catchup_records", float64(f.CatchupRecords)},
+					{"catchup_snapshots", float64(f.CatchupSnapshots)},
+				} {
+					fmt.Fprintf(w, "llpmst_replica_follower{stream=\"%s\",follower=\"%s\",kind=%q} %g\n",
+						esc, fesc, kv.kind, kv.v)
+				}
+			}
+		case "follower":
+			fmt.Fprintf(w, "llpmst_replica_gauge{stream=\"%s\",kind=\"promoted\"} %g\n", esc, b2f(info.Promoted))
+			fmt.Fprintf(w, "llpmst_replica_gauge{stream=\"%s\",kind=\"lease_expired\"} %g\n", esc, b2f(info.LeaseExpired))
+		}
+	}
+}

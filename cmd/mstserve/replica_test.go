@@ -1,0 +1,368 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"llpmst/internal/replica"
+	"llpmst/internal/resilient"
+	"llpmst/internal/stream"
+)
+
+// replicaCluster is one primary mstserve and two follower mstserves wired
+// over real HTTP.
+type replicaCluster struct {
+	primary   *server
+	followers []*server
+	followerH []http.Handler
+}
+
+// newReplicaCluster starts nfollowers follower servers (each behind an
+// httptest listener) and one primary configured to replicate to them at
+// the given quorum level. Cleanup closes the primary's stream layer first
+// so its maintenance loops stop before the follower listeners go away.
+func newReplicaCluster(t *testing.T, nfollowers int, quorum replica.Level) *replicaCluster {
+	t.Helper()
+	c := &replicaCluster{}
+	var urls []string
+	for i := 0; i < nfollowers; i++ {
+		fsrv := newServer(serverConfig{
+			workers: 2, deadline: 10 * time.Second, maxBody: 64 << 20, logW: io.Discard,
+			resilient: resilient.Config{Workers: 2},
+			streams: streamConfig{
+				dir: t.TempDir(), sync: stream.SyncAlways,
+				replica: replicaConfig{role: "follower", lease: 250 * time.Millisecond},
+			},
+		})
+		fsrv.streams.recoverAll(t.Logf)
+		ts := httptest.NewServer(fsrv.handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { fsrv.streams.closeAll() })
+		c.followers = append(c.followers, fsrv)
+		c.followerH = append(c.followerH, fsrv.handler())
+		urls = append(urls, ts.URL)
+	}
+	c.primary = newServer(serverConfig{
+		workers: 2, deadline: 10 * time.Second, maxBody: 64 << 20, logW: io.Discard,
+		resilient: resilient.Config{Workers: 2},
+		streams: streamConfig{
+			dir: t.TempDir(), sync: stream.SyncAlways,
+			replica: replicaConfig{
+				role: "primary", followers: urls, level: quorum,
+				ackTimeout: 5 * time.Second, heartbeat: 5 * time.Millisecond,
+			},
+		},
+	})
+	c.primary.streams.recoverAll(t.Logf)
+	// Registered last so it runs first: the primary's follower loops must
+	// stop before the follower listeners shut down.
+	t.Cleanup(func() { c.primary.streams.closeAll() })
+	return c
+}
+
+func (c *replicaCluster) waitHealthy(t *testing.T, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p := c.primary.streams.primary(id)
+		if p != nil && p.Healthy() {
+			allCurrent := true
+			for _, f := range p.Status() {
+				if !f.Current {
+					allCurrent = false
+				}
+			}
+			if allCurrent {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never became healthy for %q", id)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func sortedForest(f []forestEdge) []forestEdge {
+	out := append([]forestEdge(nil), f...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].W != out[j].W {
+			return out[i].W < out[j].W
+		}
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// TestReplicatedClusterFailover drives the full operator story over HTTP:
+// create on the primary propagates to followers, quorum-acked writes are
+// immediately readable on any follower through the ?min_batch= fence,
+// follower writes are rejected until promotion, and after promoting a
+// follower the deposed primary's writes degrade to 503 while the new
+// primary accepts the stream's next batch.
+func TestReplicatedClusterFailover(t *testing.T) {
+	c := newReplicaCluster(t, 2, replica.ReplicateAll)
+	ph := c.primary.handler()
+
+	if rec := jsonReq(t, ph, http.MethodPut, "/streams/rep", map[string]int{"vertices": 8}); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	c.waitHealthy(t, "rep")
+
+	// Followers learned the stream from the replication handshake, not a
+	// client PUT.
+	for i, fh := range c.followerH {
+		if rec := do(fh, http.MethodGet, "/streams/rep", nil, nil); rec.Code != http.StatusOK {
+			t.Fatalf("follower %d has no stream: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+
+	batches := [][]stream.Op{
+		{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 5}},
+		{{U: 3, V: 4, W: 1}, {U: 2, V: 3, W: 4}},
+		{{U: 0, V: 2, W: 5, Delete: true}, {U: 5, V: 6, W: 3}},
+	}
+	for i, ops := range batches {
+		rec := jsonReq(t, ph, http.MethodPost, "/streams/rep/update", updateRequest{Batch: uint64(i + 1), Ops: ops})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("batch %d: %d %s", i+1, rec.Code, rec.Body)
+		}
+	}
+
+	// Quorum=all means the ack implies both followers are durable at batch
+	// 3: the read-your-writes fence must pass right now, no polling.
+	want := decodeJSON[streamForestReply](t, do(ph, http.MethodGet, "/streams/rep/forest", nil, nil))
+	for i, fh := range c.followerH {
+		rec := do(fh, http.MethodGet, "/streams/rep/forest?min_batch=3", nil, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("follower %d behind an acked write: %d %s", i, rec.Code, rec.Body)
+		}
+		got := decodeJSON[streamForestReply](t, rec)
+		if got.LastBatch != 3 || got.Weight != want.Weight || len(got.Forest) != len(want.Forest) {
+			t.Fatalf("follower %d forest mismatch: got %+v want %+v", i, got, want)
+		}
+		gf, wf := sortedForest(got.Forest), sortedForest(want.Forest)
+		for j := range gf {
+			if gf[j] != wf[j] {
+				t.Fatalf("follower %d forest edge %d: got %+v want %+v", i, j, gf[j], wf[j])
+			}
+		}
+	}
+
+	// A fence the replica cannot satisfy answers 503 + Retry-After.
+	rec := do(c.followerH[0], http.MethodGet, "/streams/rep/forest?min_batch=99", nil, nil)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("unsatisfiable fence: %d retry-after %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if rec := do(c.followerH[0], http.MethodGet, "/streams/rep/forest?min_batch=nope", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad fence value: %d", rec.Code)
+	}
+
+	// Client writes against an unpromoted follower are shed.
+	rec = jsonReq(t, c.followerH[0], http.MethodPost, "/streams/rep/update",
+		updateRequest{Batch: 4, Ops: []stream.Op{{U: 6, V: 7, W: 1}}})
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("follower write: %d retry-after %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+
+	// Stream info reports each side's role.
+	pinfo := decodeJSON[streamInfoReply](t, do(ph, http.MethodGet, "/streams/rep", nil, nil))
+	if pinfo.Replication == nil || pinfo.Replication.Role != "primary" ||
+		pinfo.Replication.Need != 3 || !pinfo.Replication.Healthy || len(pinfo.Replication.Followers) != 2 {
+		t.Fatalf("primary replication info: %+v", pinfo.Replication)
+	}
+	finfo := decodeJSON[streamInfoReply](t, do(c.followerH[0], http.MethodGet, "/streams/rep", nil, nil))
+	if finfo.Replication == nil || finfo.Replication.Role != "follower" || finfo.Replication.Promoted {
+		t.Fatalf("follower replication info: %+v", finfo.Replication)
+	}
+
+	// Promote follower 0. Idempotent: promoting again is still 200.
+	for i := 0; i < 2; i++ {
+		rec = do(c.followerH[0], http.MethodPost, "/streams/rep/promote", nil, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("promote (try %d): %d %s", i, rec.Code, rec.Body)
+		}
+		pr := decodeJSON[struct {
+			HighWater uint64 `json:"high_water"`
+		}](t, rec)
+		if pr.HighWater != 3 {
+			t.Fatalf("promoted at high-water %d, want 3", pr.HighWater)
+		}
+	}
+
+	// The new primary accepts the stream's next batch...
+	rec = jsonReq(t, c.followerH[0], http.MethodPost, "/streams/rep/update",
+		updateRequest{Batch: 4, Ops: []stream.Op{{U: 6, V: 7, W: 1}}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("write after promote: %d %s", rec.Code, rec.Body)
+	}
+	// ...and the deposed primary's next write cannot reach ReplicateAll
+	// quorum (the promoted follower answers 410): typed degraded 503.
+	rec = jsonReq(t, ph, http.MethodPost, "/streams/rep/update",
+		updateRequest{Batch: 4, Ops: []stream.Op{{U: 4, V: 5, W: 9}}})
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("deposed primary write: %d retry-after %q body %s", rec.Code, rec.Header().Get("Retry-After"), rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("deposed primary write error is not the degraded error: %s", rec.Body)
+	}
+	// The rolled-back batch is durable nowhere on the deposed primary.
+	if got := decodeJSON[streamInfoReply](t, do(ph, http.MethodGet, "/streams/rep", nil, nil)); got.LastBatch != 3 {
+		t.Fatalf("deposed primary high-water %d after rejected write, want 3", got.LastBatch)
+	}
+
+	// Metrics: the primary exports per-follower progress, the follower its
+	// promotion flag.
+	body := do(ph, http.MethodGet, "/metrics", nil, nil).Body.String()
+	for _, wantM := range []string{
+		`llpmst_replica_gauge{stream="rep",kind="need"} 3`,
+		`llpmst_replica_follower{stream="rep",follower=`,
+	} {
+		if !strings.Contains(body, wantM) {
+			t.Fatalf("primary metrics missing %q:\n%s", wantM, body)
+		}
+	}
+	fbody := do(c.followerH[0], http.MethodGet, "/metrics", nil, nil).Body.String()
+	if !strings.Contains(fbody, `llpmst_replica_gauge{stream="rep",kind="promoted"} 1`) {
+		t.Fatalf("follower metrics missing promoted gauge:\n%s", fbody)
+	}
+}
+
+// TestReplicaLagFenceCatchesUp runs at quorum none — acks do not wait for
+// followers — and shows the fence doing its real job: the follower may
+// briefly answer 503 for an acked batch, then converges and serves it.
+func TestReplicaLagFenceCatchesUp(t *testing.T) {
+	c := newReplicaCluster(t, 1, replica.ReplicateNone)
+	ph := c.primary.handler()
+	if rec := jsonReq(t, ph, http.MethodPut, "/streams/lag", map[string]int{"vertices": 6}); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	for i := 0; i < 5; i++ {
+		rec := jsonReq(t, ph, http.MethodPost, "/streams/lag/update",
+			updateRequest{Batch: uint64(i + 1), Ops: []stream.Op{{U: uint32(i), V: uint32(i + 1), W: float32(i + 1)}}})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("batch %d: %d %s", i+1, rec.Code, rec.Body)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec := do(c.followerH[0], http.MethodGet, "/streams/lag/forest?min_batch=5", nil, nil)
+		if rec.Code == http.StatusOK {
+			got := decodeJSON[streamForestReply](t, rec)
+			if got.LastBatch < 5 {
+				t.Fatalf("fence passed at high-water %d", got.LastBatch)
+			}
+			break
+		}
+		if rec.Code != http.StatusServiceUnavailable && rec.Code != http.StatusNotFound {
+			t.Fatalf("fence wait: unexpected %d %s", rec.Code, rec.Body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %d %s", rec.Code, rec.Body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHealthzRetryAfterWindows pins Retry-After on both 503 health
+// windows: startup recovery and draining.
+func TestHealthzRetryAfterWindows(t *testing.T) {
+	srv := newServer(serverConfig{
+		workers: 2, deadline: time.Second, maxBody: 1 << 20, logW: io.Discard,
+		resilient: resilient.Config{Workers: 2},
+	})
+	h := srv.handler()
+
+	rec := do(h, http.MethodGet, "/healthz", nil, nil)
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"status":"recovering"`) {
+		t.Fatalf("recovering: %d %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("recovering 503 Retry-After = %q, want \"1\"", rec.Header().Get("Retry-After"))
+	}
+
+	srv.streams.recoverAll(t.Logf)
+	rec = do(h, http.MethodGet, "/healthz", nil, nil)
+	if rec.Code != http.StatusOK || rec.Header().Get("Retry-After") != "" {
+		t.Fatalf("healthy: %d Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+
+	srv.draining.Store(true)
+	rec = do(h, http.MethodGet, "/healthz", nil, nil)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("draining: %d Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+}
+
+// TestReplicaRoleValidation covers the flag bundle's self-checks and the
+// role gating on the protocol and promote endpoints.
+func TestReplicaRoleValidation(t *testing.T) {
+	for _, tc := range []struct {
+		cfg replicaConfig
+		ok  bool
+	}{
+		{replicaConfig{}, true},
+		{replicaConfig{role: "primary", followers: []string{"http://x"}}, true},
+		{replicaConfig{role: "primary", followers: []string{"http://x"}, level: replica.ReplicateAll}, true},
+		{replicaConfig{role: "follower"}, true},
+		{replicaConfig{role: "leader"}, false},
+		{replicaConfig{role: "follower", followers: []string{"http://x"}}, false},
+		{replicaConfig{role: "primary", level: replica.ReplicateQuorum}, false},
+		{replicaConfig{role: "follower", level: replica.ReplicateAll}, false},
+		{replicaConfig{level: replica.ReplicateQuorum}, false},
+	} {
+		if err := tc.cfg.validate(); (err == nil) != tc.ok {
+			t.Errorf("validate(%+v) = %v, want ok=%v", tc.cfg, err, tc.ok)
+		}
+	}
+
+	// A standalone server neither accepts the protocol nor promotes.
+	h := testServer(t, nil).handler()
+	if rec := jsonReq(t, h, http.MethodPut, "/streams/s", map[string]int{"vertices": 4}); rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d", rec.Code)
+	}
+	if rec := do(h, http.MethodPost, "/streams/s/promote", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("promote on standalone: %d", rec.Code)
+	}
+	if rec := jsonReq(t, h, http.MethodPost, "/replica/s/connect", map[string]int{"vertices": 4}); rec.Code != http.StatusNotFound {
+		t.Fatalf("connect on standalone: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(h, http.MethodGet, "/replica/s/hw", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("hw on standalone: %d", rec.Code)
+	}
+
+	// A follower 404s promote/protocol hits for streams it has never seen.
+	fsrv := testServer(t, func(cfg *serverConfig) {
+		cfg.streams.replica = replicaConfig{role: "follower"}
+	})
+	fh := fsrv.handler()
+	if rec := do(fh, http.MethodPost, "/streams/ghost/promote", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("promote unknown stream: %d", rec.Code)
+	}
+	if rec := do(fh, http.MethodGet, "/replica/ghost/hw", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("hw unknown stream: %d", rec.Code)
+	}
+	// Connect creates the stream, then rejects a handshake whose vertex
+	// count disagrees with it.
+	if rec := jsonReq(t, fh, http.MethodPost, "/replica/fresh/connect", map[string]int{"vertices": 4}); rec.Code != http.StatusOK {
+		t.Fatalf("connect creating stream: %d %s", rec.Code, rec.Body)
+	}
+	if rec := jsonReq(t, fh, http.MethodPost, "/replica/fresh/connect", map[string]int{"vertices": 9}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("mismatched handshake: %d %s", rec.Code, rec.Body)
+	}
+	// A bad ?prev and a garbage record are both client errors.
+	if rec := do(fh, http.MethodPost, "/replica/fresh/ship?prev=x", []byte("junk"), nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad prev: %d", rec.Code)
+	}
+	if rec := do(fh, http.MethodPost, "/replica/fresh/ship?prev=0", []byte("junk"), nil); rec.Code == http.StatusOK {
+		t.Fatalf("garbage record accepted: %d", rec.Code)
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"llpmst/internal/obs"
 	"llpmst/internal/registry"
+	"llpmst/internal/replica"
 	"llpmst/internal/stream"
 )
 
@@ -30,6 +32,8 @@ type streamConfig struct {
 	// observe the 503 "recovering" health window.
 	recoverHold time.Duration
 	observer    obs.Collector
+	// replica is this server's replication role; see replicaConfig.
+	replica replicaConfig
 }
 
 // streamManager owns every live stream engine. Until startup recovery has
@@ -42,6 +46,17 @@ type streamManager struct {
 	engines map[string]*stream.Engine
 	reports map[string]*stream.RecoveryReport
 	ready   atomic.Bool
+
+	// Replication role state: a primary server keeps one replica.Primary
+	// per stream (ack gate + follower maintenance loops), a follower
+	// server one replica.Acceptor per stream (the protocol's ingest side).
+	primaries map[string]*replica.Primary
+	acceptors map[string]*replica.Acceptor
+	// replicaClient is shared by every HTTPDialer; per-call deadlines come
+	// from the primary's AckTimeout contexts.
+	replicaClient *http.Client
+	// logf receives follower state-change lines; never nil.
+	logf func(format string, args ...any)
 }
 
 // streamMeta is the tiny per-stream sidecar that records what the WAL alone
@@ -52,9 +67,13 @@ type streamMeta struct {
 
 func newStreamManager(cfg streamConfig) *streamManager {
 	return &streamManager{
-		cfg:     cfg,
-		engines: make(map[string]*stream.Engine),
-		reports: make(map[string]*stream.RecoveryReport),
+		cfg:           cfg,
+		engines:       make(map[string]*stream.Engine),
+		reports:       make(map[string]*stream.RecoveryReport),
+		primaries:     make(map[string]*replica.Primary),
+		acceptors:     make(map[string]*replica.Acceptor),
+		replicaClient: &http.Client{},
+		logf:          func(string, ...any) {},
 	}
 }
 
@@ -89,7 +108,11 @@ func (m *streamManager) recoverAll(logf func(format string, args ...any)) {
 			m.mu.Lock()
 			m.engines[id] = e
 			m.reports[id] = rep
+			aerr := m.attachReplication(id, e)
 			m.mu.Unlock()
+			if aerr != nil {
+				logf("stream recovery: %q: replication: %v", id, aerr)
+			}
 			logf("stream %q recovered: last_batch=%d replayed=%d torn=%v", id, rep.LastBatch, rep.ReplayedBatches, rep.Torn)
 		}
 	}
@@ -158,6 +181,10 @@ func (m *streamManager) create(id string, vertices int) (e *stream.Engine, creat
 	if err != nil {
 		return nil, false, err
 	}
+	if err := m.attachReplication(id, e); err != nil {
+		e.Close()
+		return nil, false, err
+	}
 	m.engines[id] = e
 	m.reports[id] = rep
 	return e, true, nil
@@ -187,11 +214,19 @@ func (m *streamManager) get(id string) (*stream.Engine, error) {
 func (m *streamManager) remove(id string) error {
 	m.mu.Lock()
 	e, ok := m.engines[id]
+	p := m.primaries[id]
 	delete(m.engines, id)
 	delete(m.reports, id)
+	delete(m.primaries, id)
+	delete(m.acceptors, id)
 	m.mu.Unlock()
 	if !ok {
 		return errStreamNotFound
+	}
+	// The replication layer detaches first so the engine's final close
+	// does not race a gate call or a catch-up ship.
+	if p != nil {
+		p.Close()
 	}
 	if err := e.Close(); err != nil {
 		return err
@@ -210,9 +245,18 @@ func (m *streamManager) closeAll() error {
 	for _, e := range m.engines {
 		engines = append(engines, e)
 	}
+	primaries := make([]*replica.Primary, 0, len(m.primaries))
+	for _, p := range m.primaries {
+		primaries = append(primaries, p)
+	}
 	m.engines = make(map[string]*stream.Engine)
+	m.primaries = make(map[string]*replica.Primary)
+	m.acceptors = make(map[string]*replica.Acceptor)
 	m.mu.Unlock()
 	var first error
+	for _, p := range primaries {
+		p.Close()
+	}
 	for _, e := range engines {
 		if err := e.Close(); err != nil && first == nil {
 			first = err
@@ -261,7 +305,8 @@ type streamInfoReply struct {
 	Recomputes  uint64  `json:"recomputes"`
 	Snapshots   uint64  `json:"snapshots"`
 
-	Recovery *stream.RecoveryReport `json:"recovery,omitempty"`
+	Recovery    *stream.RecoveryReport `json:"recovery,omitempty"`
+	Replication *replicationInfo       `json:"replication,omitempty"`
 }
 
 func (s *server) streamInfo(id string, e *stream.Engine) streamInfoReply {
@@ -283,6 +328,7 @@ func (s *server) streamInfo(id string, e *stream.Engine) streamInfoReply {
 		Recomputes:  st.Recomputes,
 		Snapshots:   st.Snapshots,
 		Recovery:    rep,
+		Replication: s.streams.replicationInfo(id),
 	}
 }
 
@@ -330,7 +376,7 @@ type updateRequest struct {
 }
 
 func (s *server) handleStreamUpdate(w http.ResponseWriter, req *http.Request) {
-	if s.rejectDraining(w) || s.rejectNotReady(w) {
+	if s.rejectDraining(w) || s.rejectNotReady(w) || s.rejectFollower(w, req.PathValue("id")) {
 		return
 	}
 	e, err := s.streams.get(req.PathValue("id"))
@@ -353,13 +399,19 @@ func (s *server) handleStreamUpdate(w http.ResponseWriter, req *http.Request) {
 }
 
 // writeStreamError maps engine errors onto HTTP statuses: malformed batches
-// 400, a closed or crashed engine 503 (the stream needs a restart to
-// recover), anything else 500.
+// 400, a degraded replication quorum 503 with Retry-After (the batch is
+// durable nowhere and the same ID may be retried once quorum recovers), a
+// closed or crashed engine 503 (the stream needs a restart to recover),
+// anything else 500.
 func writeStreamError(w http.ResponseWriter, err error) {
 	var be *stream.BatchError
+	var de *replica.DegradedError
 	switch {
 	case errors.As(err, &be):
 		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.As(err, &de):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, stream.ErrClosed), errors.Is(err, stream.ErrCrashed):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -397,6 +449,23 @@ func (s *server) handleStreamForest(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	st := e.Stats()
+	// ?min_batch=K is the read-your-writes fence: a client that had batch K
+	// acknowledged (by the primary) can demand a replica that has caught up
+	// at least that far; a stale one answers 503 + Retry-After instead of
+	// silently serving an older forest.
+	if raw := req.URL.Query().Get("min_batch"); raw != "" {
+		k, perr := strconv.ParseUint(raw, 10, 64)
+		if perr != nil {
+			http.Error(w, fmt.Sprintf("bad min_batch %q", raw), http.StatusBadRequest)
+			return
+		}
+		if st.LastBatch < k {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("stream %q is at batch %d, behind requested %d", id, st.LastBatch, k),
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
 	forest := e.Forest()
 	reply := streamForestReply{
 		ID:        id,

@@ -1,0 +1,64 @@
+package fault
+
+import "sync"
+
+// Outcome is the fault verdict for one link transmission.
+type Outcome struct {
+	// Partitioned means the link is down for this transmission (and will
+	// stay down until the schedule's restart round, if any): the message
+	// does not arrive and the sender should treat the peer as unreachable.
+	Partitioned bool
+	// Drop loses this one transmission without implying anything about the
+	// link's future.
+	Drop bool
+	// Dup delivers the transmission twice.
+	Dup bool
+	// Delay holds the transmission back by that many link-local rounds
+	// (deliveries slot in after later traffic — an out-of-order arrival).
+	Delay int
+}
+
+// Link is the replication transport's view of one seeded lossy connection:
+// a concurrency-safe wrapper over an Injector whose round clock is the
+// link's own transmission ordinal. Drop/dup/delay probabilities come from
+// the plan's arc probs (keyed by the link's arc index), and partition
+// windows come from the plan's crash schedule (Node = arc index, rounds =
+// transmission ordinals), so one Plan describes the whole replica fabric.
+//
+// Distinct links over the same Plan decorrelate their RNG streams by
+// folding the arc index into the seed; identical plans therefore reproduce
+// identical fault schedules link by link.
+type Link struct {
+	mu  sync.Mutex
+	inj *Injector
+	arc int64
+	op  int
+}
+
+// NewLink builds the seeded fault schedule for arc within plan.
+func NewLink(plan Plan, arc int64) *Link {
+	plan.Seed = plan.Seed*1000003 + arc // decorrelate sibling links
+	return &Link{inj: New(plan), arc: arc}
+}
+
+// Transmit rolls the fault dice for the link's next transmission. Each call
+// advances the link's round clock, so outcomes are a deterministic function
+// of the plan and the call ordinal alone.
+func (l *Link) Transmit() Outcome {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	op := l.op
+	l.op++
+	if !l.inj.Alive(uint32(l.arc), op) {
+		return Outcome{Partitioned: true}
+	}
+	drop, dup, delay := l.inj.Transmit(l.arc)
+	return Outcome{Drop: drop, Dup: dup, Delay: delay}
+}
+
+// Stats returns the faults injected so far.
+func (l *Link) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inj.Stats()
+}

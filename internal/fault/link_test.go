@@ -1,0 +1,50 @@
+package fault
+
+import "testing"
+
+// TestLinkDeterminism: two links built from the same plan and arc must see
+// the same outcome sequence; a sibling arc must see a different one.
+func TestLinkDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:    42,
+		Default: Probs{Drop: 0.3, Dup: 0.2, Delay: 0.2, MaxDelay: 3},
+	}
+	a1, a2, b := NewLink(plan, 0), NewLink(plan, 0), NewLink(plan, 1)
+	sameAsSibling := true
+	for i := 0; i < 200; i++ {
+		o1, o2, ob := a1.Transmit(), a2.Transmit(), b.Transmit()
+		if o1 != o2 {
+			t.Fatalf("op %d: same link diverged: %+v vs %+v", i, o1, o2)
+		}
+		if o1 != ob {
+			sameAsSibling = false
+		}
+	}
+	if sameAsSibling {
+		t.Fatal("sibling arcs produced identical fault streams (seeds not decorrelated)")
+	}
+	st := a1.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Delayed == 0 {
+		t.Fatalf("schedule injected nothing: %+v", st)
+	}
+}
+
+// TestLinkPartitionWindow: a crash entry keyed by the arc index takes the
+// link down for exactly the scheduled transmission ordinals.
+func TestLinkPartitionWindow(t *testing.T) {
+	l := NewLink(Plan{
+		Crashes: []Crash{{Node: 3, At: 2, Restart: 5}},
+	}, 3)
+	for i := 0; i < 8; i++ {
+		got := l.Transmit().Partitioned
+		want := i >= 2 && i < 5
+		if got != want {
+			t.Fatalf("op %d: partitioned=%v, want %v", i, got, want)
+		}
+	}
+	// A link on a different arc ignores the schedule.
+	other := NewLink(Plan{Crashes: []Crash{{Node: 3, At: 0, Restart: 0}}}, 4)
+	if other.Transmit().Partitioned {
+		t.Fatal("crash entry for arc 3 partitioned arc 4")
+	}
+}

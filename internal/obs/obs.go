@@ -106,6 +106,23 @@ const (
 	// CtrSemiShards counts cache-sized row shards handed to the work-
 	// stealing scheduler by the semiring backend's SpMV phases.
 	CtrSemiShards
+	// CtrReplicaShip counts WAL records shipped to followers (commit-path
+	// and catch-up shipping both count).
+	CtrReplicaShip
+	// CtrReplicaAck counts batches acknowledged at the configured
+	// replication quorum.
+	CtrReplicaAck
+	// CtrReplicaDegraded counts writes rejected because the replica set
+	// could not reach quorum (the stream is read-only until it heals).
+	CtrReplicaDegraded
+	// CtrReplicaCatchupRecords counts WAL records re-shipped by follower
+	// catch-up (as opposed to the synchronous commit path).
+	CtrReplicaCatchupRecords
+	// CtrReplicaCatchupSnapshots counts full snapshot installs shipped to
+	// followers whose high-water mark fell behind the compacted WAL.
+	CtrReplicaCatchupSnapshots
+	// CtrReplicaReconnects counts follower transport (re)connections.
+	CtrReplicaReconnects
 
 	// NumCounters is the number of defined counters (array sizing).
 	NumCounters
@@ -194,6 +211,18 @@ func (c Counter) String() string {
 		return "semi.spmv.arcs"
 	case CtrSemiShards:
 		return "semi.shards"
+	case CtrReplicaShip:
+		return "replica.ship"
+	case CtrReplicaAck:
+		return "replica.ack"
+	case CtrReplicaDegraded:
+		return "replica.degraded"
+	case CtrReplicaCatchupRecords:
+		return "replica.catchup.records"
+	case CtrReplicaCatchupSnapshots:
+		return "replica.catchup.snapshots"
+	case CtrReplicaReconnects:
+		return "replica.reconnects"
 	}
 	return "counter(?)"
 }
@@ -218,6 +247,9 @@ const (
 	// GaugeGHSActive is the number of still-active nodes entering a GHS
 	// phase.
 	GaugeGHSActive
+	// GaugeReplicaLag is how many batches the furthest-behind follower
+	// trails the primary's high-water mark, sampled at each quorum ack.
+	GaugeReplicaLag
 
 	// NumGauges is the number of defined gauges (array sizing).
 	NumGauges
@@ -236,6 +268,8 @@ func (g Gauge) String() string {
 		return "heap.size"
 	case GaugeGHSActive:
 		return "ghs.active"
+	case GaugeReplicaLag:
+		return "replica.lag"
 	}
 	return "gauge(?)"
 }

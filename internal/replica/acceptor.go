@@ -1,0 +1,115 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"llpmst/internal/stream"
+)
+
+// Acceptor is the follower side of the replication protocol: a thin gate
+// in front of a stream engine that ingests shipped records and snapshots,
+// tracks when the primary was last heard from (the lease input), and
+// flips to read-only-for-replication once promoted.
+type Acceptor struct {
+	mu       sync.Mutex
+	eng      *stream.Engine
+	promoted bool
+	last     time.Time
+	now      func() time.Time
+}
+
+// NewAcceptor wraps eng as a replication follower.
+func NewAcceptor(eng *stream.Engine) *Acceptor {
+	return &Acceptor{eng: eng, now: time.Now}
+}
+
+// Engine returns the wrapped engine (reads are always served from it;
+// after promotion, writes too).
+func (a *Acceptor) Engine() *stream.Engine { return a.eng }
+
+// Connect is the session handshake: verify the primary and follower agree
+// on the graph's vertex count and report the follower's high-water mark.
+func (a *Acceptor) Connect(vertices int) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.promoted {
+		return 0, ErrPromoted
+	}
+	if n := a.eng.Vertices(); n != vertices {
+		return 0, fmt.Errorf("replica: primary has %d vertices, follower has %d", vertices, n)
+	}
+	a.last = a.now()
+	return a.eng.LastBatch(), nil
+}
+
+// Ship ingests one framed WAL record (see stream.Engine.ApplyReplicated
+// for the prev/duplicate/gap semantics). The record is fsync'd in the
+// follower's log before the new high-water mark is returned.
+func (a *Acceptor) Ship(prev uint64, rec []byte) (uint64, error) {
+	a.mu.Lock()
+	if a.promoted {
+		a.mu.Unlock()
+		return 0, ErrPromoted
+	}
+	a.last = a.now()
+	a.mu.Unlock()
+	return a.eng.ApplyReplicated(prev, rec)
+}
+
+// InstallSnapshot replaces the follower's state wholesale.
+func (a *Acceptor) InstallSnapshot(data []byte) (uint64, error) {
+	a.mu.Lock()
+	if a.promoted {
+		a.mu.Unlock()
+		return 0, ErrPromoted
+	}
+	a.last = a.now()
+	a.mu.Unlock()
+	return a.eng.InstallSnapshot(data)
+}
+
+// Heartbeat records contact from the primary and returns the follower's
+// high-water mark.
+func (a *Acceptor) Heartbeat() (uint64, error) {
+	a.mu.Lock()
+	if a.promoted {
+		a.mu.Unlock()
+		return 0, ErrPromoted
+	}
+	a.last = a.now()
+	a.mu.Unlock()
+	return a.eng.LastBatch(), nil
+}
+
+// Promote flips the follower to primary duty: every later Ship,
+// InstallSnapshot, Connect, or Heartbeat fails with ErrPromoted, so a
+// deposed primary that comes back cannot overwrite the new timeline.
+// Idempotent; returns the high-water mark the new primary starts from.
+func (a *Acceptor) Promote() uint64 {
+	a.mu.Lock()
+	a.promoted = true
+	a.mu.Unlock()
+	return a.eng.LastBatch()
+}
+
+// Promoted reports whether Promote has been called.
+func (a *Acceptor) Promoted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.promoted
+}
+
+// SinceContact returns how long ago the primary was last heard from
+// (connect, ship, snapshot, or heartbeat), or false if it never was.
+// Serving layers compare this against their lease duration to report a
+// follower as orphaned and eligible for promotion.
+func (a *Acceptor) SinceContact() (time.Duration, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.last.IsZero() {
+		return 0, false
+	}
+	return a.now().Sub(a.last), true
+}

@@ -1,0 +1,64 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"llpmst/internal/stream"
+)
+
+// BenchmarkQuorumAck measures the client-visible commit latency of one
+// small batch as the ack quorum widens: followers=0 is the PR 7
+// single-node fsync baseline, followers=1/2 add one/two more durable
+// copies on the synchronous path (loopback transport, so the cost is pure
+// replication work — extra fsyncs — not network).
+func BenchmarkQuorumAck(b *testing.B) {
+	for _, followers := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("followers=%d", followers), func(b *testing.B) {
+			eng, _, err := stream.Open(stream.Config{
+				Vertices: 64, Dir: b.TempDir(), Sync: stream.SyncAlways,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			if followers > 0 {
+				var specs []FollowerSpec
+				for i := 0; i < followers; i++ {
+					fe, _, err := stream.Open(stream.Config{
+						Vertices: 64, Dir: b.TempDir(), Sync: stream.SyncAlways,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer fe.Close()
+					lb := NewLoopback(NewAcceptor(fe))
+					specs = append(specs, FollowerSpec{Name: fmt.Sprintf("f%d", i), Dial: LoopbackDialer(lb)})
+				}
+				p, err := NewPrimary(eng, Config{
+					Stream: "bench", Level: ReplicateAll, AckTimeout: 10 * time.Second,
+					Heartbeat: 50 * time.Millisecond,
+				}, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer p.Close()
+				deadline := time.Now().Add(10 * time.Second)
+				for !p.Healthy() {
+					if time.Now().After(deadline) {
+						b.Fatal("followers never became current")
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			ops := []stream.Op{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Apply(stream.Batch{ID: uint64(i + 1), Ops: ops}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Package replica layers primary/follower replication over the stream
+// engine's write-ahead log, so a stream survives the loss of the machine
+// it runs on — the crash-stop failure model the LLP framework papers
+// assume away is handled here, below the algorithm.
+//
+// # Protocol
+//
+// The unit of replication is the framed WAL record (length-prefixed,
+// CRC-checked — see internal/stream). The primary installs itself as the
+// engine's ReplicationGate: after a batch's record is durable in the
+// primary's own log and before the batch is applied or acknowledged, the
+// gate ships the record to every caught-up follower and waits for acks.
+// A follower appends the bytes verbatim to its own WAL, fsyncs, and only
+// then acks — so follower logs are byte-identical contiguous prefixes of
+// the primary's log, and an ack always means "on my disk".
+//
+// Acknowledgement is governed by a replication Level:
+//
+//   - ReplicateNone: the primary's own fsync suffices (PR 7 semantics).
+//   - ReplicateQuorum: a majority of the cluster (primary + followers)
+//     must have the record durable.
+//   - ReplicateAll: every configured follower must have it.
+//
+// If the quorum cannot be reached — too few followers connected, or ships
+// time out — the gate fails with a *DegradedError, the engine rolls its
+// local log back to the pre-append size, and the client sees a typed
+// "read-only, retry later" rejection (503 + Retry-After over HTTP). A
+// batch is therefore never acknowledged anywhere unless it is durable on
+// a quorum; conversely a rejected batch is durable nowhere, so retrying
+// the same batch ID is always safe. As everywhere in the stream stack,
+// a retry must carry the identical ops: duplicate detection is by batch
+// ID alone.
+//
+// # Catch-up
+//
+// Each follower runs a continuous catch-up loop on the primary: connect
+// (with exponential backoff), learn the follower's high-water mark, and
+// ship the missing WAL suffix record by record — or, when the primary has
+// compacted its log past that mark (or the follower's log has diverged,
+// e.g. it holds a record the quorum rolled back), a full snapshot that
+// resets the follower. Once drained, the follower is marked current and
+// joins the synchronous ack path; a heartbeat probes it between writes,
+// and any ship or heartbeat failure demotes it back to catch-up. Shipped
+// records carry the primary's expected predecessor mark, so a stale view
+// can never create a gap in a follower's log: the follower rejects with
+// stream.ErrOutOfOrder and catch-up re-runs.
+//
+// # Failover
+//
+// Promotion is explicit (an operator or supervisor calls Promote, or
+// POST /streams/{id}/promote on mstserve): the follower stops accepting
+// replicated records (further ships fail with ErrPromoted) and its engine
+// serves writes. Because follower logs are contiguous prefixes, promoting
+// the follower with the highest high-water mark preserves every batch any
+// client was ever acked under ReplicateQuorum with a surviving majority.
+//
+// Transports are pluggable: Loopback wires a primary directly to in-process
+// followers (optionally through a seeded fault.Link that drops, delays,
+// duplicates, and partitions record traffic deterministically), and
+// HTTPConn speaks to a follower-mode mstserve.
+package replica

@@ -1,0 +1,121 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"llpmst/internal/stream"
+)
+
+// HTTPConn speaks the replication protocol to a follower-mode mstserve:
+//
+//	POST {base}/replica/{stream}/connect   {"vertices": n}   -> {"high_water": h}
+//	POST {base}/replica/{stream}/ship?prev=P   (raw record)  -> {"high_water": h}
+//	POST {base}/replica/{stream}/snapshot      (raw snapshot)-> {"high_water": h}
+//	GET  {base}/replica/{stream}/hw                          -> {"high_water": h}
+//
+// Protocol failures map back to the typed errors the primary's loops
+// branch on: 409 Conflict is a contiguity violation (stream.ErrOutOfOrder,
+// re-run catch-up) and 410 Gone means the follower was promoted.
+type HTTPConn struct {
+	base   string
+	stream string
+	client *http.Client
+}
+
+// NewHTTPConn builds a connection to the follower at base (scheme://host:port)
+// for streamID. client may be nil for http.DefaultClient; per-call
+// deadlines come from the caller's context.
+func NewHTTPConn(base, streamID string, client *http.Client) *HTTPConn {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPConn{base: base, stream: streamID, client: client}
+}
+
+// HTTPDialer returns a Dialer for the follower at base. HTTP connections
+// are stateless, so dialing is just construction; the Connect handshake
+// does the real probing.
+func HTTPDialer(base, streamID string, client *http.Client) Dialer {
+	return func(context.Context) (Conn, error) {
+		return NewHTTPConn(base, streamID, client), nil
+	}
+}
+
+type hwResponse struct {
+	HighWater uint64 `json:"high_water"`
+	Error     string `json:"error"`
+}
+
+func (c *HTTPConn) url(op string) string {
+	return c.base + "/replica/" + url.PathEscape(c.stream) + "/" + op
+}
+
+func (c *HTTPConn) do(ctx context.Context, method, u, contentType string, body []byte) (uint64, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var hr hwResponse
+	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hr)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if decodeErr != nil {
+			return 0, fmt.Errorf("replica: bad response from %s: %v", u, decodeErr)
+		}
+		return hr.HighWater, nil
+	case http.StatusConflict:
+		return 0, fmt.Errorf("%w: %s", stream.ErrOutOfOrder, hr.Error)
+	case http.StatusGone:
+		return 0, ErrPromoted
+	default:
+		msg := hr.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		return 0, fmt.Errorf("replica: %s %s: %s", method, u, msg)
+	}
+}
+
+// Connect implements Conn.
+func (c *HTTPConn) Connect(ctx context.Context, vertices int) (uint64, error) {
+	body, _ := json.Marshal(map[string]int{"vertices": vertices})
+	return c.do(ctx, http.MethodPost, c.url("connect"), "application/json", body)
+}
+
+// Ship implements Conn.
+func (c *HTTPConn) Ship(ctx context.Context, prev uint64, rec []byte) (uint64, error) {
+	u := c.url("ship") + "?prev=" + strconv.FormatUint(prev, 10)
+	return c.do(ctx, http.MethodPost, u, "application/octet-stream", rec)
+}
+
+// InstallSnapshot implements Conn.
+func (c *HTTPConn) InstallSnapshot(ctx context.Context, data []byte) (uint64, error) {
+	return c.do(ctx, http.MethodPost, c.url("snapshot"), "application/octet-stream", data)
+}
+
+// Heartbeat implements Conn.
+func (c *HTTPConn) Heartbeat(ctx context.Context) (uint64, error) {
+	return c.do(ctx, http.MethodGet, c.url("hw"), "", nil)
+}
+
+// Close implements Conn.
+func (c *HTTPConn) Close() error { return nil }

@@ -1,0 +1,110 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"llpmst/internal/fault"
+)
+
+// Transit errors a lossy loopback link reports to the shipping side. The
+// record may or may not eventually arrive (a delayed copy is delivered
+// later), so the primary must treat them as "ack lost", not "record lost".
+var (
+	errLinkPartitioned = errors.New("replica: link partitioned")
+	errLinkDropped     = errors.New("replica: record dropped in transit")
+	errLinkDelayed     = errors.New("replica: record delayed in transit")
+)
+
+// Loopback is an in-process Conn wired straight to an Acceptor, optionally
+// through a seeded fault.Link that drops, duplicates, delays, and
+// partitions record traffic deterministically. A delayed record is held
+// back and delivered immediately before the next ship on the link — a
+// deterministic stand-in for out-of-order arrival: the late copy shows up
+// as a duplicate or a gap, exactly the hazards the follower's prev check
+// and idempotent receive must absorb. Control traffic (connect, snapshot,
+// heartbeat) is reliable; record traffic is where the protocol's
+// interesting failure modes live.
+type Loopback struct {
+	acc *Acceptor
+
+	mu   sync.Mutex
+	link *fault.Link
+	held []heldShip
+}
+
+type heldShip struct {
+	prev uint64
+	rec  []byte
+}
+
+// NewLoopback wires a direct (lossless) in-process connection to acc.
+func NewLoopback(acc *Acceptor) *Loopback {
+	return &Loopback{acc: acc}
+}
+
+// NewLossyLoopback wires a connection whose record traffic rolls fault
+// outcomes on link.
+func NewLossyLoopback(acc *Acceptor, link *fault.Link) *Loopback {
+	return &Loopback{acc: acc, link: link}
+}
+
+// LoopbackDialer returns a Dialer that always reconnects to the same
+// loopback connection.
+func LoopbackDialer(l *Loopback) Dialer {
+	return func(context.Context) (Conn, error) { return l, nil }
+}
+
+// Connect implements Conn.
+func (l *Loopback) Connect(_ context.Context, vertices int) (uint64, error) {
+	return l.acc.Connect(vertices)
+}
+
+// Ship implements Conn. With a fault link, held (delayed) records are
+// delivered first, then the outcome for this transmission is rolled.
+func (l *Loopback) Ship(_ context.Context, prev uint64, rec []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.link == nil {
+		return l.acc.Ship(prev, rec)
+	}
+	l.flushHeld()
+	o := l.link.Transmit()
+	switch {
+	case o.Partitioned:
+		return 0, errLinkPartitioned
+	case o.Drop:
+		return 0, errLinkDropped
+	case o.Delay > 0:
+		l.held = append(l.held, heldShip{prev, append([]byte(nil), rec...)})
+		return 0, errLinkDelayed
+	case o.Dup:
+		if _, err := l.acc.Ship(prev, rec); err != nil {
+			return 0, err
+		}
+	}
+	return l.acc.Ship(prev, rec)
+}
+
+// flushHeld delivers every held record (results discarded: the shipper
+// already gave up on their acks).
+func (l *Loopback) flushHeld() {
+	for _, h := range l.held {
+		_, _ = l.acc.Ship(h.prev, h.rec)
+	}
+	l.held = l.held[:0]
+}
+
+// InstallSnapshot implements Conn.
+func (l *Loopback) InstallSnapshot(_ context.Context, data []byte) (uint64, error) {
+	return l.acc.InstallSnapshot(data)
+}
+
+// Heartbeat implements Conn.
+func (l *Loopback) Heartbeat(context.Context) (uint64, error) {
+	return l.acc.Heartbeat()
+}
+
+// Close implements Conn; the loopback is reusable across sessions.
+func (l *Loopback) Close() error { return nil }

@@ -1,0 +1,540 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"llpmst/internal/fault"
+	"llpmst/internal/obs"
+	"llpmst/internal/stream"
+)
+
+// Fault-injection node roles for crash-stop schedules on the primary's
+// replication path (fault.Crash.Node). Rounds are 0-based gate invocation
+// ordinals — one per batch that reaches the replication gate — so a crash
+// can be scheduled at every step boundary of a specific batch's commit.
+const (
+	// FaultNodePreShip kills the primary after its local append but
+	// before any follower has seen the record: the batch is durable only
+	// on the (dead) primary and was never acknowledged.
+	FaultNodePreShip uint32 = 10
+	// FaultNodeMidShip kills the primary after the record reached exactly
+	// one follower: below quorum (for 3 nodes), never acknowledged, but a
+	// trace of the batch exists in the cluster.
+	FaultNodeMidShip uint32 = 11
+	// FaultNodePostShip kills the primary after every current follower
+	// was shipped to but before the client acknowledgement: the batch may
+	// be fully quorum-durable yet unacked — its retry against the
+	// promoted follower must ack as a duplicate.
+	FaultNodePostShip uint32 = 12
+)
+
+// Config configures a Primary.
+type Config struct {
+	// Stream is the replicated stream's ID (error messages, metrics).
+	Stream string
+	// Level is the ack durability level (default ReplicateNone).
+	Level Level
+	// AckTimeout bounds each ship and heartbeat call (default 5s).
+	AckTimeout time.Duration
+	// Heartbeat is the liveness probe cadence for current followers
+	// (default 1s).
+	Heartbeat time.Duration
+	// ReconnectMin/ReconnectMax bound the exponential backoff between
+	// reconnect attempts (defaults 25ms and 2s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Observer receives replication counters and the lag gauge.
+	Observer obs.Collector
+	// Fault, when non-nil, drives deterministic crash-stop injection on
+	// the replication path; see FaultNodePreShip et al.
+	Fault *fault.Plan
+	// Logf, when non-nil, receives one line per follower state change.
+	Logf func(format string, args ...any)
+}
+
+// FollowerSpec names one follower and how to reach it.
+type FollowerSpec struct {
+	Name string
+	Dial Dialer
+}
+
+// FollowerStatus is a point-in-time view of one follower for health and
+// metrics endpoints.
+type FollowerStatus struct {
+	Name             string `json:"name"`
+	Connected        bool   `json:"connected"`
+	Current          bool   `json:"current"`
+	HighWater        uint64 `json:"high_water"`
+	Reconnects       uint64 `json:"reconnects"`
+	CatchupRecords   uint64 `json:"catchup_records"`
+	CatchupSnapshots uint64 `json:"catchup_snapshots"`
+}
+
+// errStopped ends a follower maintenance loop on Close.
+var errStopped = errors.New("replica: primary closed")
+
+type follower struct {
+	name string
+	dial Dialer
+	kick chan struct{} // capacity 1: demotion signal from the gate
+
+	// The fields below are guarded by Primary.mu.
+	conn             Conn // non-nil while a session is established
+	hw               uint64
+	connected        bool
+	current          bool
+	reconnects       uint64
+	catchupRecords   uint64
+	catchupSnapshots uint64
+}
+
+// Primary replicates one engine's WAL to a set of followers and gates the
+// engine's acknowledgements on the configured durability level. It owns a
+// maintenance goroutine per follower (connect, catch up, heartbeat) and
+// installs itself as the engine's ReplicationGate.
+type Primary struct {
+	cfg Config
+	eng *stream.Engine
+	col obs.Collector
+	inj *fault.Injector
+
+	mu         sync.Mutex
+	followers  []*follower
+	gateRounds int
+	closed     bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPrimary wires eng to its followers: it installs the replication gate
+// and starts one maintenance loop per follower. Close detaches the gate
+// and stops the loops.
+func NewPrimary(eng *stream.Engine, cfg Config, specs []FollowerSpec) (*Primary, error) {
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 25 * time.Millisecond
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = 2 * time.Second
+	}
+	if cfg.Level != ReplicateNone && len(specs) == 0 {
+		return nil, fmt.Errorf("replica: level %v needs at least one follower", cfg.Level)
+	}
+	p := &Primary{
+		cfg:  cfg,
+		eng:  eng,
+		col:  obs.Or(cfg.Observer),
+		stop: make(chan struct{}),
+	}
+	if cfg.Fault != nil {
+		p.inj = fault.New(*cfg.Fault)
+	}
+	for _, s := range specs {
+		f := &follower{name: s.Name, dial: s.Dial, kick: make(chan struct{}, 1)}
+		p.followers = append(p.followers, f)
+	}
+	eng.SetReplicationGate(p.gate)
+	for _, f := range p.followers {
+		p.wg.Add(1)
+		go p.runFollower(f)
+	}
+	return p, nil
+}
+
+// Close detaches the gate (the engine acknowledges on local durability
+// again) and stops every follower loop.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.eng.SetReplicationGate(nil)
+	close(p.stop)
+	p.wg.Wait()
+	return nil
+}
+
+// Need returns how many durable copies (counting the primary's) the
+// configured level demands.
+func (p *Primary) Need() int { return p.cfg.Level.need(len(p.followers)) }
+
+// Level returns the configured durability level.
+func (p *Primary) Level() Level { return p.cfg.Level }
+
+// Status reports every follower's connection state and progress.
+func (p *Primary) Status() []FollowerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]FollowerStatus, len(p.followers))
+	for i, f := range p.followers {
+		out[i] = FollowerStatus{
+			Name:             f.name,
+			Connected:        f.connected,
+			Current:          f.current,
+			HighWater:        f.hw,
+			Reconnects:       f.reconnects,
+			CatchupRecords:   f.catchupRecords,
+			CatchupSnapshots: f.catchupSnapshots,
+		}
+	}
+	return out
+}
+
+// Healthy reports whether a write arriving now could reach its quorum.
+func (p *Primary) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	have := 1
+	for _, f := range p.followers {
+		if f.current {
+			have++
+		}
+	}
+	return have >= p.cfg.Level.need(len(p.followers))
+}
+
+func (p *Primary) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// gate is the engine's ReplicationGate: ship rec to every current
+// follower, demand the level's quorum of durable copies (counting the
+// primary's own append, which already happened), and update the lag gauge.
+// It runs under the engine's batch lock, so rounds are per-batch ordinals.
+func (p *Primary) gate(ctx context.Context, ref obs.TraceRef, prev, id uint64, rec []byte) error {
+	p.mu.Lock()
+	round := p.gateRounds
+	p.gateRounds++
+	type target struct {
+		f    *follower
+		conn Conn
+	}
+	var targets []target
+	for _, f := range p.followers {
+		if f.current && f.conn != nil {
+			targets = append(targets, target{f, f.conn})
+		}
+	}
+	need := p.cfg.Level.need(len(p.followers))
+	p.mu.Unlock()
+
+	asp := ref.Start("replica.ack")
+	asp.SetInt("batch", int64(id))
+	asp.SetInt("need", int64(need))
+	defer asp.End()
+
+	if p.inj != nil && !p.inj.Alive(FaultNodePreShip, round) {
+		asp.SetErrorString("injected crash before ship")
+		return stream.ErrCrashed
+	}
+	if 1+len(targets) < need {
+		p.col.Count(obs.CtrReplicaDegraded, 1)
+		asp.SetErrorString("quorum unreachable before ship")
+		return &DegradedError{Stream: p.cfg.Stream, Need: need, Have: 1 + len(targets)}
+	}
+
+	acks := 1 // the primary's own durable append
+	for i, t := range targets {
+		ssp := asp.Ref().Start("replica.ship")
+		ssp.SetAttr("follower", t.f.name)
+		ssp.SetInt("batch", int64(id))
+		sctx, cancel := context.WithTimeout(ctx, p.cfg.AckTimeout)
+		hw, err := t.conn.Ship(sctx, prev, rec)
+		cancel()
+		p.col.Count(obs.CtrReplicaShip, 1)
+		switch {
+		case err != nil:
+			ssp.SetErrorString(err.Error())
+			p.demote(t.f, fmt.Sprintf("ship batch %d: %v", id, err))
+		case hw < id:
+			// The follower acked a stale mark: it is behind and must
+			// re-run catch-up before it counts again.
+			ssp.SetErrorString(fmt.Sprintf("acked high-water %d < batch %d", hw, id))
+			p.demote(t.f, fmt.Sprintf("ship batch %d: follower still at %d", id, hw))
+		default:
+			acks++
+			p.col.Count(obs.CtrReplicaAck, 1)
+			p.setHW(t.f, hw)
+		}
+		ssp.End()
+		if i == 0 && p.inj != nil && !p.inj.Alive(FaultNodeMidShip, round) {
+			asp.SetErrorString("injected crash mid-ship")
+			return stream.ErrCrashed
+		}
+	}
+	if p.inj != nil && !p.inj.Alive(FaultNodePostShip, round) {
+		asp.SetErrorString("injected crash after ship")
+		return stream.ErrCrashed
+	}
+	if acks < need {
+		p.col.Count(obs.CtrReplicaDegraded, 1)
+		asp.SetErrorString(fmt.Sprintf("%d of %d copies durable", acks, need))
+		return &DegradedError{Stream: p.cfg.Stream, Need: need, Have: acks}
+	}
+	p.col.Gauge(obs.GaugeReplicaLag, p.lag(id))
+	return nil
+}
+
+// lag is the furthest-behind follower's batch distance from id.
+func (p *Primary) lag(id uint64) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var worst int64
+	for _, f := range p.followers {
+		if f.hw < id {
+			if d := int64(id - f.hw); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// setHW records a follower's reported mark. Not monotonic on purpose: a
+// diverged follower's mark drops when a snapshot resync rolls it back.
+func (p *Primary) setHW(f *follower, hw uint64) {
+	p.mu.Lock()
+	f.hw = hw
+	p.mu.Unlock()
+}
+
+// demote drops a follower out of the synchronous ack path and kicks its
+// maintenance loop into reconnect + catch-up.
+func (p *Primary) demote(f *follower, why string) {
+	p.mu.Lock()
+	was := f.current
+	f.current = false
+	p.mu.Unlock()
+	if was {
+		p.logf("replica: follower %s demoted: %s", f.name, why)
+	}
+	select {
+	case f.kick <- struct{}{}:
+	default:
+	}
+}
+
+// runFollower is one follower's maintenance loop: dial with exponential
+// backoff, catch the follower up from its high-water mark, mark it
+// current, then heartbeat until something fails and the cycle restarts.
+func (p *Primary) runFollower(f *follower) {
+	defer p.wg.Done()
+	backoff := p.cfg.ReconnectMin
+	attempt := 0
+	for {
+		if attempt > 0 {
+			p.col.Count(obs.CtrReplicaReconnects, 1)
+			p.mu.Lock()
+			f.reconnects++
+			p.mu.Unlock()
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > p.cfg.ReconnectMax {
+				backoff = p.cfg.ReconnectMax
+			}
+		}
+		attempt++
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), p.cfg.AckTimeout)
+		conn, err := f.dial(dctx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		hctx, cancel := context.WithTimeout(context.Background(), p.cfg.AckTimeout)
+		hw, err := conn.Connect(hctx, p.eng.Vertices())
+		cancel()
+		if err != nil {
+			conn.Close()
+			if errors.Is(err, ErrPromoted) {
+				p.logf("replica: follower %s is promoted; giving up on it", f.name)
+				return
+			}
+			continue
+		}
+		backoff = p.cfg.ReconnectMin
+		p.mu.Lock()
+		f.conn = conn
+		f.connected = true
+		f.hw = hw
+		p.mu.Unlock()
+		drainKick(f.kick) // stale demotion signals belong to the old session
+		p.logf("replica: follower %s connected at high-water %d", f.name, hw)
+
+		err = p.session(f, conn, hw)
+
+		p.mu.Lock()
+		f.conn = nil
+		f.connected = false
+		f.current = false
+		p.mu.Unlock()
+		conn.Close()
+		switch {
+		case errors.Is(err, errStopped):
+			return
+		case errors.Is(err, ErrPromoted):
+			p.logf("replica: follower %s is promoted; giving up on it", f.name)
+			return
+		default:
+			p.logf("replica: follower %s session ended: %v", f.name, err)
+		}
+	}
+}
+
+// session drives one established connection: alternate catch-up (ship the
+// WAL suffix past hw, or a snapshot when the log no longer reaches back
+// that far) with current service (heartbeats between synchronous ships).
+// It returns when the connection errors, the primary closes, or the
+// follower reports itself promoted.
+func (p *Primary) session(f *follower, conn Conn, hw uint64) error {
+	for {
+		// Catch up until the follower's log matches the engine's.
+		for hw != p.eng.LastBatch() {
+			if stopped(p.stop) {
+				return errStopped
+			}
+			recs, compacted, err := p.eng.WALRecordsAbove(hw)
+			if err != nil {
+				return err
+			}
+			if compacted {
+				data, err := p.eng.EncodeSnapshot()
+				if err != nil {
+					return err
+				}
+				sctx, cancel := context.WithTimeout(context.Background(), 10*p.cfg.AckTimeout)
+				nhw, err := conn.InstallSnapshot(sctx, data)
+				cancel()
+				if err != nil {
+					return fmt.Errorf("install snapshot: %w", err)
+				}
+				p.col.Count(obs.CtrReplicaCatchupSnapshots, 1)
+				p.mu.Lock()
+				f.catchupSnapshots++
+				p.mu.Unlock()
+				hw = nhw
+				p.setHW(f, hw)
+				continue
+			}
+			stale := false
+			for _, rec := range recs {
+				if stopped(p.stop) {
+					return errStopped
+				}
+				sctx, cancel := context.WithTimeout(context.Background(), p.cfg.AckTimeout)
+				nhw, serr := conn.Ship(sctx, hw, rec)
+				cancel()
+				p.col.Count(obs.CtrReplicaShip, 1)
+				if serr != nil {
+					if errors.Is(serr, stream.ErrOutOfOrder) {
+						// Our view of its mark is stale; re-probe and retry.
+						stale = true
+						break
+					}
+					return fmt.Errorf("catch-up ship: %w", serr)
+				}
+				p.col.Count(obs.CtrReplicaAck, 1)
+				p.col.Count(obs.CtrReplicaCatchupRecords, 1)
+				p.mu.Lock()
+				f.catchupRecords++
+				p.mu.Unlock()
+				hw = nhw
+				p.setHW(f, hw)
+			}
+			if stale {
+				hctx, cancel := context.WithTimeout(context.Background(), p.cfg.AckTimeout)
+				nhw, herr := conn.Heartbeat(hctx)
+				cancel()
+				if herr != nil {
+					return herr
+				}
+				hw = nhw
+				p.setHW(f, hw)
+			}
+		}
+
+		// Drained: join the synchronous ack path. A batch that commits in
+		// the instant before this flag flips was not shipped here; the
+		// next synchronous ship then fails its prev check and demotes us
+		// straight back to catch-up — a missed beat, never a gap.
+		p.mu.Lock()
+		f.current = true
+		f.hw = hw
+		p.mu.Unlock()
+		p.logf("replica: follower %s current at high-water %d", f.name, hw)
+
+		hb := time.NewTicker(p.cfg.Heartbeat)
+	serve:
+		for {
+			select {
+			case <-p.stop:
+				hb.Stop()
+				return errStopped
+			case <-f.kick:
+				break serve
+			case <-hb.C:
+				hctx, cancel := context.WithTimeout(context.Background(), p.cfg.AckTimeout)
+				nhw, err := conn.Heartbeat(hctx)
+				cancel()
+				if err != nil {
+					hb.Stop()
+					return fmt.Errorf("heartbeat: %w", err)
+				}
+				if nhw > p.eng.LastBatch() {
+					// The follower is ahead of us: it holds a record the
+					// quorum rolled back. Demote and resync it.
+					p.demote(f, fmt.Sprintf("follower at %d is ahead of primary", nhw))
+				}
+			}
+		}
+		hb.Stop()
+		// Demoted: measure where the follower actually is and catch up.
+		hctx, cancel := context.WithTimeout(context.Background(), p.cfg.AckTimeout)
+		nhw, err := conn.Heartbeat(hctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		hw = nhw
+		p.setHW(f, hw)
+	}
+}
+
+func stopped(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func drainKick(ch chan struct{}) {
+	select {
+	case <-ch:
+	default:
+	}
+}

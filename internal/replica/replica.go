@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Level selects how many durable copies a batch needs before the primary
+// acknowledges it.
+type Level int
+
+const (
+	// ReplicateNone acknowledges on the primary's own durability alone;
+	// followers still catch up asynchronously.
+	ReplicateNone Level = iota
+	// ReplicateQuorum acknowledges once a majority of the cluster
+	// (primary plus configured followers) has the record fsync'd.
+	ReplicateQuorum
+	// ReplicateAll acknowledges only when every configured follower has
+	// the record fsync'd.
+	ReplicateAll
+)
+
+// String names the level the way the -replica-quorum flag spells it.
+func (l Level) String() string {
+	switch l {
+	case ReplicateNone:
+		return "none"
+	case ReplicateQuorum:
+		return "quorum"
+	case ReplicateAll:
+		return "all"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ParseLevel parses "none", "quorum", or "all".
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "none":
+		return ReplicateNone, nil
+	case "quorum":
+		return ReplicateQuorum, nil
+	case "all":
+		return ReplicateAll, nil
+	}
+	return 0, fmt.Errorf("replica: unknown replication level %q (want none, quorum, or all)", s)
+}
+
+// need returns the number of durable copies (counting the primary) the
+// level demands in a cluster of 1 primary + followers nodes.
+func (l Level) need(followers int) int {
+	switch l {
+	case ReplicateQuorum:
+		return (1+followers)/2 + 1
+	case ReplicateAll:
+		return 1 + followers
+	}
+	return 1
+}
+
+// ErrPromoted is returned by a follower that has been promoted: it no
+// longer accepts replicated records, because it is now a primary in its
+// own right and the sender is deposed.
+var ErrPromoted = errors.New("replica: follower has been promoted")
+
+// DegradedError reports a write rejected because the replication quorum
+// is not reachable: the batch is durable nowhere and was acknowledged to
+// no one, and the same batch ID may be retried once the quorum recovers.
+// Servers surface it as 503 + Retry-After.
+type DegradedError struct {
+	// Stream is the degraded stream's ID.
+	Stream string
+	// Need is the number of durable copies the level demands.
+	Need int
+	// Have is how many copies were actually achieved (counting the
+	// primary's own).
+	Have int
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("replica: stream %q degraded: %d of %d required copies durable; stream is read-only until quorum recovers",
+		e.Stream, e.Have, e.Need)
+}
+
+// Conn is the primary's connection to one follower. Implementations must
+// be safe for concurrent use: the synchronous ack path ships records
+// while the follower's maintenance loop heartbeats.
+type Conn interface {
+	// Connect performs the session handshake: the follower checks the
+	// vertex count matches its engine and returns its current high-water
+	// batch ID, from which catch-up resumes.
+	Connect(ctx context.Context, vertices int) (uint64, error)
+	// Ship delivers one framed WAL record. prev is the high-water mark
+	// the follower must currently be at for its log to stay a contiguous
+	// prefix; the returned mark is the follower's high-water after the
+	// call (>= the record's batch ID on success, including the duplicate
+	// case). The follower fsyncs before returning.
+	Ship(ctx context.Context, prev uint64, rec []byte) (uint64, error)
+	// InstallSnapshot replaces the follower's entire state with snapshot
+	// bytes and returns its new high-water mark.
+	InstallSnapshot(ctx context.Context, data []byte) (uint64, error)
+	// Heartbeat probes liveness and returns the follower's high-water mark.
+	Heartbeat(ctx context.Context) (uint64, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// Dialer opens a fresh connection to one follower.
+type Dialer func(ctx context.Context) (Conn, error)

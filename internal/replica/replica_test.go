@@ -1,0 +1,511 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llpmst/internal/fault"
+	"llpmst/internal/graph"
+	"llpmst/internal/mst"
+	"llpmst/internal/stream"
+)
+
+// ---- oracle: plain ordered edge list with the stream's op semantics ----
+
+type oracle struct {
+	n     int
+	edges []graph.Edge
+}
+
+func (o *oracle) apply(ops []stream.Op) {
+	for _, op := range ops {
+		if !op.Delete {
+			o.edges = append(o.edges, graph.Edge{U: op.U, V: op.V, W: op.W})
+			continue
+		}
+		for i, e := range o.edges {
+			if e.W == op.W && ((e.U == op.U && e.V == op.V) || (e.U == op.V && e.V == op.U)) {
+				o.edges = append(o.edges[:i], o.edges[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// script builds a deterministic mixed insert/delete batch script.
+func script(seed int64, n, batches, opsPer int) [][]stream.Op {
+	rng := rand.New(rand.NewSource(seed))
+	o := &oracle{n: n}
+	out := make([][]stream.Op, batches)
+	for b := range out {
+		var ops []stream.Op
+		for k := 0; k < opsPer; k++ {
+			if len(o.edges) > 3 && rng.Intn(3) == 0 {
+				pick := o.edges[rng.Intn(len(o.edges))]
+				ops = append(ops, stream.Op{Delete: true, U: pick.U, V: pick.V, W: pick.W})
+			} else {
+				u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+				if u == v {
+					v = (v + 1) % uint32(n)
+				}
+				ops = append(ops, stream.Op{U: u, V: v, W: float32(rng.Intn(25))})
+			}
+		}
+		o.apply(ops)
+		out[b] = ops
+	}
+	return out
+}
+
+func oracleAt(n int, sc [][]stream.Op, upto int) *oracle {
+	o := &oracle{n: n}
+	for _, ops := range sc[:upto] {
+		o.apply(ops)
+	}
+	return o
+}
+
+type canonEdge struct {
+	u, v uint32
+	w    float32
+}
+
+func canon(u, v uint32, w float32) canonEdge {
+	if u > v {
+		u, v = v, u
+	}
+	return canonEdge{u, v, w}
+}
+
+func diffMultiset(tb testing.TB, what string, got, want []graph.Edge) {
+	tb.Helper()
+	counts := map[canonEdge]int{}
+	for _, e := range got {
+		counts[canon(e.U, e.V, e.W)]++
+	}
+	for _, e := range want {
+		counts[canon(e.U, e.V, e.W)]--
+	}
+	for c, k := range counts {
+		if k != 0 {
+			tb.Fatalf("%s multiset differs at %+v (%+d)", what, c, k)
+		}
+	}
+}
+
+// checkForest asserts eng's forest is the canonical MSF of the oracle's
+// live edges (Kruskal is the oracle algorithm) and the live sets agree.
+func checkForest(tb testing.TB, eng *stream.Engine, o *oracle) {
+	tb.Helper()
+	cp := append([]graph.Edge(nil), o.edges...)
+	g := graph.MustFromEdges(1, o.n, cp)
+	want := mst.Kruskal(g)
+	wantEdges := make([]graph.Edge, len(want.EdgeIDs))
+	for i, id := range want.EdgeIDs {
+		wantEdges[i] = g.Edge(id)
+	}
+	diffMultiset(tb, "forest", eng.Forest(), wantEdges)
+	diffMultiset(tb, "live", eng.LiveEdges(), o.edges)
+}
+
+// ---- cluster plumbing ----
+
+type clusterFollower struct {
+	acc  *Acceptor
+	dir  string
+	link *fault.Link
+}
+
+type cluster struct {
+	t       *testing.T
+	eng     *stream.Engine
+	primary *Primary
+	dir     string
+	fol     []*clusterFollower
+}
+
+// newCluster builds a primary engine plus followers wired over loopback
+// connections. crashPlan drives the primary's replication crash points;
+// linkPlan (arc = follower index) makes record traffic lossy.
+func newCluster(t *testing.T, n int, level Level, followers int, crashPlan, linkPlan *fault.Plan) *cluster {
+	t.Helper()
+	c := &cluster{t: t, dir: t.TempDir()}
+	eng, _, err := stream.Open(stream.Config{Vertices: n, Dir: c.dir, Sync: stream.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.eng = eng
+	t.Cleanup(func() { eng.Close() })
+
+	var specs []FollowerSpec
+	for i := 0; i < followers; i++ {
+		dir := t.TempDir()
+		fe, _, err := stream.Open(stream.Config{Vertices: n, Dir: dir, Sync: stream.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fe.Close() })
+		cf := &clusterFollower{acc: NewAcceptor(fe), dir: dir}
+		var lb *Loopback
+		if linkPlan != nil {
+			cf.link = fault.NewLink(*linkPlan, int64(i))
+			lb = NewLossyLoopback(cf.acc, cf.link)
+		} else {
+			lb = NewLoopback(cf.acc)
+		}
+		c.fol = append(c.fol, cf)
+		specs = append(specs, FollowerSpec{Name: fmt.Sprintf("f%d", i), Dial: LoopbackDialer(lb)})
+	}
+	p, err := NewPrimary(eng, Config{
+		Stream:       "s",
+		Level:        level,
+		AckTimeout:   2 * time.Second,
+		Heartbeat:    2 * time.Millisecond,
+		ReconnectMin: time.Millisecond,
+		ReconnectMax: 20 * time.Millisecond,
+		Fault:        crashPlan,
+		Logf:         t.Logf,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.primary = p
+	t.Cleanup(func() { p.Close() })
+	return c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *cluster) waitAllCurrent() {
+	c.t.Helper()
+	waitFor(c.t, "all followers current", func() bool {
+		for _, st := range c.primary.Status() {
+			if !st.Current {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// ---- tests ----
+
+// TestReplicationShipsEveryBatch: with a full quorum, every acked batch is
+// on every follower, the logs are byte-identical, and all three forests
+// equal the Kruskal oracle.
+func TestReplicationShipsEveryBatch(t *testing.T) {
+	const n, batches, opsPer, seed = 32, 25, 5, 3
+	sc := script(seed, n, batches, opsPer)
+	c := newCluster(t, n, ReplicateQuorum, 2, nil, nil)
+	c.waitAllCurrent()
+	for b := 0; b < batches; b++ {
+		if _, err := c.eng.Apply(stream.Batch{ID: uint64(b + 1), Ops: sc[b]}); err != nil {
+			t.Fatalf("batch %d: %v", b+1, err)
+		}
+	}
+	want := oracleAt(n, sc, batches)
+	checkForest(t, c.eng, want)
+	for i, f := range c.fol {
+		waitFor(t, "follower convergence", func() bool {
+			return f.acc.Engine().LastBatch() == uint64(batches)
+		})
+		checkForest(t, f.acc.Engine(), want)
+		// A quorum of 2/3 plus the catch-up loop means every batch lands
+		// on every follower eventually; the logs must be byte-identical.
+		pw, err := os.ReadFile(filepath.Join(c.dir, "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := os.ReadFile(filepath.Join(f.dir, "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pw, fw) {
+			t.Fatalf("follower %d WAL (%d bytes) differs from primary's (%d bytes)", i, len(fw), len(pw))
+		}
+	}
+}
+
+// TestDegradedWriteRejectedTyped: a write that cannot reach its quorum is
+// rejected with a typed *DegradedError, leaves no trace in the primary's
+// log, and the same batch ID succeeds after the quorum recovers.
+func TestDegradedWriteRejectedTyped(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	eng, _, err := stream.Open(stream.Config{Vertices: n, Dir: dir, Sync: stream.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	fe, _, err := stream.Open(stream.Config{Vertices: n, Dir: t.TempDir(), Sync: stream.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	lb := NewLoopback(NewAcceptor(fe))
+	var up atomic.Bool
+	dial := func(context.Context) (Conn, error) {
+		if !up.Load() {
+			return nil, errors.New("follower down")
+		}
+		return lb, nil
+	}
+	p, err := NewPrimary(eng, Config{
+		Stream: "s", Level: ReplicateAll, AckTimeout: time.Second,
+		Heartbeat: 2 * time.Millisecond, ReconnectMin: time.Millisecond, ReconnectMax: 5 * time.Millisecond,
+	}, []FollowerSpec{{Name: "f0", Dial: dial}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	batch := stream.Batch{ID: 1, Ops: []stream.Op{{U: 0, V: 1, W: 2}}}
+	_, err = eng.Apply(batch)
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("below-quorum write returned %v, want *DegradedError", err)
+	}
+	if de.Need != 2 || de.Have != 1 {
+		t.Fatalf("degraded error %+v, want need=2 have=1", de)
+	}
+	// Rejected means durable nowhere: the rolled-back log must be empty
+	// and the high-water mark untouched.
+	if hw := eng.LastBatch(); hw != 0 {
+		t.Fatalf("rejected batch bumped high-water to %d", hw)
+	}
+	if st, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || st.Size() != 0 {
+		t.Fatalf("rejected batch left %v bytes in the log (err=%v)", st, err)
+	}
+
+	// Quorum recovers: the identical retry must succeed and replicate.
+	up.Store(true)
+	waitFor(t, "quorum recovery", p.Healthy)
+	if _, err := eng.Apply(batch); err != nil {
+		t.Fatalf("retry after recovery: %v", err)
+	}
+	waitFor(t, "follower convergence", func() bool { return fe.LastBatch() == 1 })
+}
+
+// TestFailoverSweep is the acceptance test: with quorum 2 of 3, crash the
+// primary at every replication step boundary (before any ship, after
+// exactly one follower, after all ships) of every batch. Promoting the
+// furthest-ahead follower must preserve every client-acked batch, the
+// promoted forest must equal the Kruskal oracle over its prefix, and the
+// deposed primary's ships must be refused.
+func TestFailoverSweep(t *testing.T) {
+	const n, batches, opsPer, seed = 24, 10, 4, 9
+	sc := script(seed, n, batches, opsPer)
+	for _, node := range []uint32{FaultNodePreShip, FaultNodeMidShip, FaultNodePostShip} {
+		for crashAt := 0; crashAt < batches; crashAt++ {
+			crashPlan := &fault.Plan{Crashes: []fault.Crash{{Node: node, At: crashAt}}}
+			c := newCluster(t, n, ReplicateQuorum, 2, crashPlan, nil)
+			c.waitAllCurrent()
+
+			acked := 0
+			for b := 0; b < batches; b++ {
+				_, err := c.eng.Apply(stream.Batch{ID: uint64(b + 1), Ops: sc[b]})
+				if err != nil {
+					if !errors.Is(err, stream.ErrCrashed) {
+						t.Fatalf("node %d crash@%d batch %d: %v", node, crashAt, b+1, err)
+					}
+					break
+				}
+				acked++
+			}
+			if acked != crashAt {
+				t.Fatalf("node %d crash@%d acked %d batches", node, crashAt, acked)
+			}
+			// The primary is dead: no write sneaks in post-crash.
+			if _, err := c.eng.Apply(stream.Batch{ID: 999}); !errors.Is(err, stream.ErrCrashed) {
+				t.Fatalf("node %d crash@%d: post-crash Apply = %v", node, crashAt, err)
+			}
+			c.primary.Close()
+
+			// Promote the follower with the highest high-water mark.
+			best := c.fol[0]
+			for _, f := range c.fol[1:] {
+				if f.acc.Engine().LastBatch() > best.acc.Engine().LastBatch() {
+					best = f
+				}
+			}
+			hw := best.acc.Promote()
+			if hw < uint64(acked) {
+				t.Fatalf("node %d crash@%d: promoted at %d, %d acked batches lost",
+					node, crashAt, hw, uint64(acked)-hw)
+			}
+			if hw > uint64(acked+1) {
+				t.Fatalf("node %d crash@%d: promoted at %d, beyond the in-flight batch %d",
+					node, crashAt, hw, acked+1)
+			}
+			// The crashed batch may have reached the promoted follower
+			// (durable-but-unacked); its forest must match the oracle over
+			// exactly its own prefix.
+			checkForest(t, best.acc.Engine(), oracleAt(n, sc, int(hw)))
+
+			// A deposed primary's ships bounce off the new timeline.
+			if _, err := best.acc.Ship(hw, nil); !errors.Is(err, ErrPromoted) {
+				t.Fatalf("node %d crash@%d: ship to promoted follower = %v", node, crashAt, err)
+			}
+			if _, err := best.acc.Connect(n); !errors.Is(err, ErrPromoted) {
+				t.Fatalf("node %d crash@%d: connect to promoted follower = %v", node, crashAt, err)
+			}
+
+			// Clients resume against the new primary: the in-flight batch's
+			// retry either duplicates (it survived) or re-applies, and the
+			// stream converges to the no-crash final state.
+			ne := best.acc.Engine()
+			for b := int(hw); b < batches; b++ {
+				if _, err := ne.Apply(stream.Batch{ID: uint64(b + 1), Ops: sc[b]}); err != nil {
+					t.Fatalf("node %d crash@%d: post-promotion batch %d: %v", node, crashAt, b+1, err)
+				}
+			}
+			if acked > 0 {
+				res, err := ne.Apply(stream.Batch{ID: uint64(acked), Ops: sc[acked-1]})
+				if err != nil || !res.Duplicate {
+					t.Fatalf("node %d crash@%d: acked batch retry res=%+v err=%v", node, crashAt, res, err)
+				}
+			}
+			checkForest(t, ne, oracleAt(n, sc, batches))
+		}
+	}
+}
+
+// TestLossyCatchupConvergence: a follower fed through a seeded lossy link
+// (drops, duplicates, delays/reorders, and a partition window) converges
+// to the primary's exact forest, with duplicate deliveries absorbed
+// idempotently.
+func TestLossyCatchupConvergence(t *testing.T) {
+	const n, batches, opsPer, seed = 40, 60, 5, 11
+	sc := script(seed, n, batches, opsPer)
+	linkPlan := &fault.Plan{
+		Seed:    1234,
+		Default: fault.Probs{Drop: 0.25, Dup: 0.2, Delay: 0.2, MaxDelay: 3},
+		// A partition window in link rounds: the link is down for
+		// transmissions 20..39 and comes back.
+		Crashes: []fault.Crash{{Node: 0, At: 20, Restart: 40}},
+	}
+	// ReplicateNone: the primary acks on local durability and the lossy
+	// follower trails behind through retries.
+	c := newCluster(t, n, ReplicateNone, 1, nil, linkPlan)
+	for b := 0; b < batches; b++ {
+		if _, err := c.eng.Apply(stream.Batch{ID: uint64(b + 1), Ops: sc[b]}); err != nil {
+			t.Fatalf("batch %d: %v", b+1, err)
+		}
+	}
+	f := c.fol[0]
+	waitFor(t, "lossy follower convergence", func() bool {
+		return f.acc.Engine().LastBatch() == uint64(batches)
+	})
+	want := oracleAt(n, sc, batches)
+	checkForest(t, c.eng, want)
+	checkForest(t, f.acc.Engine(), want)
+
+	st := f.link.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Delayed == 0 {
+		t.Fatalf("lossy schedule injected nothing interesting: %+v", st)
+	}
+	// Duplicate deliveries really happened and were absorbed idempotently
+	// (the follower's duplicate counter is the engine-level proof).
+	if f.acc.Engine().Stats().Duplicates == 0 {
+		t.Fatalf("no duplicate deliveries reached the follower (link stats %+v)", st)
+	}
+}
+
+// TestSnapshotCatchup: a follower that connects after the primary has
+// compacted its WAL past the follower's mark is caught up with a full
+// snapshot install, then converges over records.
+func TestSnapshotCatchup(t *testing.T) {
+	const n, batches, opsPer, seed = 32, 30, 5, 17
+	sc := script(seed, n, batches, opsPer)
+	dir := t.TempDir()
+	eng, _, err := stream.Open(stream.Config{
+		Vertices: n, Dir: dir, Sync: stream.SyncAlways, SnapshotEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// The primary runs ahead alone; its log compacts at batches 8, 16, 24.
+	const preload = 20
+	for b := 0; b < preload; b++ {
+		if _, err := eng.Apply(stream.Batch{ID: uint64(b + 1), Ops: sc[b]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fe, _, err := stream.Open(stream.Config{Vertices: n, Dir: t.TempDir(), Sync: stream.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	acc := NewAcceptor(fe)
+	p, err := NewPrimary(eng, Config{
+		Stream: "s", Level: ReplicateNone, AckTimeout: 2 * time.Second,
+		Heartbeat: 2 * time.Millisecond, ReconnectMin: time.Millisecond, ReconnectMax: 10 * time.Millisecond,
+	}, []FollowerSpec{{Name: "late", Dial: LoopbackDialer(NewLoopback(acc))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	waitFor(t, "snapshot catch-up", func() bool { return fe.LastBatch() == preload })
+	checkForest(t, fe, oracleAt(n, sc, preload))
+	st := p.Status()[0]
+	if st.CatchupSnapshots == 0 {
+		t.Fatalf("late follower caught up without a snapshot install: %+v", st)
+	}
+
+	// Now stream the rest; the follower rides along over records.
+	for b := preload; b < batches; b++ {
+		if _, err := eng.Apply(stream.Batch{ID: uint64(b + 1), Ops: sc[b]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "record convergence", func() bool { return fe.LastBatch() == batches })
+	checkForest(t, fe, oracleAt(n, sc, batches))
+}
+
+// TestLevelSemantics pins the quorum arithmetic.
+func TestLevelSemantics(t *testing.T) {
+	cases := []struct {
+		level     Level
+		followers int
+		need      int
+	}{
+		{ReplicateNone, 0, 1}, {ReplicateNone, 2, 1},
+		{ReplicateQuorum, 1, 2}, {ReplicateQuorum, 2, 2}, {ReplicateQuorum, 4, 3},
+		{ReplicateAll, 1, 2}, {ReplicateAll, 3, 4},
+	}
+	for _, c := range cases {
+		if got := c.level.need(c.followers); got != c.need {
+			t.Errorf("%v with %d followers: need %d, want %d", c.level, c.followers, got, c.need)
+		}
+	}
+	for _, s := range []string{"none", "quorum", "all"} {
+		l, err := ParseLevel(s)
+		if err != nil || l.String() != s {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, l, err)
+		}
+	}
+	if _, err := ParseLevel("most"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

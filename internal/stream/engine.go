@@ -34,6 +34,11 @@ var (
 	// edge identities of one process lifetime; a snapshot + reopen
 	// compacts identities back to the live edge count.
 	ErrIDsExhausted = errors.New("stream: edge identities exhausted")
+	// ErrOutOfOrder is returned by ApplyReplicated when a shipped record
+	// does not extend the follower's log contiguously: the primary's view
+	// of the follower's high-water mark is stale and it must re-run
+	// catch-up before shipping more.
+	ErrOutOfOrder = errors.New("stream: replicated record out of order")
 )
 
 // BatchError reports a batch rejected by validation before anything was
@@ -143,6 +148,16 @@ const (
 	// the acknowledgement: the batch survives recovery even though the
 	// client never saw an ack, and its retry acknowledges as a duplicate.
 	FaultNodeAck uint32 = 1
+	// FaultNodeSnapTemp kills the engine after the snapshot temp file is
+	// durable but before the rename installs it. Rounds are 0-based
+	// snapshot ordinals within one process lifetime. Recovery discards the
+	// temp file and restarts from the previous snapshot plus the full WAL.
+	FaultNodeSnapTemp uint32 = 2
+	// FaultNodeSnapInstall kills the engine after the rename + directory
+	// fsync but before the WAL truncation. Rounds are snapshot ordinals.
+	// Recovery starts from the new snapshot and skips the WAL records at
+	// or below its high-water mark.
+	FaultNodeSnapInstall uint32 = 3
 )
 
 // Config configures an Engine.
@@ -179,6 +194,23 @@ type Config struct {
 	Fault *fault.Plan
 }
 
+// ReplicationGate is called by Apply after the batch's WAL record is
+// locally durable and before it is applied or acknowledged. rec is the
+// framed record exactly as written to the local log and prev is the
+// engine's high-water mark just before this batch — the mark every
+// up-to-date follower must present for its log to be a contiguous prefix.
+// A replication layer ships the record to followers and returns nil only
+// once its ack quorum has the record fsync'd.
+//
+// On a non-nil error the engine rolls the local log back to its
+// pre-append size and fails the Apply: the batch is then durable nowhere
+// and was acknowledged to no one, so the client may safely retry the same
+// batch ID once the quorum recovers. As the one exception, ErrCrashed is
+// treated as a fault-injected process death after the append — the engine
+// dies with the record still in its log, exactly as if the process had
+// been killed between append and ack.
+type ReplicationGate func(ctx context.Context, ref obs.TraceRef, prev, id uint64, rec []byte) error
+
 // Engine maintains the canonical minimum spanning forest of a live edge
 // multiset under insert/delete batches, with write-ahead durability.
 // Methods are safe for concurrent use (batch application is serialized).
@@ -196,10 +228,12 @@ type Engine struct {
 	lastBatch uint64 // high-water applied batch ID
 	applied   uint64 // batches applied this process (fault rounds, obs rounds)
 	sinceSnap int
+	snapBatch uint64 // high-water batch ID of the on-disk snapshot (0: none)
 
-	wal *wal
-	col obs.Collector
-	inj *fault.Injector
+	wal  *wal
+	col  obs.Collector
+	inj  *fault.Injector
+	gate ReplicationGate
 
 	dead   bool
 	closed bool
@@ -265,6 +299,7 @@ func Open(cfg Config) (*Engine, *RecoveryReport, error) {
 			return nil, nil, err
 		}
 		e.lastBatch = snap.HighWater
+		e.snapBatch = snap.HighWater
 		rep.SnapshotBatch = snap.HighWater
 		rep.SnapshotEdges = len(snap.Edges)
 	}
@@ -274,7 +309,7 @@ func Open(cfg Config) (*Engine, *RecoveryReport, error) {
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, err
 	}
-	consumed, torn := decodeWAL(data, func(b Batch) error {
+	consumed, torn := decodeWAL(data, func(_ []byte, b Batch) error {
 		if b.ID <= e.lastBatch {
 			rep.SkippedRecords++
 			return nil
@@ -381,7 +416,7 @@ func (e *Engine) Apply(b Batch) (ApplyResult, error) {
 // cancellable midway (the WAL append is the durability point).
 func (e *Engine) ApplyCtx(ctx context.Context, b Batch) (ApplyResult, error) {
 	sp := obs.TraceRefFromContext(ctx).Start("stream.apply")
-	res, err := e.apply(sp, b)
+	res, err := e.apply(ctx, sp, b)
 	if sp.Valid() {
 		sp.SetInt("batch", int64(b.ID))
 		sp.SetInt("ops", int64(len(b.Ops)))
@@ -403,7 +438,15 @@ func (e *Engine) ApplyCtx(ctx context.Context, b Batch) (ApplyResult, error) {
 	return res, err
 }
 
-func (e *Engine) apply(sp obs.Span, b Batch) (ApplyResult, error) {
+// SetReplicationGate installs (or, with nil, removes) the replication gate
+// consulted between local durability and acknowledgement of every batch.
+func (e *Engine) SetReplicationGate(g ReplicationGate) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gate = g
+}
+
+func (e *Engine) apply(ctx context.Context, sp obs.Span, b Batch) (ApplyResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -442,6 +485,13 @@ func (e *Engine) apply(sp obs.Span, b Batch) (ApplyResult, error) {
 			e.dead = true
 			return ApplyResult{}, ErrCrashed
 		}
+		preSize := int64(-1)
+		if e.gate != nil {
+			var err error
+			if preSize, err = e.wal.Size(); err != nil {
+				return ApplyResult{}, err
+			}
+		}
 		wsp := sp.Ref().Start("stream.wal.append")
 		wsp.SetInt("bytes", int64(len(rec)))
 		err := e.wal.Append(rec, wsp.Ref())
@@ -454,6 +504,26 @@ func (e *Engine) apply(sp obs.Span, b Batch) (ApplyResult, error) {
 			// Injected crash after the append: durable but unacknowledged.
 			e.dead = true
 			return ApplyResult{}, ErrCrashed
+		}
+		if e.gate != nil {
+			if err := e.gate(ctx, sp.Ref(), e.lastBatch, b.ID, rec); err != nil {
+				if errors.Is(err, ErrCrashed) {
+					// Fault-injected death between append and ack: the
+					// record stays in the log, exactly like FaultNodeAck.
+					e.dead = true
+					return ApplyResult{}, ErrCrashed
+				}
+				// Quorum not reached: roll the local log back so the batch
+				// is durable nowhere and acknowledged to no one. The same
+				// batch ID is safe to retry.
+				if terr := e.wal.TruncateTo(preSize); terr != nil {
+					// The un-replicated record could not be removed; dying
+					// beats serving state followers can never converge to.
+					e.dead = true
+					return ApplyResult{}, fmt.Errorf("stream: rollback after replication failure: %v (replication: %w)", terr, err)
+				}
+				return ApplyResult{}, err
+			}
 		}
 	}
 
@@ -833,12 +903,30 @@ func (e *Engine) snapshotLocked() error {
 		ends := e.live[k]
 		st.Edges[i] = snapEdge{U: ends[0], V: ends[1], W: par.KeyWeight(k), Forest: e.inc.HasEdge(k)}
 	}
-	if err := writeSnapshot(e.cfg.Dir, st); err != nil {
+	round := int(e.stats.Snapshots)
+	if err := writeSnapshotTemp(e.cfg.Dir, encodeSnapshot(st)); err != nil {
 		return err
+	}
+	if e.inj != nil && !e.inj.Alive(FaultNodeSnapTemp, round) {
+		// Injected crash before the rename: the temp file is durable but
+		// not installed. Recovery discards it and replays the full WAL
+		// over the previous snapshot.
+		e.dead = true
+		return ErrCrashed
+	}
+	if err := installSnapshotFile(e.cfg.Dir); err != nil {
+		return err
+	}
+	if e.inj != nil && !e.inj.Alive(FaultNodeSnapInstall, round) {
+		// Injected crash between install and WAL truncation: recovery must
+		// skip the WAL records the new snapshot already covers.
+		e.dead = true
+		return ErrCrashed
 	}
 	if err := e.wal.TruncateTo(0); err != nil {
 		return err
 	}
+	e.snapBatch = e.lastBatch
 	e.sinceSnap = 0
 	e.stats.Snapshots++
 	return nil

@@ -113,12 +113,22 @@ func decodeSnapshot(data []byte) (snapshotState, error) {
 // writeSnapshot atomically installs st as dir's snapshot: write a temp
 // file, fsync it, rename over the snapshot path, fsync the directory.
 func writeSnapshot(dir string, st snapshotState) error {
+	if err := writeSnapshotTemp(dir, encodeSnapshot(st)); err != nil {
+		return err
+	}
+	return installSnapshotFile(dir)
+}
+
+// writeSnapshotTemp durably writes snapshot bytes to the temp path. The
+// previous snapshot (if any) is untouched; a crash here leaves a stray temp
+// file that Open discards.
+func writeSnapshotTemp(dir string, data []byte) error {
 	tmp := filepath.Join(dir, snapTempFile)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(encodeSnapshot(st)); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		return err
 	}
@@ -126,10 +136,15 @@ func writeSnapshot(dir string, st snapshotState) error {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapFile)); err != nil {
+	return f.Close()
+}
+
+// installSnapshotFile renames the durable temp file over the snapshot path
+// and fsyncs the directory. After this the new snapshot is the recovery
+// base even if the WAL has not been truncated yet (replay skips records at
+// or below its high-water mark).
+func installSnapshotFile(dir string) error {
+	if err := os.Rename(filepath.Join(dir, snapTempFile), filepath.Join(dir, snapFile)); err != nil {
 		return err
 	}
 	return syncDir(dir)

@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llpmst/internal/fault"
+)
+
+// TestCrashAroundSnapshotInstall sweeps the two crash windows inside a
+// snapshot compaction — after the temp file is durable but before the
+// rename installs it, and after the install but before the WAL is
+// truncated — at every snapshot ordinal of the run. Recovery must be
+// correct from either side of the gap: the old snapshot plus the full log
+// on one side, the new snapshot skipping its own covered records on the
+// other.
+func TestCrashAroundSnapshotInstall(t *testing.T) {
+	const (
+		n        = 40
+		batches  = 36
+		opsPer   = 5
+		seed     = 21
+		snapshot = 6 // a snapshot every 6 batches -> 6 snapshot ordinals
+	)
+	script := scriptBatches(seed, n, batches, opsPer)
+
+	for _, node := range []uint32{FaultNodeSnapTemp, FaultNodeSnapInstall} {
+		for crashAt := 0; crashAt < batches/snapshot; crashAt++ {
+			dir := t.TempDir()
+			cfg := Config{
+				Vertices: n, Dir: dir, Sync: SyncAlways, SnapshotEvery: snapshot,
+				Fault: &fault.Plan{Crashes: []fault.Crash{{Node: node, At: crashAt}}},
+			}
+			e, _, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked := 0
+			for b := 0; b < batches; b++ {
+				_, err := e.Apply(Batch{ID: uint64(b + 1), Ops: script[b]})
+				if err != nil {
+					if !errors.Is(err, ErrCrashed) {
+						t.Fatalf("node %d crash@%d batch %d: %v", node, crashAt, b+1, err)
+					}
+					break
+				}
+				acked++
+			}
+			e.Close()
+			// The crash fires inside the (crashAt+1)-th snapshot, which runs
+			// while committing batch (crashAt+1)*snapshot: that batch is
+			// durable but unacked.
+			if want := (crashAt+1)*snapshot - 1; acked != want {
+				t.Fatalf("node %d crash@%d acked %d batches, want %d", node, crashAt, acked, want)
+			}
+			durable := acked + 1
+
+			// The interrupted install leaves the directory mid-transition.
+			_, tempErr := os.Stat(filepath.Join(dir, snapTempFile))
+			snapSt, snapErr := os.Stat(filepath.Join(dir, snapFile))
+			switch node {
+			case FaultNodeSnapTemp:
+				if tempErr != nil {
+					t.Fatalf("crash@%d: temp snapshot missing after pre-rename crash: %v", crashAt, tempErr)
+				}
+			case FaultNodeSnapInstall:
+				if tempErr == nil {
+					t.Fatalf("crash@%d: temp snapshot still present after rename", crashAt)
+				}
+				if snapErr != nil || snapSt.Size() == 0 {
+					t.Fatalf("crash@%d: installed snapshot unreadable: %v", crashAt, snapErr)
+				}
+			}
+
+			cfg.Fault = nil
+			e2, rep := mustOpen(t, cfg)
+			if rep.Torn {
+				t.Fatalf("node %d crash@%d: clean records recovered as torn: %+v", node, crashAt, rep)
+			}
+			if rep.LastBatch != uint64(durable) {
+				t.Fatalf("node %d crash@%d: recovered high-water %d, want %d", node, crashAt, rep.LastBatch, durable)
+			}
+			switch node {
+			case FaultNodeSnapTemp:
+				// The rename never happened: recovery starts from the
+				// previous snapshot (if any) and replays the whole log.
+				if rep.SnapshotBatch != uint64(crashAt*snapshot) {
+					t.Fatalf("crash@%d: recovered from snapshot %d, want previous %d",
+						crashAt, rep.SnapshotBatch, crashAt*snapshot)
+				}
+				if rep.SkippedRecords != 0 {
+					t.Fatalf("crash@%d: skipped %d records with no new snapshot", crashAt, rep.SkippedRecords)
+				}
+			case FaultNodeSnapInstall:
+				// The new snapshot is installed and covers the entire log:
+				// every record is skipped, none replayed.
+				if rep.SnapshotBatch != uint64(durable) {
+					t.Fatalf("crash@%d: recovered from snapshot %d, want new %d", crashAt, rep.SnapshotBatch, durable)
+				}
+				if rep.ReplayedBatches != 0 || rep.SkippedRecords != snapshot {
+					t.Fatalf("crash@%d: replayed %d / skipped %d, want 0 / %d",
+						crashAt, rep.ReplayedBatches, rep.SkippedRecords, snapshot)
+				}
+			}
+			checkAgainstOracle(t, e2, oracleAt(n, script, durable))
+
+			// The unacked batch's retry must be a duplicate ack, and the
+			// rest of the script must run to the no-crash final state.
+			res, err := e2.Apply(Batch{ID: uint64(durable), Ops: script[durable-1]})
+			if err != nil || !res.Duplicate {
+				t.Fatalf("node %d crash@%d: retry res=%+v err=%v", node, crashAt, res, err)
+			}
+			for b := durable; b < batches; b++ {
+				if _, err := e2.Apply(Batch{ID: uint64(b + 1), Ops: script[b]}); err != nil {
+					t.Fatalf("node %d crash@%d: batch %d: %v", node, crashAt, b+1, err)
+				}
+			}
+			checkAgainstOracle(t, e2, oracleAt(n, script, batches))
+		}
+	}
+}

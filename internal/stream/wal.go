@@ -152,12 +152,15 @@ type TornInfo struct {
 	Reason string
 }
 
-// decodeWAL walks data record by record, calling fn for each intact batch.
-// It returns the number of bytes consumed by intact records and, when the
-// walk stopped early, a TornInfo for the first torn or corrupt record. An
-// fn error also stops the walk (the record is structurally fine but
-// semantically unusable — e.g. endpoints out of range for the stream).
-func decodeWAL(data []byte, fn func(Batch) error) (consumed int64, torn *TornInfo) {
+// decodeWAL walks data record by record, calling fn for each intact batch
+// with both the framed record bytes and the decoded batch (replication
+// catch-up ships the raw frames verbatim so follower WALs stay
+// byte-identical). It returns the number of bytes consumed by intact
+// records and, when the walk stopped early, a TornInfo for the first torn
+// or corrupt record. An fn error also stops the walk (the record is
+// structurally fine but semantically unusable — e.g. endpoints out of
+// range for the stream).
+func decodeWAL(data []byte, fn func(rec []byte, b Batch) error) (consumed int64, torn *TornInfo) {
 	off := 0
 	for {
 		rem := len(data) - off
@@ -183,11 +186,36 @@ func decodeWAL(data []byte, fn func(Batch) error) (consumed int64, torn *TornInf
 		if err != nil {
 			return int64(off), &TornInfo{int64(off), "bad payload: " + err.Error()}
 		}
-		if err := fn(b); err != nil {
+		if err := fn(data[off:off+recordHeaderBytes+n], b); err != nil {
 			return int64(off), &TornInfo{int64(off), "unusable batch: " + err.Error()}
 		}
 		off += recordHeaderBytes + n
 	}
+}
+
+// decodeRecord parses exactly one framed WAL record (as shipped by
+// replication): header, checksum, and payload must all be intact and the
+// frame must not carry trailing bytes.
+func decodeRecord(rec []byte) (Batch, error) {
+	if len(rec) < recordHeaderBytes {
+		return Batch{}, fmt.Errorf("stream: record %d bytes, want >= %d", len(rec), recordHeaderBytes)
+	}
+	n := int(binary.LittleEndian.Uint32(rec[0:]))
+	if n > maxRecordBytes {
+		return Batch{}, fmt.Errorf("stream: implausible record length %d", n)
+	}
+	if len(rec) != recordHeaderBytes+n {
+		return Batch{}, fmt.Errorf("stream: record %d bytes, header claims %d", len(rec), recordHeaderBytes+n)
+	}
+	payload := rec[recordHeaderBytes:]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(rec[4:]); got != want {
+		return Batch{}, fmt.Errorf("stream: record checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	b, err := decodeBatch(payload)
+	if err != nil {
+		return Batch{}, fmt.Errorf("stream: bad record payload: %w", err)
+	}
+	return b, nil
 }
 
 // wal is the append side of the write-ahead log. It owns the file handle
@@ -310,19 +338,59 @@ func (w *wal) TruncateTo(size int64) error {
 	return err
 }
 
-// Close stops the sync ticker, flushes once more, and closes the file.
+// Size reports the current byte length of the log file.
+func (w *wal) Size() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	st, err := w.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// ReadAll returns the log's current contents — replication catch-up reads
+// the suffix of framed records past a follower's high-water mark from here.
+func (w *wal) ReadAll() ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	st, err := w.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size())
+	if _, err := w.f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close stops the sync ticker, flushes once more (records appended after
+// the last tick must still reach stable storage), and closes the file.
 func (w *wal) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
 	if w.stop != nil {
 		close(w.stop)
 		<-w.done
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.closed {
-		return nil
+	var syncErr error
+	if w.dirty {
+		syncErr = w.syncLocked()
 	}
-	w.closed = true
-	syncErr := w.f.Sync()
 	closeErr := w.f.Close()
 	if syncErr != nil {
 		return syncErr

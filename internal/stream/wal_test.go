@@ -29,7 +29,7 @@ func encodeLog(batches []Batch) []byte {
 func decodeAll(t *testing.T, data []byte) ([]Batch, int64, *TornInfo) {
 	t.Helper()
 	var got []Batch
-	consumed, torn := decodeWAL(data, func(b Batch) error {
+	consumed, torn := decodeWAL(data, func(_ []byte, b Batch) error {
 		got = append(got, b)
 		return nil
 	})

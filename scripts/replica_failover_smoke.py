@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Primary-failover smoke drill for mstserve's replicated streams.
+
+Boots a 3-node cluster (one primary, two followers) with -replica-quorum=
+quorum — every acknowledged batch is fsync'd on at least 2 of 3 nodes —
+drives concurrent insert/delete batches into the primary, SIGKILLs the
+primary mid-stream with no warning, promotes the most-caught-up follower,
+and asserts:
+
+  1. No acked batch is lost: the promoted follower's high-water mark >=
+     the highest batch ID the dead primary acknowledged.
+  2. The promoted forest equals a from-scratch Kruskal oracle (with the
+     engine's (weight, insertion order) tie-break) over exactly the
+     promoted high-water prefix.
+  3. The unpromoted follower keeps rejecting client writes with 503,
+     while the promoted one accepts the stream's next batches — and a
+     retry of the last acked batch answers duplicate=true, not a
+     re-apply.
+
+Usage: replica_failover_smoke.py /path/to/mstserve [baseport]
+"""
+
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+VERTICES = 32
+BATCHES = 400
+KILL_AFTER_ACKS = 60
+CONTINUE_BATCHES = 25  # written to the promoted follower afterwards
+
+
+def http(method, url, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, json.loads(resp.read() or b"null")
+
+
+def wait_healthz(base):
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=2):
+                return
+        except (urllib.error.URLError, socket.timeout, ConnectionError):
+            pass
+        time.sleep(0.05)
+    raise SystemExit(f"{base} never became healthy")
+
+
+def gen_batches(seed):
+    """Deterministic batch script: integer weights (exact in float32 and
+    float64), deletes target previously inserted edges."""
+    rng = random.Random(seed)
+    live = []
+    batches = []
+    for _ in range(BATCHES + CONTINUE_BATCHES):
+        ops = []
+        for _ in range(rng.randint(1, 6)):
+            if len(live) > 4 and rng.random() < 0.35:
+                e = live[rng.randrange(len(live))]
+                ops.append({"delete": True, "u": e[0], "v": e[1], "w": e[2]})
+            else:
+                u = rng.randrange(VERTICES)
+                v = rng.randrange(VERTICES)
+                if u == v:
+                    v = (v + 1) % VERTICES
+                ops.append({"delete": False, "u": u, "v": v, "w": float(rng.randrange(100))})
+        for op in ops:
+            if op["delete"]:
+                for i, e in enumerate(live):
+                    if e[2] == op["w"] and {e[0], e[1]} == {op["u"], op["v"]}:
+                        del live[i]
+                        break
+            else:
+                live.append((op["u"], op["v"], op["w"]))
+        batches.append(ops)
+    return batches
+
+
+def oracle_forest(batches, upto):
+    """Replays batches[0:upto] and Kruskals the survivors with the engine's
+    (weight, insertion order) total order."""
+    live = []
+    for ops in batches[:upto]:
+        for op in ops:
+            if op["delete"]:
+                for i, e in enumerate(live):
+                    if e[2] == op["w"] and {e[0], e[1]} == {op["u"], op["v"]}:
+                        del live[i]
+                        break
+            else:
+                live.append((op["u"], op["v"], op["w"]))
+    parent = list(range(VERTICES))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    forest = []
+    for u, v, w in sorted(live, key=lambda e: e[2]):  # stable: ties in insertion order
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            forest.append((min(u, v), max(u, v), w))
+    return sum(w for _, _, w in forest), sorted(forest), VERTICES - len(forest)
+
+
+def check_forest(base, sid, batches, upto):
+    status, forest = http("GET", f"{base}/streams/{sid}/forest?min_batch={upto}")
+    assert status == 200, f"forest: HTTP {status}"
+    want_weight, want_edges, want_trees = oracle_forest(batches, upto)
+    got_edges = sorted((min(e["u"], e["v"]), max(e["u"], e["v"]), e["w"])
+                       for e in forest["forest"])
+    assert forest["weight"] == want_weight, \
+        f"weight {forest['weight']} != oracle {want_weight} at batch {upto}"
+    assert got_edges == want_edges, f"forest edge multiset differs at batch {upto}"
+    assert forest["trees"] == want_trees, \
+        f"trees {forest['trees']} != oracle {want_trees} at batch {upto}"
+
+
+def drive(base, sid, batches, acked, errors):
+    """Sends batches in order until the primary dies. A 503 (transient
+    quorum degradation) retries the same batch ID — that is the documented
+    client contract; a dead connection ends the drive."""
+    for i, ops in enumerate(batches[:BATCHES]):
+        bid = i + 1
+        deadline = time.time() + 10
+        while True:
+            try:
+                status, _ = http("POST", f"{base}/streams/{sid}/update",
+                                 {"batch": bid, "ops": ops})
+            except urllib.error.HTTPError as e:
+                if e.code == 503 and time.time() < deadline:
+                    time.sleep(0.05)
+                    continue
+                return
+            except (urllib.error.URLError, socket.timeout, ConnectionError):
+                return  # the kill landed
+            if status != 200:
+                errors.append(f"{sid} batch {bid}: HTTP {status}")
+                return
+            acked[sid] = bid
+            break
+
+
+def main():
+    server_bin = sys.argv[1]
+    baseport = int(sys.argv[2]) if len(sys.argv) > 2 else 18070
+    nodes = [f"http://127.0.0.1:{baseport + i}" for i in range(3)]
+    primary, followers = nodes[0], nodes[1:]
+    procs = []
+
+    print("=== phase 1: boot 1 primary + 2 followers at quorum 2/3")
+    for i, base in enumerate(nodes):
+        sdir = tempfile.mkdtemp(prefix=f"replica-smoke-{i}-")
+        args = [server_bin, "-addr", base.removeprefix("http://"),
+                "-stream-dir", sdir, "-stream-sync", "always"]
+        if i == 0:
+            args += ["-replica-role", "primary",
+                     "-replica-followers", ",".join(followers),
+                     "-replica-quorum", "quorum",
+                     "-replica-heartbeat", "50ms"]
+        else:
+            args += ["-replica-role", "follower", "-replica-lease", "2s"]
+        procs.append(subprocess.Popen(args))
+    try:
+        for base in nodes:
+            wait_healthz(base)
+
+        status, _ = http("PUT", f"{primary}/streams/rep", {"vertices": VERTICES})
+        assert status == 201, f"create: HTTP {status}"
+        # Wait until both followers are in the synchronous ack path.
+        deadline = time.time() + 30
+        while True:
+            status, info = http("GET", f"{primary}/streams/rep")
+            rep = info.get("replication") or {}
+            if rep.get("healthy") and \
+               all(f.get("current") for f in rep.get("followers", [])):
+                break
+            assert time.time() < deadline, f"cluster never became healthy: {rep}"
+            time.sleep(0.05)
+        print(f"cluster healthy: need={rep['need']} of 3")
+
+        print("=== phase 2: drive batches, SIGKILL the primary mid-stream")
+        batches = gen_batches(33)
+        acked, errors = {}, []
+        th = threading.Thread(target=drive, args=(primary, "rep", batches, acked, errors))
+        th.start()
+        while acked.get("rep", 0) < KILL_AFTER_ACKS:
+            if errors:
+                raise SystemExit("driver errors: " + "; ".join(errors))
+            if not th.is_alive():
+                break
+            time.sleep(0.01)
+        os.kill(procs[0].pid, signal.SIGKILL)  # crash-stop, no flush
+        th.join()
+        procs[0].wait()
+        if errors:
+            raise SystemExit("driver errors: " + "; ".join(errors))
+        hi = acked.get("rep", 0)
+        print(f"primary killed; highest acked batch = {hi}")
+        assert hi >= 1, "no batch was ever acknowledged"
+
+        print("=== phase 3: promote the most-caught-up follower")
+        marks = []
+        for base in followers:
+            status, info = http("GET", f"{base}/streams/rep")
+            assert status == 200, f"follower info: HTTP {status}"
+            marks.append(info["last_batch"])
+        print(f"follower high-water marks = {marks}")
+        winner = followers[marks.index(max(marks))]
+        loser = followers[1 - marks.index(max(marks))]
+        # Quorum 2/3: every acked batch is durable on >= 1 follower, and
+        # followers only diverge by the in-flight batch, so the max mark
+        # carries every ack.
+        assert max(marks) >= hi, \
+            f"acked batch lost: max follower mark {max(marks)} < acked {hi}"
+
+        status, promo = http("POST", f"{winner}/streams/rep/promote")
+        assert status == 200 and promo["promoted"], f"promote: {status} {promo}"
+        hw = promo["high_water"]
+        assert hw >= hi, f"promoted at {hw}, below acked {hi}"
+        check_forest(winner, "rep", batches, hw)
+        print(f"promoted follower at high-water {hw}; forest matches oracle")
+
+        print("=== phase 4: the new primary serves, the bystander stays read-only")
+        # A retry of the last acked batch is a duplicate ack, not a re-apply.
+        status, reply = http("POST", f"{winner}/streams/rep/update",
+                             {"batch": hw, "ops": batches[hw - 1]})
+        assert status == 200 and reply["duplicate"], \
+            f"retry of acked batch: {status} {reply}"
+        # The unpromoted follower still sheds client writes.
+        try:
+            http("POST", f"{loser}/streams/rep/update",
+                 {"batch": hw + 1, "ops": batches[hw]})
+            raise SystemExit("unpromoted follower accepted a client write")
+        except urllib.error.HTTPError as e:
+            assert e.code == 503, f"unpromoted follower write: HTTP {e.code}"
+        # The stream continues on the new primary, still oracle-exact.
+        for bid in range(hw + 1, hw + 1 + CONTINUE_BATCHES):
+            status, reply = http("POST", f"{winner}/streams/rep/update",
+                                 {"batch": bid, "ops": batches[bid - 1]})
+            assert status == 200 and reply["batch_id"] == bid, \
+                f"post-promotion batch {bid}: {status} {reply}"
+        check_forest(winner, "rep", batches, hw + CONTINUE_BATCHES)
+        print("replica failover smoke passed")
+    finally:
+        for p in procs:
+            p.terminate()
+        for p in procs:
+            p.wait()
+
+
+if __name__ == "__main__":
+    main()
